@@ -1,0 +1,212 @@
+package repro
+
+import (
+	"repro/internal/acyclic"
+	"repro/internal/bitset"
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/gyo"
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+	"repro/internal/relation"
+	"repro/internal/tableau"
+)
+
+// Re-exported core types. The aliases point at the implementation packages;
+// methods documented there apply unchanged.
+type (
+	// Hypergraph is a finite hypergraph: nodes (attributes) and edges
+	// (objects). See internal/hypergraph.
+	Hypergraph = hypergraph.Hypergraph
+	// NodeSet is a set of node ids of a particular Hypergraph.
+	NodeSet = bitset.Set
+	// GrahamResult is the outcome of a Graham (GYO) reduction, including the
+	// step trace.
+	GrahamResult = gyo.Result
+	// Tableau is the tableau of a hypergraph with a sacred node set.
+	Tableau = tableau.Tableau
+	// Minimization is a reduced tableau: minimal rows plus the row mapping.
+	Minimization = tableau.Minimization
+	// Path is a connecting path (a candidate independent path).
+	Path = core.Path
+	// Tree is a connecting tree (a candidate independent tree).
+	Tree = core.Tree
+	// Ring is a Lemma 4.1 ring witness.
+	Ring = core.Ring
+	// JoinTree is a join tree/forest over a hypergraph's edges.
+	JoinTree = jointree.JoinTree
+	// SemijoinStep is one statement of a semijoin (full reducer) program.
+	SemijoinStep = jointree.SemijoinStep
+	// Relation is an in-memory relation with set semantics.
+	Relation = relation.Relation
+	// Database is a universal-relation database: hypergraph schema plus one
+	// relation per object.
+	Database = db.Database
+	// JD is a join dependency given by a hypergraph, with instance-level
+	// satisfaction checking (db layer).
+	JD = db.JD
+	// JoinDep is a join dependency for the chase engine (⋈[components]);
+	// MVDs are its two-component special case.
+	JoinDep = chase.JD
+	// Classification places a hypergraph in the acyclicity hierarchy
+	// (α ⊃ β ⊃ γ ⊃ Berge).
+	Classification = acyclic.Classification
+)
+
+// NewHypergraph builds a hypergraph from edges given as node-name lists.
+func NewHypergraph(edges [][]string) *Hypergraph { return hypergraph.New(edges) }
+
+// ParseHypergraph reads the "one edge per line" text format; see
+// internal/hypergraph.Parse for the grammar. The second result holds
+// optional edge names.
+func ParseHypergraph(text string) (*Hypergraph, []string, error) { return hypergraph.Parse(text) }
+
+// Fig1 returns the paper's Figure 1 hypergraph
+// {A,B,C}, {C,D,E}, {A,E,F}, {A,C,E}.
+func Fig1() *Hypergraph { return hypergraph.Fig1() }
+
+// Fig5 returns the reconstruction of the paper's Figure 5 (see DESIGN.md).
+func Fig5() *Hypergraph { return hypergraph.Fig5() }
+
+// IsAcyclic reports α-acyclicity — the paper's notion — via Graham
+// reduction.
+func IsAcyclic(h *Hypergraph) bool { return gyo.IsAcyclic(h) }
+
+// Classify computes the position of h in the acyclicity hierarchy.
+func Classify(h *Hypergraph) Classification { return acyclic.Classify(h) }
+
+// GrahamReduction computes GR(h, X) for sacred nodes given by name and
+// returns the surviving partial edges. Use GrahamReductionTrace for steps.
+func GrahamReduction(h *Hypergraph, sacred ...string) (*Hypergraph, error) {
+	r, err := GrahamReductionTrace(h, sacred...)
+	if err != nil {
+		return nil, err
+	}
+	return r.Hypergraph, nil
+}
+
+// GrahamReductionTrace computes GR(h, X) and returns the full result with
+// the reduction trace.
+func GrahamReductionTrace(h *Hypergraph, sacred ...string) (*GrahamResult, error) {
+	x, err := h.Set(sacred...)
+	if err != nil {
+		return nil, err
+	}
+	return gyo.Reduce(h, x), nil
+}
+
+// NewTableau builds the tableau of h with the named nodes distinguished.
+func NewTableau(h *Hypergraph, sacred ...string) (*Tableau, error) {
+	x, err := h.Set(sacred...)
+	if err != nil {
+		return nil, err
+	}
+	return tableau.New(h, x), nil
+}
+
+// TableauReduction computes TR(h, X): minimize the tableau and read back the
+// partial edges.
+func TableauReduction(h *Hypergraph, sacred ...string) (*Hypergraph, error) {
+	x, err := h.Set(sacred...)
+	if err != nil {
+		return nil, err
+	}
+	return tableau.TR(h, x), nil
+}
+
+// CanonicalConnection returns CC_h(X) = TR(h, X) (§5): the natural set of
+// partial edges connecting the named nodes.
+func CanonicalConnection(h *Hypergraph, names ...string) (*Hypergraph, error) {
+	return TableauReduction(h, names...)
+}
+
+// HasIndependentPath reports whether some pair of node sets of h admits an
+// independent path; by Theorem 6.1 this is equivalent to h being cyclic.
+func HasIndependentPath(h *Hypergraph) bool { return core.HasIndependentPath(h) }
+
+// IndependentPathWitness constructs an independent path for a cyclic h,
+// following the proof of Theorem 6.1. The path lives in the returned
+// node-generated core. found is false when h is acyclic.
+func IndependentPathWitness(h *Hypergraph) (path *Path, coreGraph *Hypergraph, found bool, err error) {
+	p, found, err := core.IndependentPathWitness(h)
+	if err != nil || !found {
+		return nil, nil, found, err
+	}
+	f, _ := core.WitnessCore(h)
+	return p, f, true, nil
+}
+
+// PathFromTree converts an independent tree into an independent path
+// between two of its leaves (Lemma 5.2).
+func PathFromTree(h *Hypergraph, t *Tree) (*Path, error) { return core.PathFromTree(h, t) }
+
+// Blocks decomposes h by articulation sets into articulation-set-free
+// pieces, the hypergraph generalization of graph blocks.
+func Blocks(h *Hypergraph) []*Hypergraph { return core.Blocks(h) }
+
+// MinimalConnectors enumerates the minimal edge subsets connecting the
+// named nodes — the paper's closing footnote made executable (subsets of
+// the canonical connection can connect the nodes; CC is the canonical one).
+func MinimalConnectors(h *Hypergraph, names ...string) ([][]int, error) {
+	x, err := h.Set(names...)
+	if err != nil {
+		return nil, err
+	}
+	return core.MinimalConnectors(h, x)
+}
+
+// FindRing searches for a Lemma 4.1 ring witness with singleton sets.
+func FindRing(h *Hypergraph) (*Ring, bool) { return core.FindRing(h, 0) }
+
+// BuildJoinTree constructs a join tree from the Graham reduction trace;
+// ok is false when h is cyclic.
+func BuildJoinTree(h *Hypergraph) (*JoinTree, bool) { return jointree.Build(h) }
+
+// NewRelation builds a relation over the given attributes.
+func NewRelation(attrs []string, rows ...[]string) (*Relation, error) {
+	return relation.New(attrs, rows...)
+}
+
+// NewDatabase binds a schema to one relation per edge.
+func NewDatabase(schema *Hypergraph, objects []*Relation) (*Database, error) {
+	return db.New(schema, objects)
+}
+
+// DatabaseFromUniversal projects a universal relation onto every object of
+// the schema, yielding a globally consistent instance.
+func DatabaseFromUniversal(schema *Hypergraph, u *Relation) (*Database, error) {
+	return db.FromUniversal(schema, u)
+}
+
+// JoinDependency reads the join dependency ⋈[E₁,…,E_k] off a schema, for
+// use with the chase (JDImplies).
+func JoinDependency(schema *Hypergraph) JoinDep { return chase.FromHypergraph(schema) }
+
+// MVD builds the multivalued dependency X →→ Y over the universe as the
+// two-component join dependency ⋈[X∪Y, X∪(U−Y)].
+func MVD(x, y, universe []string) JoinDep { return chase.MVD(x, y, universe) }
+
+// JDImplies reports whether the given join dependencies imply the target
+// over the universe, by chasing the target's canonical tableau. maxRows
+// bounds chase growth.
+func JDImplies(given []JoinDep, target JoinDep, universe []string, maxRows int) (bool, error) {
+	return chase.Implies(given, target, universe, maxRows)
+}
+
+// JoinTreeMVDs derives the MVD basis of an acyclic schema from its join
+// tree (BFMY: equivalent to the schema's full join dependency).
+func JoinTreeMVDs(schema *Hypergraph) ([]JoinDep, error) {
+	jt, ok := jointree.Build(schema)
+	if !ok {
+		return nil, errCyclicSchema
+	}
+	return chase.JoinTreeMVDs(schema, jt.Parent)
+}
+
+type schemaErr string
+
+func (e schemaErr) Error() string { return string(e) }
+
+// errCyclicSchema is returned by JoinTreeMVDs for cyclic schemas.
+const errCyclicSchema = schemaErr("repro: schema is cyclic; no join tree exists")

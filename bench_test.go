@@ -1,0 +1,332 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/acyclic"
+	"repro/internal/bitset"
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/gyo"
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+	"repro/internal/tableau"
+)
+
+// Each benchmark regenerates one experiment from DESIGN.md's index; the
+// cmd/benchtab binary prints the same data as shaped tables.
+
+// BenchmarkFig1Acyclicity — E-F1: the Figure 1 acyclicity test.
+func BenchmarkFig1Acyclicity(b *testing.B) {
+	h := hypergraph.Fig1()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !gyo.IsAcyclic(h) {
+			b.Fatal("fig1 must be acyclic")
+		}
+	}
+}
+
+// BenchmarkGrahamReductionExample22 — E-EX22.
+func BenchmarkGrahamReductionExample22(b *testing.B) {
+	h := hypergraph.Fig1()
+	x := h.MustSet("A", "D")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gyo.Reduce(h, x)
+	}
+}
+
+// BenchmarkTableauReduceFig1 — E-F2/E-F3: build + minimize the Fig. 1
+// tableau.
+func BenchmarkTableauReduceFig1(b *testing.B) {
+	h := hypergraph.Fig1()
+	x := h.MustSet("A", "D")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tableau.Reduce(h, x)
+	}
+}
+
+// BenchmarkGRvsTR — E-T35: the two reductions side by side on random
+// acyclic hypergraphs of growing size.
+func BenchmarkGRvsTR(b *testing.B) {
+	for _, m := range []int{8, 16, 32} {
+		h := gen.RandomAcyclic(rand.New(rand.NewSource(int64(m))), gen.RandomSpec{Edges: m, MinArity: 2, MaxArity: 4})
+		x := gen.RandomNodeSubset(rand.New(rand.NewSource(99)), h, 0.2)
+		b.Run(fmt.Sprintf("GR/m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gyo.Reduce(h, x)
+			}
+		})
+		b.Run(fmt.Sprintf("TR/m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tableau.TR(h, x)
+			}
+		})
+	}
+}
+
+// BenchmarkGYO — P-GYO: Graham reduction scaling on acyclic chains.
+func BenchmarkGYO(b *testing.B) {
+	for _, m := range []int{50, 200, 800} {
+		h := gen.AcyclicChain(m, 3, 1)
+		b.Run(fmt.Sprintf("chain/m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !gyo.Reduce(h, bitset.Set{}).Vanished() {
+					b.Fatal("chain must vanish")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAcyclicityTests compares the three acyclicity deciders on the
+// same small input (the definition-based one is exponential by design).
+func BenchmarkAcyclicityTests(b *testing.B) {
+	h := hypergraph.Fig1()
+	b.Run("gyo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gyo.IsAcyclic(h)
+		}
+	})
+	b.Run("definition", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ok, err := acyclic.IsAcyclicByDefinition(h); err != nil || !ok {
+				b.Fatal("fig1 must be acyclic")
+			}
+		}
+	})
+	b.Run("jointree-mst", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := jointree.BuildMST(h); !ok {
+				b.Fatal("fig1 must have a join tree")
+			}
+		}
+	})
+}
+
+// BenchmarkCC — P-CC: canonical connection queries across families.
+func BenchmarkCC(b *testing.B) {
+	fams := []struct {
+		name string
+		h    *hypergraph.Hypergraph
+	}{
+		{"chain16", gen.AcyclicChain(16, 3, 1)},
+		{"chain64", gen.AcyclicChain(64, 3, 1)},
+		{"star24", gen.Star(24)},
+	}
+	for _, f := range fams {
+		x := gen.RandomNodeSubset(rand.New(rand.NewSource(5)), f.h, 0.15)
+		b.Run(f.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.CC(f.h, x)
+			}
+		})
+	}
+}
+
+// BenchmarkIndependentPathWitness — E-T61/P-WIT: constructive witness
+// extraction on cyclic families.
+func BenchmarkIndependentPathWitness(b *testing.B) {
+	fams := []struct {
+		name string
+		h    *hypergraph.Hypergraph
+	}{
+		{"cycle8", gen.CycleGraph(8)},
+		{"hyperring8", gen.HyperRing(8)},
+		{"grid3x3", gen.Grid(3, 3)},
+	}
+	for _, f := range fams {
+		b.Run(f.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, found, err := core.IndependentPathWitness(f.h); err != nil || !found {
+					b.Fatalf("witness failed: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExhaustivePathSearch — E-T61: the exhaustive search used for the
+// corpus validation of Theorem 6.1.
+func BenchmarkExhaustivePathSearch(b *testing.B) {
+	h := hypergraph.Fig1MinusACE()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, found := core.FindIndependentPathExhaustive(h, 0); !found {
+			b.Fatal("path must exist")
+		}
+	}
+}
+
+// BenchmarkCCQueryVsFullJoin — E-DB: the §7 query strategies.
+func BenchmarkCCQueryVsFullJoin(b *testing.B) {
+	schema := gen.AcyclicChain(6, 2, 1)
+	rng := rand.New(rand.NewSource(8))
+	u := gen.UniversalRelation(rng, schema, gen.InstanceSpec{Rows: 200, DomainSize: 8})
+	d, err := db.FromUniversal(schema, u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	attrs := []string{schema.Nodes()[0]}
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d.QueryFull(attrs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d.QueryCC(attrs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("yannakakis", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d.QueryYannakakis(attrs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkYannakakis — P-YAN: chain-length sweep of both strategies.
+func BenchmarkYannakakis(b *testing.B) {
+	for _, m := range []int{4, 6} {
+		schema := gen.AcyclicChain(m, 2, 1)
+		rng := rand.New(rand.NewSource(int64(m)))
+		u := gen.UniversalRelation(rng, schema, gen.InstanceSpec{Rows: 120, DomainSize: 8})
+		d, err := db.FromUniversal(schema, u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		attrs := []string{schema.Nodes()[0]}
+		b.Run(fmt.Sprintf("naive/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := d.QueryFull(attrs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("yannakakis/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := d.QueryYannakakis(attrs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBlocks — abstract: the block decomposition.
+func BenchmarkBlocks(b *testing.B) {
+	h := hypergraph.CyclicCounterexample()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.Blocks(h)
+	}
+}
+
+// BenchmarkFullReducer — §7 substrate: deriving and applying a semijoin
+// program.
+func BenchmarkFullReducer(b *testing.B) {
+	schema := gen.AcyclicChain(8, 2, 1)
+	jt, ok := jointree.Build(schema)
+	if !ok {
+		b.Fatal("chain must be acyclic")
+	}
+	rng := rand.New(rand.NewSource(3))
+	u := gen.UniversalRelation(rng, schema, gen.InstanceSpec{Rows: 150, DomainSize: 6})
+	d, err := db.FromUniversal(schema, u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := jt.FullReducer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.ApplyReducer(prog)
+	}
+}
+
+// BenchmarkChaseImplication — E-DEP: deciding the BFMY equivalence by chase.
+func BenchmarkChaseImplication(b *testing.B) {
+	h := hypergraph.Fig1()
+	jt, ok := jointree.Build(h)
+	if !ok {
+		b.Fatal("fig1 must be acyclic")
+	}
+	mvds, err := chase.JoinTreeMVDs(h, jt.Parent)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jd := chase.FromHypergraph(h)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ok, err := chase.Implies(mvds, jd, h.Nodes(), 200000)
+		if err != nil || !ok {
+			b.Fatalf("implication failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkMaximalObjects — E-MO: maximal-object enumeration.
+func BenchmarkMaximalObjects(b *testing.B) {
+	schema, objects := gen.TriangleWitnessInstance()
+	d, err := db.New(schema, objects)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.MaximalObjects(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSemijoinFixpoint — the brute-force reducer against the
+// join-tree program (jointree.FullReducer) on the same instance.
+func BenchmarkSemijoinFixpoint(b *testing.B) {
+	schema := gen.AcyclicChain(8, 2, 1)
+	rng := rand.New(rand.NewSource(4))
+	u := gen.UniversalRelation(rng, schema, gen.InstanceSpec{Rows: 150, DomainSize: 6})
+	d, err := db.FromUniversal(schema, u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jt, _ := jointree.Build(schema)
+	prog := jt.FullReducer()
+	b.Run("fixpoint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d.SemijoinFixpoint()
+		}
+	})
+	b.Run("jointree-program", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d.ApplyReducer(prog)
+		}
+	})
+}
+
+// BenchmarkRingSearch — E-L41: the Lemma 4.1 singleton-ring finder.
+func BenchmarkRingSearch(b *testing.B) {
+	h := gen.CycleGraph(10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, found := core.FindRing(h, 0); !found {
+			b.Fatal("cycle must contain a ring")
+		}
+	}
+}

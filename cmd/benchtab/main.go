@@ -1,0 +1,211 @@
+// Command benchtab prints the performance-shape tables recorded in
+// EXPERIMENTS.md: scaling of Graham reduction, tableau reduction and
+// canonical connections, Yannakakis vs. naive join evaluation, and
+// independent-path witness extraction. The absolute numbers depend on the
+// host; the shapes (who wins, how growth behaves) are the reproduction
+// target, since the paper itself reports no measurements.
+//
+// Usage:
+//
+//	benchtab                 # all tables
+//	benchtab -table gyo      # one table: gyo|tr|cc|yannakakis|witness
+//	benchtab -quick          # smaller sweeps (CI-friendly)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/gyo"
+	"repro/internal/hypergraph"
+	"repro/internal/report"
+	"repro/internal/tableau"
+)
+
+var quick bool
+
+func main() {
+	table := flag.String("table", "all", "table to print: gyo|tr|cc|yannakakis|witness|all")
+	flag.BoolVar(&quick, "quick", false, "smaller sweeps")
+	flag.Parse()
+	tables := map[string]func(io.Writer){
+		"gyo":        gyoTable,
+		"tr":         trTable,
+		"cc":         ccTable,
+		"yannakakis": yannakakisTable,
+		"witness":    witnessTable,
+	}
+	order := []string{"gyo", "tr", "cc", "yannakakis", "witness"}
+	ran := false
+	for _, name := range order {
+		if *table == "all" || *table == name {
+			tables[name](os.Stdout)
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+		os.Exit(2)
+	}
+}
+
+// timeIt runs f repeatedly until ~20ms elapse and returns the mean duration.
+func timeIt(f func()) time.Duration {
+	n := 0
+	start := time.Now()
+	for {
+		f()
+		n++
+		if d := time.Since(start); d > 20*time.Millisecond || n >= 1000 {
+			return d / time.Duration(n)
+		}
+	}
+}
+
+func sizes(all []int) []int {
+	if quick && len(all) > 2 {
+		return all[:2]
+	}
+	return all
+}
+
+// gyoTable: P-GYO — Graham reduction scaling in edges and arity.
+func gyoTable(w io.Writer) {
+	report.Section(w, "P-GYO: Graham reduction scaling (acyclic chains)")
+	t := report.NewTable("edges", "arity", "nodes", "GR time", "steps", "vanished")
+	for _, m := range sizes([]int{50, 200, 800, 3200}) {
+		for _, arity := range []int{3, 6} {
+			h := gen.AcyclicChain(m, arity, arity/2)
+			var r *gyo.Result
+			d := timeIt(func() { r = gyo.Reduce(h, bitset.Set{}) })
+			t.Add(m, arity, h.NumNodes(), d, len(r.Steps), r.Vanished())
+		}
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "shape: time grows roughly linearly in total edge volume; every acyclic input vanishes")
+}
+
+// trTable: P-TR — tableau reduction scaling and the GR-vs-TR runtime gap.
+func trTable(w io.Writer) {
+	report.Section(w, "P-TR: tableau reduction vs Graham reduction (Theorem 3.5 twins)")
+	t := report.NewTable("edges", "sacred", "GR time", "TR time", "TR/GR", "equal")
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range sizes([]int{8, 16, 32, 64}) {
+		h := gen.RandomAcyclic(rand.New(rand.NewSource(int64(m))), gen.RandomSpec{Edges: m, MinArity: 2, MaxArity: 4})
+		x := gen.RandomNodeSubset(rng, h, 0.2)
+		var gr, tr *hypergraph.Hypergraph
+		dGR := timeIt(func() { gr = gyo.Reduce(h, x).Hypergraph })
+		dTR := timeIt(func() { tr = tableau.TR(h, x) })
+		ratio := float64(dTR) / float64(dGR)
+		t.Add(m, x.Len(), dGR, dTR, ratio, gr.EqualEdges(tr))
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "shape: TR pays a polynomial factor over GR for identical results on acyclic inputs —")
+	fmt.Fprintln(w, "the practical content of Theorem 3.5 (use GR when the schema is acyclic)")
+}
+
+// ccTable: P-CC — canonical connection queries across schema families.
+func ccTable(w io.Writer) {
+	report.Section(w, "P-CC: canonical connection queries")
+	t := report.NewTable("schema", "edges", "|X|", "CC time", "CC edges")
+	rng := rand.New(rand.NewSource(2))
+	fams := []struct {
+		name string
+		h    *hypergraph.Hypergraph
+	}{
+		{"chain m=16", gen.AcyclicChain(16, 3, 1)},
+		{"chain m=64", gen.AcyclicChain(64, 3, 1)},
+		{"random acyclic m=24", gen.RandomAcyclic(rand.New(rand.NewSource(7)), gen.RandomSpec{Edges: 24, MinArity: 2, MaxArity: 4})},
+		{"star n=24", gen.Star(24)},
+		{"fig1", hypergraph.Fig1()},
+	}
+	for _, f := range fams {
+		for _, frac := range []float64{0.1, 0.4} {
+			x := gen.RandomNodeSubset(rng, f.h, frac)
+			var cc *hypergraph.Hypergraph
+			d := timeIt(func() { cc = core.CC(f.h, x) })
+			t.Add(f.name, f.h.NumEdges(), x.Len(), d, cc.NumEdges())
+		}
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "shape: CC size tracks how spread the sacred nodes are; sparse X collapses most of the schema")
+}
+
+// yannakakisTable: P-YAN — Yannakakis vs naive full join.
+func yannakakisTable(w io.Writer) {
+	report.Section(w, "P-YAN: Yannakakis vs naive join-then-project (acyclic schemas)")
+	t := report.NewTable("chain edges", "rows/object", "domain", "naive", "yannakakis", "speedup", "equal")
+	for _, m := range sizes([]int{3, 4, 5, 6}) {
+		for _, domain := range []int{4, 16} {
+			schema := gen.AcyclicChain(m, 2, 1) // binary chain R(A0,A1), R(A1,A2)...
+			rng := rand.New(rand.NewSource(int64(100*m + domain)))
+			u := gen.UniversalRelation(rng, schema, gen.InstanceSpec{Rows: 120, DomainSize: domain})
+			d, err := db.FromUniversal(schema, u)
+			if err != nil {
+				panic(err)
+			}
+			attrs := []string{schema.Nodes()[0]}
+			naiveR, yanR := d.Objects[0], d.Objects[0]
+			dNaive := timeIt(func() {
+				r, err := d.QueryFull(attrs)
+				if err != nil {
+					panic(err)
+				}
+				naiveR = r
+			})
+			dYan := timeIt(func() {
+				r, err := d.QueryYannakakis(attrs)
+				if err != nil {
+					panic(err)
+				}
+				yanR = r
+			})
+			t.Add(m, 120, domain, dNaive, dYan, float64(dNaive)/float64(dYan), naiveR.Equal(yanR))
+		}
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "shape: naive intermediate joins grow multiplicatively with chain length and relation size")
+	fmt.Fprintln(w, "(domain controls distinct tuples); Yannakakis stays near-linear, so its lead widens with both")
+}
+
+// witnessTable: P-WIT — independent-path witness extraction on cyclic families.
+func witnessTable(w io.Writer) {
+	report.Section(w, "P-WIT: independent-path witness extraction (Theorem 6.1 'if')")
+	t := report.NewTable("family", "nodes", "edges", "witness time", "path len")
+	fams := []struct {
+		name string
+		h    *hypergraph.Hypergraph
+	}{
+		{"cycle C8", gen.CycleGraph(8)},
+		{"cycle C16", gen.CycleGraph(16)},
+		{"hyper-ring k=8", gen.HyperRing(8)},
+		{"grid 3x3", gen.Grid(3, 3)},
+		{"grid 4x4", gen.Grid(4, 4)},
+		{"clique K7", gen.CliqueGraph(7)},
+	}
+	if quick {
+		fams = fams[:3]
+	}
+	for _, f := range fams {
+		var p *core.Path
+		d := timeIt(func() {
+			var err error
+			var found bool
+			p, found, err = core.IndependentPathWitness(f.h)
+			if err != nil || !found {
+				panic(fmt.Sprintf("%s: %v", f.name, err))
+			}
+		})
+		t.Add(f.name, f.h.NumNodes(), f.h.NumEdges(), d, len(p.Sets))
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "shape: witness length tracks the girth of the cyclic core; extraction stays polynomial")
+}

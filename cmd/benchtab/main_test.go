@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTablesRenderInQuickMode runs every table with the quick sweeps and
+// checks the headline content; the timings themselves are host-dependent.
+func TestTablesRenderInQuickMode(t *testing.T) {
+	quick = true
+	defer func() { quick = false }()
+	cases := []struct {
+		name string
+		run  func(w *strings.Builder)
+		want []string
+	}{
+		{"gyo", func(w *strings.Builder) { gyoTable(w) }, []string{"P-GYO", "vanished", "true"}},
+		{"tr", func(w *strings.Builder) { trTable(w) }, []string{"P-TR", "TR/GR", "true"}},
+		{"cc", func(w *strings.Builder) { ccTable(w) }, []string{"P-CC", "CC edges", "fig1"}},
+		{"yannakakis", func(w *strings.Builder) { yannakakisTable(w) }, []string{"P-YAN", "speedup", "true"}},
+		{"witness", func(w *strings.Builder) { witnessTable(w) }, []string{"P-WIT", "path len", "cycle C8"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var b strings.Builder
+			c.run(&b)
+			out := b.String()
+			for _, want := range c.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("table %s missing %q:\n%s", c.name, want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestSizesQuickCut(t *testing.T) {
+	quick = true
+	defer func() { quick = false }()
+	if got := sizes([]int{1, 2, 3, 4}); len(got) != 2 {
+		t.Fatalf("quick sizes = %v", got)
+	}
+	quick = false
+	if got := sizes([]int{1, 2, 3, 4}); len(got) != 4 {
+		t.Fatalf("full sizes = %v", got)
+	}
+}

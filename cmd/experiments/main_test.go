@@ -1,0 +1,61 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs every registered experiment; each checks its
+// own paper claim and returns an error on any mismatch.
+func TestAllExperimentsPass(t *testing.T) {
+	for _, e := range experiments {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			if err := e.run(io.Discard); err != nil {
+				t.Fatalf("experiment %s failed: %v", e.id, err)
+			}
+		})
+	}
+}
+
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if seen[e.id] {
+			t.Fatalf("duplicate experiment id %s", e.id)
+		}
+		seen[e.id] = true
+		if e.title == "" {
+			t.Fatalf("experiment %s has no title", e.id)
+		}
+	}
+}
+
+func TestExperimentOutputMentionsKeyFacts(t *testing.T) {
+	var b strings.Builder
+	if err := runTheorem35(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"GR", "TR", "counterexample", "PASS"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("theorem35 output missing %q", want)
+		}
+	}
+	b.Reset()
+	if err := runFig5(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "CC({A,F})") {
+		t.Error("fig5 output missing the canonical connection")
+	}
+}
+
+func TestVerdictErrors(t *testing.T) {
+	if err := verdict(io.Discard, "claim", true); err != nil {
+		t.Fatal("true verdict must not error")
+	}
+	if err := verdict(io.Discard, "claim", false); err == nil {
+		t.Fatal("false verdict must error")
+	}
+}

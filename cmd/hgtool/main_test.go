@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/hypergraph"
+)
+
+func fig1() *hypergraph.Hypergraph { return hypergraph.Fig1() }
+
+func TestAnalyzeOutput(t *testing.T) {
+	var b strings.Builder
+	if err := analyze(&b, fig1()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"nodes: 6", "edges: 4", "α✓", "articulation sets:", "blocks:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReduceOutput(t *testing.T) {
+	h := fig1()
+	var b strings.Builder
+	if err := reduce(&b, h, h.MustSet("A", "D")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "remove node") {
+		t.Fatalf("missing trace:\n%s", b.String())
+	}
+	b.Reset()
+	if err := reduce(&b, h, bitset.Set{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "acyclic") {
+		t.Fatalf("missing vanish note:\n%s", b.String())
+	}
+}
+
+func TestTableauOutput(t *testing.T) {
+	h := fig1()
+	var b strings.Builder
+	if err := showTableau(&b, h, h.MustSet("A", "D")); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(summary)", "minimal rows: [1 3]", "TR(H, X)"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("tableau output missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestCCOutput(t *testing.T) {
+	h := fig1()
+	var b strings.Builder
+	if err := ccCmd(&b, h, h.MustSet("A", "D")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "CC({A D})") {
+		t.Fatalf("cc output:\n%s", b.String())
+	}
+}
+
+func TestJointreeOutput(t *testing.T) {
+	var b strings.Builder
+	if err := jointreeCmd(&b, fig1(), []string{"R1", "", "", ""}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "R1") || !strings.Contains(out, "full reducer:") {
+		t.Fatalf("jointree output:\n%s", out)
+	}
+	// Cyclic input is a user error, not a panic.
+	if err := jointreeCmd(&b, hypergraph.Triangle(), nil); err == nil {
+		t.Fatal("cyclic input must error")
+	}
+}
+
+func TestWitnessOutput(t *testing.T) {
+	var b strings.Builder
+	if err := witnessCmd(&b, hypergraph.Triangle()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "independent path:") {
+		t.Fatalf("witness output:\n%s", b.String())
+	}
+	b.Reset()
+	if err := witnessCmd(&b, fig1()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "acyclic") {
+		t.Fatalf("acyclic witness output:\n%s", b.String())
+	}
+}
+
+func TestParseSacred(t *testing.T) {
+	h := fig1()
+	x, err := parseSacred(h, " A , D ")
+	if err != nil || x.Len() != 2 {
+		t.Fatalf("parseSacred: %v %v", x, err)
+	}
+	if _, err := parseSacred(h, "A,Z"); err == nil {
+		t.Fatal("unknown node must error")
+	}
+	empty, err := parseSacred(h, "")
+	if err != nil || !empty.IsEmpty() {
+		t.Fatal("empty spec must give empty set")
+	}
+}

@@ -1,0 +1,23 @@
+// Package repro is a Go library reproducing Maier & Ullman, "Connections in
+// Acyclic Hypergraphs" (PODS 1982; Theoretical Computer Science 32, 1984):
+// Graham (GYO) reduction with sacred nodes, tableau reduction and canonical
+// connections, independent trees and paths, the block decomposition, and the
+// universal-relation database interpretation of acyclic schemas.
+//
+// The root package is a facade over the implementation packages under
+// internal/: it re-exports the core types and offers name-based helpers so
+// applications can work with plain string node names.
+//
+// # Quick start
+//
+//	h := repro.NewHypergraph([][]string{
+//		{"A", "B", "C"}, {"C", "D", "E"}, {"A", "E", "F"}, {"A", "C", "E"},
+//	})
+//	repro.IsAcyclic(h)                         // true — this is the paper's Fig. 1
+//	gr, _ := repro.GrahamReduction(h, "A", "D") // {{A,C,E}, {C,D,E}}
+//	cc, _ := repro.CanonicalConnection(h, "A", "D")
+//	gr.EqualEdges(cc)                          // true — Theorem 3.5
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// paper-to-package map.
+package repro

@@ -1,0 +1,68 @@
+// Dependency-theory demo: the chase machinery behind §7's "acyclic join
+// dependencies". For an acyclic schema, the full join dependency and the
+// MVD basis read off its join tree imply each other; for a cyclic schema
+// the equivalence breaks — the JD is strictly weaker.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// An acyclic order-processing schema.
+	schema := repro.NewHypergraph([][]string{
+		{"Order", "Customer"},
+		{"Order", "Item", "Qty"},
+		{"Item", "Price"},
+	})
+	fmt.Println("schema:", schema, "— acyclic:", repro.IsAcyclic(schema))
+
+	// Its join dependency and join-tree MVD basis.
+	jd := repro.JoinDependency(schema)
+	mvds, err := repro.JoinTreeMVDs(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("join dependency:", jd)
+	fmt.Println("join-tree MVD basis:")
+	for _, m := range mvds {
+		fmt.Println("  ", m)
+	}
+
+	// BFMY equivalence, decided by the chase.
+	universe := schema.Nodes()
+	fwd, err := repro.JDImplies(mvds, jd, universe, 200000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nMVD basis implies the JD:", fwd)
+	backAll := true
+	for _, m := range mvds {
+		back, err := repro.JDImplies([]repro.JoinDep{jd}, m, universe, 200000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		backAll = backAll && back
+	}
+	fmt.Println("JD implies every MVD:   ", backAll)
+	fmt.Println("=> the acyclic JD is equivalent to its join-tree MVDs (BFMY)")
+
+	// The cyclic triangle: one direction survives, the other fails.
+	tri := repro.NewHypergraph([][]string{{"A", "B"}, {"B", "C"}, {"C", "A"}})
+	triJD := repro.JoinDependency(tri)
+	if _, err := repro.JoinTreeMVDs(tri); err == nil {
+		log.Fatal("cyclic schema must have no join tree")
+	} else {
+		fmt.Println("\ntriangle:", err)
+	}
+	// Pretend-decomposition MVD C →→ A still implies the JD...
+	mvd := repro.MVD([]string{"C"}, []string{"A", "C"}, tri.Nodes())
+	fwd2, _ := repro.JDImplies([]repro.JoinDep{mvd}, triJD, tri.Nodes(), 100000)
+	// ...but the JD does not imply it back.
+	back2, _ := repro.JDImplies([]repro.JoinDep{triJD}, mvd, tri.Nodes(), 100000)
+	fmt.Printf("MVD C→→A implies triangle JD: %v; triangle JD implies MVD: %v\n", fwd2, back2)
+	fmt.Println("=> no MVD basis is equivalent to a cyclic JD")
+}

@@ -1,0 +1,67 @@
+// Quickstart: the paper's Figure 1 walked through the public API —
+// acyclicity, Graham reduction with sacred nodes, tableau reduction, and
+// their equality (Theorem 3.5).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Figure 1 of the paper: nodes A..F, four edges.
+	h := repro.NewHypergraph([][]string{
+		{"A", "B", "C"},
+		{"C", "D", "E"},
+		{"A", "E", "F"},
+		{"A", "C", "E"},
+	})
+	fmt.Println("hypergraph:", h)
+	fmt.Println("acyclic:   ", repro.IsAcyclic(h))
+
+	// Graham reduction keeping A and D sacred (Example 2.2).
+	trace, err := repro.GrahamReductionTrace(h, "A", "D")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nGraham reduction GR(H, {A,D}):")
+	fmt.Print(trace.Trace())
+	fmt.Println("result:", trace.Hypergraph)
+
+	// Tableau reduction of the same hypergraph (Example 3.3).
+	tr, err := repro.TableauReduction(h, "A", "D")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntableau reduction TR(H, {A,D}):", tr)
+	fmt.Println("GR == TR (Theorem 3.5):", trace.Hypergraph.EqualEdges(tr))
+
+	// The canonical connection is the same object under its §5 name.
+	cc, err := repro.CanonicalConnection(h, "A", "D")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("canonical connection CC({A,D}):", cc)
+
+	// Cyclic hypergraphs break the equality: the paper's counterexample.
+	bad := repro.NewHypergraph([][]string{
+		{"A", "B"}, {"A", "C"}, {"B", "C"}, {"A", "D"},
+	})
+	grBad, _ := repro.GrahamReduction(bad, "D")
+	trBad, _ := repro.TableauReduction(bad, "D")
+	fmt.Println("\ncyclic counterexample:", bad)
+	fmt.Println("GR(H,{D}):", grBad, " — stuck")
+	fmt.Println("TR(H,{D}):", trBad, " — collapsed")
+	fmt.Println("equal:", grBad.EqualEdges(trBad), "(Theorem 3.5 needs acyclicity)")
+
+	// Theorem 6.1: cyclicity is witnessed by an independent path.
+	path, coreGraph, found, err := repro.IndependentPathWitness(bad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if found {
+		fmt.Println("\nindependent path in the cyclic core", coreGraph, ":", path.String(coreGraph))
+	}
+}

@@ -1,0 +1,96 @@
+// Schema design audit: given a candidate database schema (a hypergraph of
+// objects), report whether universal-relation semantics are safe — i.e.
+// whether the schema is acyclic — and, if not, show exactly where the
+// ambiguity lives (blocks, Lemma 4.1 rings, the Theorem 6.1 independent
+// path) and how adding a covering object repairs it, mirroring how the edge
+// {A,C,E} disarms the ring of Figure 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func audit(name string, h *repro.Hypergraph) bool {
+	fmt.Printf("--- %s ---\n", name)
+	fmt.Println("schema:", h)
+	c := repro.Classify(h)
+	fmt.Println("classification:", c)
+	if repro.IsAcyclic(h) {
+		jt, _ := repro.BuildJoinTree(h)
+		fmt.Println("join tree:", jt)
+		fmt.Println("verdict: SAFE — connections among attributes are uniquely defined (Theorem 6.1)")
+		fmt.Println()
+		return true
+	}
+	fmt.Println("verdict: UNSAFE — the schema is cyclic; connection semantics are ambiguous")
+	if ring, ok := repro.FindRing(h); ok {
+		fmt.Print("  ring (Lemma 4.1):")
+		for i, e := range ring.Edges {
+			fmt.Printf(" E%d={%v}", i, h.EdgeNodes(e))
+		}
+		fmt.Println()
+	}
+	fmt.Println("  blocks:")
+	for _, b := range repro.Blocks(h) {
+		tag := ""
+		if b.NumEdges() > 1 {
+			tag = "   <- cyclic core candidate"
+		}
+		fmt.Printf("    %v%s\n", b, tag)
+	}
+	path, coreGraph, found, err := repro.IndependentPathWitness(h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if found {
+		fmt.Printf("  independent path (Theorem 6.1 witness) in %v:\n    %s\n",
+			coreGraph, path.String(coreGraph))
+		fmt.Println("  meaning: those attribute sets can be linked outside the canonical connection,")
+		fmt.Println("  so a universal-relation interface would silently pick one of several readings")
+	}
+	fmt.Println()
+	return false
+}
+
+func main() {
+	// A supply-chain schema someone might propose: suppliers supply parts,
+	// projects use parts, and suppliers are contracted to projects.
+	bad := repro.NewHypergraph([][]string{
+		{"Supplier", "Part"},
+		{"Part", "Project"},
+		{"Project", "Supplier"},
+	})
+	audit("supply-chain draft", bad)
+
+	// The classic repair: add the ternary object recording which supplier
+	// supplies which part to which project. The ring is now covered by one
+	// edge — exactly the {A,C,E} move of Figure 1 — and the schema becomes
+	// acyclic.
+	fixed := repro.NewHypergraph([][]string{
+		{"Supplier", "Part"},
+		{"Part", "Project"},
+		{"Project", "Supplier"},
+		{"Supplier", "Part", "Project"},
+	})
+	audit("supply-chain with SPJ object", fixed)
+
+	// A larger mixed schema: an acyclic backbone with one cyclic pocket.
+	mixed := repro.NewHypergraph([][]string{
+		{"Emp", "Dept"},
+		{"Dept", "Mgr"},
+		{"Emp", "Skill"},
+		{"Skill", "Cert"},
+		{"Mgr", "Budget"},
+		{"Budget", "Dept"}, // closes a Dept-Mgr-Budget triangle
+	})
+	audit("HR schema with budget loop", mixed)
+
+	// Verify the repair claim programmatically.
+	if !repro.IsAcyclic(fixed) || repro.IsAcyclic(bad) {
+		log.Fatal("audit logic inconsistent")
+	}
+	fmt.Println("summary: cyclic drafts were flagged with concrete witnesses; the SPJ object repairs the ring")
+}

@@ -1,0 +1,190 @@
+package chase
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+)
+
+func TestMVDConstruction(t *testing.T) {
+	universe := []string{"A", "B", "C", "D"}
+	jd := MVD([]string{"B"}, []string{"A"}, universe)
+	if got := jd.String(); got != "⋈[{A B}, {B C D}]" {
+		t.Fatalf("MVD = %s", got)
+	}
+}
+
+func TestCanonicalTableauShape(t *testing.T) {
+	jd := FromHypergraph(hypergraph.Triangle())
+	tab, err := Canonical(jd, hypergraph.Triangle().Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 || len(tab.Attrs) != 3 {
+		t.Fatalf("tableau %dx%d", len(tab.Rows), len(tab.Attrs))
+	}
+	if tab.HasFullDistinguishedRow() {
+		t.Fatal("canonical triangle tableau must not start with a full row")
+	}
+	if !strings.Contains(tab.String(), "d0") {
+		t.Fatalf("rendering: %s", tab.String())
+	}
+}
+
+func TestJDImpliesItself(t *testing.T) {
+	for _, h := range []*hypergraph.Hypergraph{
+		hypergraph.Fig1(), hypergraph.Triangle(), hypergraph.Fig5(),
+	} {
+		jd := FromHypergraph(h)
+		ok, err := Implies([]JD{jd}, jd, h.Nodes(), 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("%v: JD must imply itself", h)
+		}
+	}
+}
+
+func TestTrivialJDImpliedByAnything(t *testing.T) {
+	h := hypergraph.Fig1()
+	universe := h.Nodes()
+	whole := JD{Components: [][]string{universe}}
+	ok, err := Implies(nil, whole, universe, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("⋈[U] holds vacuously")
+	}
+}
+
+// TestAcyclicJDEquivalentToJoinTreeMVDs is the BFMY equivalence that §7's
+// "acyclic join dependencies" phrasing rests on: chase proves the join-tree
+// MVD basis implies the full JD, and the JD implies each MVD.
+func TestAcyclicJDEquivalentToJoinTreeMVDs(t *testing.T) {
+	schemas := []*hypergraph.Hypergraph{
+		hypergraph.Fig1(),
+		hypergraph.Fig5(),
+		hypergraph.New([][]string{{"Course", "Teacher"}, {"Course", "Student", "Grade"}, {"Student", "Dept"}}),
+		gen.AcyclicChain(4, 3, 1),
+	}
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 4; i++ {
+		schemas = append(schemas, gen.RandomAcyclic(rng, gen.RandomSpec{Edges: 4, MinArity: 2, MaxArity: 3}))
+	}
+	for _, h := range schemas {
+		jt, ok := jointree.Build(h)
+		if !ok {
+			t.Fatalf("%v must be acyclic", h)
+		}
+		mvds, err := JoinTreeMVDs(h, jt.Parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jd := FromHypergraph(h)
+		universe := h.Nodes()
+		implied, err := Implies(mvds, jd, universe, 200000)
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		if !implied {
+			t.Fatalf("%v: join-tree MVDs must imply the full JD", h)
+		}
+		for _, m := range mvds {
+			back, err := Implies([]JD{jd}, m, universe, 200000)
+			if err != nil {
+				t.Fatalf("%v: %v", h, err)
+			}
+			if !back {
+				t.Fatalf("%v: JD must imply MVD %v", h, m)
+			}
+		}
+	}
+}
+
+// TestCyclicJDStrictlyWeakerThanTreeMVDs: for the cyclic triangle the BFMY
+// equivalence breaks asymmetrically. MVDs read off a spanning tree of the
+// intersection graph still imply the triangle JD (binary decompositions
+// compose), but the triangle JD does NOT imply those MVDs back — so no MVD
+// basis is equivalent to the cyclic JD.
+func TestCyclicJDStrictlyWeakerThanTreeMVDs(t *testing.T) {
+	h := hypergraph.Triangle() // edges {A,B}, {B,C}, {A,C}
+	// A spanning tree of the intersection graph: 1 -> 0, 2 -> 1.
+	mvds, err := JoinTreeMVDs(h, []int{-1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jd := FromHypergraph(h)
+	forward, err := Implies(mvds, jd, h.Nodes(), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forward {
+		t.Fatal("binary decompositions along the spanning tree still imply the JD")
+	}
+	// The non-trivial MVD from the tree: C →→ {A,C} i.e. ⋈[{A,C},{B,C}].
+	nontrivial := MVD([]string{"C"}, []string{"A", "C"}, h.Nodes())
+	back, err := Implies([]JD{jd}, nontrivial, h.Nodes(), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back {
+		t.Fatal("the cyclic JD must not imply the spanning-tree MVD — no equivalence")
+	}
+}
+
+func TestChaseErrors(t *testing.T) {
+	h := hypergraph.Triangle()
+	universe := h.Nodes()
+	// JD with an attribute outside the universe.
+	bad := JD{Components: [][]string{{"A", "Z"}, {"B", "C"}}}
+	if _, err := Implies([]JD{bad}, FromHypergraph(h), universe, 1000); err == nil {
+		t.Fatal("unknown attribute must error")
+	}
+	// JD not covering the universe.
+	uncovering := JD{Components: [][]string{{"A", "B"}}}
+	tab, err := Canonical(FromHypergraph(h), universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Chase([]JD{uncovering}, 1000); err == nil {
+		t.Fatal("non-covering JD must error")
+	}
+	// Row budget.
+	jd := FromHypergraph(h)
+	tab2, _ := Canonical(jd, universe)
+	if err := tab2.Chase([]JD{jd}, 2); err == nil {
+		t.Fatal("row budget must be enforced")
+	}
+	// AddRow outside universe.
+	tab3 := NewTableau(universe)
+	if err := tab3.AddRow([]string{"Z"}); err == nil {
+		t.Fatal("AddRow outside universe must error")
+	}
+}
+
+// TestChaseDeterministicGrowth: chasing the triangle JD from its canonical
+// tableau converges (rows are drawn from a finite variable pool).
+func TestChaseDeterministicGrowth(t *testing.T) {
+	h := hypergraph.Triangle()
+	jd := FromHypergraph(h)
+	tab, _ := Canonical(jd, h.Nodes())
+	if err := tab.Chase([]JD{jd}, 100000); err != nil {
+		t.Fatal(err)
+	}
+	n1 := len(tab.Rows)
+	if err := tab.Chase([]JD{jd}, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != n1 {
+		t.Fatal("fixpoint must be stable")
+	}
+	if !tab.HasFullDistinguishedRow() {
+		t.Fatal("the weave of the three canonical rows is the full row")
+	}
+}

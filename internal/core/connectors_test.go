@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/gen"
+	"repro/internal/hypergraph"
+)
+
+func TestMinimalConnectorsFig5Footnote(t *testing.T) {
+	// The paper's closing footnote, on Fig. 5: "subsets of the canonical
+	// connection can serve to connect the nodes in question". Fig. 5 has
+	// exactly two minimal connectors between A and F — drop the second or
+	// the third edge — while CC({A,F}) is all four edges.
+	h := hypergraph.Fig5()
+	x := h.MustSet("A", "F")
+	conns, err := MinimalConnectors(h, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1, 3}, {0, 2, 3}}
+	if !reflect.DeepEqual(conns, want) {
+		t.Fatalf("connectors = %v, want %v", conns, want)
+	}
+	cc := CC(h, x)
+	if !cc.EqualEdges(h) {
+		t.Fatal("CC({A,F}) must keep all four edges")
+	}
+	count, inside, err := ConnectorsWithinCC(h, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 || !inside {
+		t.Fatalf("count=%d inside=%v", count, inside)
+	}
+}
+
+func TestMinimalConnectorsSingleEdge(t *testing.T) {
+	// Nodes inside one edge: that edge alone is the unique connector.
+	h := hypergraph.Fig1()
+	conns, err := MinimalConnectors(h, h.MustSet("A", "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(conns, [][]int{{0}}) {
+		t.Fatalf("connectors = %v", conns)
+	}
+}
+
+func TestMinimalConnectorsFig1(t *testing.T) {
+	// Between A and D in Fig. 1: {CDE} is the only D-edge; reaching A needs
+	// one A-edge sharing a node with it — {ABC} (via C), {AEF} (via E), or
+	// {ACE}. Three minimal connectors of two edges each.
+	h := hypergraph.Fig1()
+	conns, err := MinimalConnectors(h, h.MustSet("A", "D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1}, {1, 2}, {1, 3}}
+	if !reflect.DeepEqual(conns, want) {
+		t.Fatalf("connectors = %v, want %v", conns, want)
+	}
+}
+
+func TestMinimalConnectorsErrors(t *testing.T) {
+	h := hypergraph.Fig1()
+	if _, err := MinimalConnectors(h, bitset.Set{}); err == nil {
+		t.Fatal("empty set must error")
+	}
+	big := gen.AcyclicChain(21, 3, 1)
+	if _, err := MinimalConnectors(big, big.MustSet("N0")); err == nil {
+		t.Fatal("edge cap must be enforced")
+	}
+}
+
+// TestQuickConnectorsExistAndAreMinimal: on random connected hypergraphs,
+// connectors exist for any covered pair, none contains another, and each
+// really connects the pair.
+func TestQuickConnectorsExistAndAreMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 25; i++ {
+		h := gen.Random(rng, gen.RandomSpec{Nodes: 7, Edges: 5, MinArity: 2, MaxArity: 3})
+		nodes := h.CoveredNodes().Elems()
+		if len(nodes) < 2 {
+			continue
+		}
+		x := bitset.Of(nodes[0], nodes[len(nodes)-1])
+		conns, err := MinimalConnectors(h, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(conns) == 0 {
+			t.Fatalf("connected hypergraph %v must connect %v", h, h.NodeNames(x))
+		}
+		asSet := func(c []int) map[int]bool {
+			m := map[int]bool{}
+			for _, e := range c {
+				m[e] = true
+			}
+			return m
+		}
+		for a := 0; a < len(conns); a++ {
+			for b := 0; b < len(conns); b++ {
+				if a == b {
+					continue
+				}
+				sa, sb := asSet(conns[a]), asSet(conns[b])
+				subset := true
+				for e := range sa {
+					if !sb[e] {
+						subset = false
+					}
+				}
+				if subset {
+					t.Fatalf("connector %v ⊆ %v — not minimal", conns[a], conns[b])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package core implements the primary contribution of Maier & Ullman,
+// "Connections in Acyclic Hypergraphs": canonical connections, connecting
+// and independent trees and paths, the block decomposition generalizing
+// articulation-point-free subgraphs, and executable forms of the paper's
+// main results:
+//
+//   - Theorem 6.1: a hypergraph is acyclic iff no pair of node sets admits an
+//     independent path (with a constructive witness extractor for cyclic
+//     hypergraphs, following the 'if' direction of the proof);
+//   - Corollary 6.2: acyclic iff no independent tree (via Lemma 5.2's
+//     tree-to-path construction);
+//   - Lemma 4.1: rings of edges force cyclicity (with a ring-witness finder).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/gyo"
+	"repro/internal/hypergraph"
+	"repro/internal/tableau"
+)
+
+// CC returns the canonical connection CC_H(X) = TR(H, X) (§5): the natural
+// set of partial edges linking the nodes of X in H.
+func CC(h *hypergraph.Hypergraph, x bitset.Set) *hypergraph.Hypergraph {
+	return tableau.TR(h, x)
+}
+
+// CCNodes returns the node set of the canonical connection of x.
+func CCNodes(h *hypergraph.Hypergraph, x bitset.Set) bitset.Set {
+	return CC(h, x).CoveredNodes()
+}
+
+// Path is a connecting path: a sequence of node sets N₁, …, N_k where each
+// consecutive pair lies within one edge of the hypergraph. It is the tree
+// shape the main theorem works with (§5).
+type Path struct {
+	Sets []bitset.Set
+}
+
+// Tree is a connecting tree: tree nodes are node sets of H, tree edges are
+// pairs of tree-node indices whose union lies within one edge of H. A
+// connecting tree is *for* the collection of node sets at its leaves.
+type Tree struct {
+	Sets  []bitset.Set
+	Edges [][2]int
+}
+
+// Validate checks that p is a well-formed connecting path in h:
+// at least two nonempty, pairwise-distinct sets; each consecutive union
+// inside an edge; and the minimality condition that no edge of h contains
+// three of the sets.
+func (p *Path) Validate(h *hypergraph.Hypergraph) error {
+	if len(p.Sets) < 2 {
+		return fmt.Errorf("core: connecting path needs at least two sets, have %d", len(p.Sets))
+	}
+	for i, s := range p.Sets {
+		if s.IsEmpty() {
+			return fmt.Errorf("core: path set %d is empty", i)
+		}
+		for j := i + 1; j < len(p.Sets); j++ {
+			if s.Equal(p.Sets[j]) {
+				return fmt.Errorf("core: path sets %d and %d are equal", i, j)
+			}
+		}
+	}
+	for i := 0; i+1 < len(p.Sets); i++ {
+		if h.EdgeContaining(p.Sets[i].Or(p.Sets[i+1])) < 0 {
+			return fmt.Errorf("core: sets %d and %d are not within one edge", i, i+1)
+		}
+	}
+	if e, trio := edgeWithThree(h, p.Sets); e >= 0 {
+		return fmt.Errorf("core: edge %v contains three path sets %v", h.EdgeNodes(e), trio)
+	}
+	return nil
+}
+
+// edgeWithThree returns the first edge index containing at least three of
+// the sets, along with the indices of three such sets; (-1, nil) otherwise.
+func edgeWithThree(h *hypergraph.Hypergraph, sets []bitset.Set) (int, []int) {
+	for e, edge := range h.Edges() {
+		var in []int
+		for i, s := range sets {
+			if s.IsSubset(edge) {
+				in = append(in, i)
+				if len(in) == 3 {
+					return e, in
+				}
+			}
+		}
+	}
+	return -1, nil
+}
+
+// Endpoints returns the first and last set of the path.
+func (p *Path) Endpoints() (bitset.Set, bitset.Set) {
+	return p.Sets[0], p.Sets[len(p.Sets)-1]
+}
+
+// IsIndependent reports whether the connecting path is independent in h:
+// some set of the path is not wholly contained in the node set of the
+// canonical connection of its endpoints. It assumes p is a valid connecting
+// path. The witness index (or -1) is returned alongside.
+func (p *Path) IsIndependent(h *hypergraph.Hypergraph) (bool, int) {
+	n, m := p.Endpoints()
+	cc := CCNodes(h, n.Or(m))
+	for i, s := range p.Sets {
+		if !s.IsSubset(cc) {
+			return true, i
+		}
+	}
+	return false, -1
+}
+
+// String renders the path as {A B} - {C} - ... using h's node names.
+func (p *Path) String(h *hypergraph.Hypergraph) string {
+	out := ""
+	for i, s := range p.Sets {
+		if i > 0 {
+			out += " - "
+		}
+		out += "{" + joinNames(h, s) + "}"
+	}
+	return out
+}
+
+func joinNames(h *hypergraph.Hypergraph, s bitset.Set) string {
+	names := h.NodeNames(s)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " "
+		}
+		out += n
+	}
+	return out
+}
+
+// Validate checks that t is a well-formed connecting tree in h: nonempty
+// distinct sets, a tree structure over them, each tree edge inside a
+// hypergraph edge, and no hypergraph edge containing three tree nodes.
+func (t *Tree) Validate(h *hypergraph.Hypergraph) error {
+	k := len(t.Sets)
+	if k < 2 {
+		return fmt.Errorf("core: connecting tree needs at least two sets")
+	}
+	for i, s := range t.Sets {
+		if s.IsEmpty() {
+			return fmt.Errorf("core: tree set %d is empty", i)
+		}
+		for j := i + 1; j < k; j++ {
+			if s.Equal(t.Sets[j]) {
+				return fmt.Errorf("core: tree sets %d and %d are equal", i, j)
+			}
+		}
+	}
+	if len(t.Edges) != k-1 {
+		return fmt.Errorf("core: tree on %d sets needs %d edges, have %d", k, k-1, len(t.Edges))
+	}
+	// Connectivity of the tree structure (k-1 edges + connected = tree).
+	adj := make([][]int, k)
+	for _, e := range t.Edges {
+		a, b := e[0], e[1]
+		if a < 0 || a >= k || b < 0 || b >= k || a == b {
+			return fmt.Errorf("core: bad tree edge %v", e)
+		}
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	seen := make([]bool, k)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	if count != k {
+		return fmt.Errorf("core: tree structure is disconnected")
+	}
+	for _, e := range t.Edges {
+		if h.EdgeContaining(t.Sets[e[0]].Or(t.Sets[e[1]])) < 0 {
+			return fmt.Errorf("core: tree edge %v not within one hypergraph edge", e)
+		}
+	}
+	if e, trio := edgeWithThree(h, t.Sets); e >= 0 {
+		return fmt.Errorf("core: edge %v contains three tree nodes %v", h.EdgeNodes(e), trio)
+	}
+	return nil
+}
+
+// Leaves returns the indices of tree nodes with degree <= 1.
+func (t *Tree) Leaves() []int {
+	deg := make([]int, len(t.Sets))
+	for _, e := range t.Edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	var out []int
+	for i, d := range deg {
+		if d <= 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IsIndependent reports whether the connecting tree is independent: some
+// tree node is not wholly contained in the node set of the canonical
+// connection of the union of its *leaf* sets. The witness index (or -1) is
+// returned alongside.
+func (t *Tree) IsIndependent(h *hypergraph.Hypergraph) (bool, int) {
+	var union bitset.Set
+	for _, l := range t.Leaves() {
+		union.InPlaceOr(t.Sets[l])
+	}
+	cc := CCNodes(h, union)
+	for i, s := range t.Sets {
+		if !s.IsSubset(cc) {
+			return true, i
+		}
+	}
+	return false, -1
+}
+
+// PathFromTree implements Lemma 5.2 constructively: given an independent
+// tree, it returns an independent path between two of the tree's leaf sets.
+// It returns an error if t is not a valid independent tree.
+func PathFromTree(h *hypergraph.Hypergraph, t *Tree) (*Path, error) {
+	if err := t.Validate(h); err != nil {
+		return nil, err
+	}
+	ind, w := t.IsIndependent(h)
+	if !ind {
+		return nil, fmt.Errorf("core: tree is not independent")
+	}
+	// The witness node w cannot be a leaf (leaf sets are sacred in the
+	// canonical connection, hence contained in it), so w is interior: find
+	// two leaves whose tree path passes through w.
+	adj := make([][]int, len(t.Sets))
+	for _, e := range t.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	leaves := t.Leaves()
+	for i := 0; i < len(leaves); i++ {
+		for j := i + 1; j < len(leaves); j++ {
+			if path := treePath(adj, leaves[i], leaves[j]); path != nil && containsInt(path, w) {
+				sets := make([]bitset.Set, len(path))
+				for k, idx := range path {
+					sets[k] = t.Sets[idx].Clone()
+				}
+				p := &Path{Sets: sets}
+				if err := p.Validate(h); err != nil {
+					return nil, fmt.Errorf("core: derived path invalid: %w", err)
+				}
+				if ok, _ := p.IsIndependent(h); !ok {
+					return nil, fmt.Errorf("core: derived path unexpectedly dependent")
+				}
+				return p, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("core: no leaf pair spans witness node %d", w)
+}
+
+// treePath returns the unique path between a and b in the tree given by adj.
+func treePath(adj [][]int, a, b int) []int {
+	parent := make([]int, len(adj))
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[a] = -1
+	stack := []int{a}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == b {
+			break
+		}
+		for _, w := range adj[v] {
+			if parent[w] == -2 {
+				parent[w] = v
+				stack = append(stack, w)
+			}
+		}
+	}
+	if parent[b] == -2 {
+		return nil
+	}
+	var rev []int
+	for v := b; v != -1; v = parent[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// HasIndependentPath reports whether any pair of node sets of h admits an
+// independent path. By Theorem 6.1 this holds exactly when h is cyclic, so
+// the decision procedure is Graham reduction; use IndependentPathWitness or
+// FindIndependentPathExhaustive to obtain the path itself.
+func HasIndependentPath(h *hypergraph.Hypergraph) bool {
+	return !gyo.IsAcyclic(h)
+}

@@ -1,0 +1,149 @@
+package db
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+)
+
+func TestMaximalObjectsAcyclicSchemaIsWhole(t *testing.T) {
+	schema := hypergraph.Fig1()
+	d := &Database{Schema: schema, Objects: make([]*relation.Relation, schema.NumEdges())}
+	mos, err := MaximalObjects(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mos) != 1 || !reflect.DeepEqual(mos[0], []int{0, 1, 2, 3}) {
+		t.Fatalf("maximal objects = %v, want the whole acyclic schema", mos)
+	}
+}
+
+func TestMaximalObjectsTriangle(t *testing.T) {
+	schema, objects := gen.TriangleWitnessInstance()
+	d, _ := New(schema, objects)
+	mos, err := MaximalObjects(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any two triangle edges are acyclic and connected; all three are cyclic.
+	want := [][]int{{0, 1}, {0, 2}, {1, 2}}
+	if !reflect.DeepEqual(mos, want) {
+		t.Fatalf("maximal objects = %v, want %v", mos, want)
+	}
+}
+
+func TestMaximalObjectsCounterexample(t *testing.T) {
+	schema := hypergraph.CyclicCounterexample() // {AB, AC, BC, AD}
+	d := &Database{Schema: schema, Objects: make([]*relation.Relation, 4)}
+	mos, err := MaximalObjects(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dropping any one triangle edge leaves a tree; {A,D} rides along.
+	want := [][]int{{0, 1, 3}, {0, 2, 3}, {1, 2, 3}}
+	if !reflect.DeepEqual(mos, want) {
+		t.Fatalf("maximal objects = %v, want %v", mos, want)
+	}
+}
+
+func TestQueryMaximalObjectsOnTriangle(t *testing.T) {
+	// The triangle witness instance has an empty full join, so the naive
+	// universal-relation semantics answer ∅ for everything. Maximal-object
+	// semantics answer each pairwise-consistent two-object view instead.
+	schema, objects := gen.TriangleWitnessInstance()
+	d, _ := New(schema, objects)
+	ans, err := d.QueryMaximalObjects([]string{"A", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Card() == 0 {
+		t.Fatal("maximal-object semantics must see the data the full join loses")
+	}
+	full, _ := d.QueryFull([]string{"A", "C"})
+	if full.Card() != 0 {
+		t.Fatal("precondition: the naive answer is empty")
+	}
+	// The direct object {C,A} is one maximal-object view, so its content
+	// must be included.
+	ca, _ := objects[2].Project([]string{"A", "C"})
+	if !ans.Contains(ca) {
+		t.Fatalf("answer %v must contain the {C,A} object %v", ans, ca)
+	}
+}
+
+func TestQueryMaximalObjectsAgreesOnAcyclicConsistent(t *testing.T) {
+	// On an acyclic schema with consistent data there is a single maximal
+	// object (the whole schema), so the semantics coincide with QueryCC.
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 10; i++ {
+		schema := gen.RandomAcyclic(rng, gen.RandomSpec{Edges: 5, MinArity: 2, MaxArity: 3})
+		u := gen.UniversalRelation(rng, schema, gen.InstanceSpec{Rows: 25, DomainSize: 3})
+		d, err := FromUniversal(schema, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attrs := schema.NodeNames(gen.RandomNodeSubset(rng, schema, 0.3))
+		if len(attrs) == 0 {
+			attrs = schema.Nodes()[:1]
+		}
+		mo, err := d.QueryMaximalObjects(attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, err := d.QueryCC(attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mo.Equal(cc) {
+			t.Fatalf("schema %v attrs %v: maximal-object answer differs from CC on consistent data", schema, attrs)
+		}
+	}
+}
+
+func TestQueryMaximalObjectsTriangleSpanningQuery(t *testing.T) {
+	// In the triangle, a two-edge maximal object like {AB, BC} already
+	// covers all three attributes, so even the spanning query has
+	// maximal-object readings — each linking the attributes along a path.
+	schema, objects := gen.TriangleWitnessInstance()
+	d, _ := New(schema, objects)
+	ans, err := d.QueryMaximalObjects([]string{"A", "B", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Card() == 0 {
+		t.Fatal("path readings must produce answers")
+	}
+	full, _ := d.QueryFull([]string{"A", "B", "C"})
+	if full.Card() != 0 {
+		t.Fatal("precondition: naive answer empty")
+	}
+}
+
+func TestQueryMaximalObjectsNoCoverage(t *testing.T) {
+	// Maximal objects are connected, so attributes from different
+	// components have no covering maximal object.
+	schema := hypergraph.New([][]string{{"A", "B"}, {"X", "Y"}})
+	u := relation.MustNew([]string{"A", "B", "X", "Y"}, []string{"1", "2", "3", "4"})
+	d, err := FromUniversal(schema, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.QueryMaximalObjects([]string{"A", "X"}); err == nil {
+		t.Fatal("cross-component query must be rejected")
+	}
+	if _, err := d.QueryMaximalObjects([]string{"Z"}); err == nil {
+		t.Fatal("unknown attribute must be rejected")
+	}
+}
+
+func TestMaximalObjectsCap(t *testing.T) {
+	schema := gen.AcyclicChain(21, 3, 1)
+	d := &Database{Schema: schema, Objects: make([]*relation.Relation, schema.NumEdges())}
+	if _, err := MaximalObjects(d); err == nil {
+		t.Fatal("edge-count cap must be enforced")
+	}
+}

@@ -1,0 +1,113 @@
+package db
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/jointree"
+	"repro/internal/relation"
+)
+
+func TestSemijoinFixpointIsPairwiseConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 10; i++ {
+		schema := gen.RandomAcyclic(rng, gen.RandomSpec{Edges: 5, MinArity: 2, MaxArity: 3})
+		objects := randomObjects(rng, schema)
+		d, err := New(schema, objects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fix, passes := d.SemijoinFixpoint()
+		if passes < 1 {
+			t.Fatal("at least one pass required")
+		}
+		d2, err := New(schema, fix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d2.IsPairwiseConsistent() {
+			t.Fatalf("fixpoint not pairwise consistent on %v", schema)
+		}
+	}
+}
+
+func randomObjects(rng *rand.Rand, schema interface {
+	NumEdges() int
+	EdgeNodes(int) []string
+}) []*relation.Relation {
+	objects := make([]*relation.Relation, schema.NumEdges())
+	for e := 0; e < schema.NumEdges(); e++ {
+		attrs := schema.EdgeNodes(e)
+		var rows [][]string
+		for k := 0; k < 10; k++ {
+			row := make([]string, len(attrs))
+			for j := range row {
+				row[j] = []string{"v0", "v1", "v2"}[rng.Intn(3)]
+			}
+			rows = append(rows, row)
+		}
+		objects[e] = relation.MustNew(attrs, rows...)
+	}
+	return objects
+}
+
+// TestFullReducerReachesFixpoint: on acyclic schemas the two-pass join-tree
+// program is a full reducer — it matches the brute-force fixpoint.
+func TestFullReducerReachesFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 15; i++ {
+		schema := gen.RandomAcyclic(rng, gen.RandomSpec{Edges: 6, MinArity: 2, MaxArity: 3})
+		d, err := New(schema, randomObjects(rng, schema))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jt, ok := jointree.Build(schema)
+		if !ok {
+			t.Fatal("acyclic schema must have a join tree")
+		}
+		if !d.ReducesFully(jt.FullReducer()) {
+			t.Fatalf("join-tree program is not a full reducer on %v", schema)
+		}
+	}
+}
+
+// TestCyclicFixpointNotGloballyConsistent: the triangle witness reaches a
+// semijoin fixpoint immediately (it is already pairwise consistent) while
+// remaining globally inconsistent — no semijoin program can fix a cyclic
+// schema.
+func TestCyclicFixpointNotGloballyConsistent(t *testing.T) {
+	schema, objects := gen.TriangleWitnessInstance()
+	d, _ := New(schema, objects)
+	fix, _ := d.SemijoinFixpoint()
+	for i := range fix {
+		if !fix[i].Equal(objects[i]) {
+			t.Fatal("pairwise-consistent instance must be a fixpoint")
+		}
+	}
+	d2, _ := New(schema, fix)
+	if d2.IsGloballyConsistent() {
+		t.Fatal("triangle witness must stay globally inconsistent")
+	}
+	if d2.FullJoin().Card() != 0 {
+		t.Fatal("join must stay empty")
+	}
+}
+
+// TestFixpointPreservesJoin: semijoins never change the full join.
+func TestFixpointPreservesJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 10; i++ {
+		schema := gen.Random(rng, gen.RandomSpec{Nodes: 6, Edges: 4, MinArity: 2, MaxArity: 3})
+		d, err := New(schema, randomObjects(rng, schema))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := d.FullJoin()
+		fix, _ := d.SemijoinFixpoint()
+		d2, _ := New(schema, fix)
+		if !before.Equal(d2.FullJoin()) {
+			t.Fatalf("semijoin fixpoint changed the join on %v", schema)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+// Package gen generates hypergraph workloads for tests, experiments, and
+// benchmarks: named families (paths, stars, rings, grids, cliques),
+// seeded random hypergraphs (cyclic and guaranteed-acyclic), and an
+// exhaustive corpus of all small reduced connected hypergraphs used as
+// ground truth in differential tests.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/hypergraph"
+)
+
+// NodeNames returns n deterministic node names: A..Z for n <= 26, else
+// N0, N1, ...
+func NodeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		if n <= 26 {
+			out[i] = string(rune('A' + i))
+		} else {
+			out[i] = fmt.Sprintf("N%d", i)
+		}
+	}
+	return out
+}
+
+// PathGraph returns the acyclic 2-uniform path A-B, B-C, ... with n nodes.
+func PathGraph(n int) *hypergraph.Hypergraph {
+	names := NodeNames(n)
+	var edges [][]string
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, []string{names[i], names[i+1]})
+	}
+	return hypergraph.New(edges)
+}
+
+// Star returns the acyclic 2-uniform star with center A and n-1 leaves.
+func Star(n int) *hypergraph.Hypergraph {
+	names := NodeNames(n)
+	var edges [][]string
+	for i := 1; i < n; i++ {
+		edges = append(edges, []string{names[0], names[i]})
+	}
+	return hypergraph.New(edges)
+}
+
+// CycleGraph returns the 2-uniform cycle on n >= 3 nodes (cyclic as a
+// hypergraph for every n >= 3).
+func CycleGraph(n int) *hypergraph.Hypergraph {
+	names := NodeNames(n)
+	var edges [][]string
+	for i := 0; i < n; i++ {
+		edges = append(edges, []string{names[i], names[(i+1)%n]})
+	}
+	return hypergraph.New(edges)
+}
+
+// Grid returns the 2-uniform r x c grid graph (cyclic when r, c >= 2).
+func Grid(r, c int) *hypergraph.Hypergraph {
+	name := func(i, j int) string { return fmt.Sprintf("N%d_%d", i, j) }
+	var edges [][]string
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				edges = append(edges, []string{name(i, j), name(i, j+1)})
+			}
+			if i+1 < r {
+				edges = append(edges, []string{name(i, j), name(i+1, j)})
+			}
+		}
+	}
+	return hypergraph.New(edges)
+}
+
+// CliqueGraph returns the complete 2-uniform graph K_n (cyclic for n >= 3).
+func CliqueGraph(n int) *hypergraph.Hypergraph {
+	names := NodeNames(n)
+	var edges [][]string
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, []string{names[i], names[j]})
+		}
+	}
+	return hypergraph.New(edges)
+}
+
+// HyperRing returns k >= 3 arity-3 edges arranged in a ring:
+// {x_i, y_i, x_{i+1}} — cyclic, with no articulation sets, used as the
+// witness-extraction stress family.
+func HyperRing(k int) *hypergraph.Hypergraph {
+	var edges [][]string
+	for i := 0; i < k; i++ {
+		edges = append(edges, []string{
+			fmt.Sprintf("X%d", i),
+			fmt.Sprintf("Y%d", i),
+			fmt.Sprintf("X%d", (i+1)%k),
+		})
+	}
+	return hypergraph.New(edges)
+}
+
+// AcyclicChain returns m edges of the given arity chained with the given
+// overlap: edge i shares `overlap` nodes with edge i-1 and introduces
+// arity-overlap fresh nodes. The result satisfies the running-intersection
+// property, hence is acyclic. Requires 1 <= overlap < arity.
+func AcyclicChain(m, arity, overlap int) *hypergraph.Hypergraph {
+	if overlap < 1 || overlap >= arity {
+		panic("gen: need 1 <= overlap < arity")
+	}
+	var edges [][]string
+	next := 0
+	fresh := func(k int) []string {
+		out := make([]string, k)
+		for i := range out {
+			out[i] = fmt.Sprintf("N%d", next)
+			next++
+		}
+		return out
+	}
+	first := fresh(arity)
+	edges = append(edges, first)
+	prev := first
+	for i := 1; i < m; i++ {
+		e := append([]string{}, prev[len(prev)-overlap:]...)
+		e = append(e, fresh(arity-overlap)...)
+		edges = append(edges, e)
+		prev = e
+	}
+	return hypergraph.New(edges)
+}
+
+// RandomSpec parameterizes the random hypergraph generators.
+type RandomSpec struct {
+	Nodes    int // number of nodes to draw from
+	Edges    int // number of edges
+	MinArity int // inclusive, >= 1
+	MaxArity int // inclusive, >= MinArity
+}
+
+func (s RandomSpec) arity(rng *rand.Rand) int {
+	if s.MaxArity <= s.MinArity {
+		return s.MinArity
+	}
+	return s.MinArity + rng.Intn(s.MaxArity-s.MinArity+1)
+}
+
+// Random returns a seeded random hypergraph: edges drawn uniformly over the
+// node universe, then linked into a single component and reduced. The result
+// may be cyclic or acyclic.
+func Random(rng *rand.Rand, spec RandomSpec) *hypergraph.Hypergraph {
+	names := NodeNames(spec.Nodes)
+	var edges [][]string
+	for i := 0; i < spec.Edges; i++ {
+		a := spec.arity(rng)
+		perm := rng.Perm(spec.Nodes)
+		e := make([]string, 0, a)
+		for _, p := range perm[:min(a, spec.Nodes)] {
+			e = append(e, names[p])
+		}
+		edges = append(edges, e)
+	}
+	h := hypergraph.New(edges).Reduce()
+	return connect(rng, h)
+}
+
+// connect links the components of h with fresh 2-node bridge edges so the
+// result is connected.
+func connect(rng *rand.Rand, h *hypergraph.Hypergraph) *hypergraph.Hypergraph {
+	comps := h.Components()
+	if len(comps) <= 1 {
+		return h
+	}
+	edges := h.EdgeLists()
+	for i := 1; i < len(comps); i++ {
+		a := h.NodeNames(comps[0])[0]
+		bNames := h.NodeNames(comps[i])
+		b := bNames[rng.Intn(len(bNames))]
+		edges = append(edges, []string{a, b})
+	}
+	return hypergraph.New(edges).Reduce()
+}
+
+// RandomAcyclic returns a seeded random acyclic hypergraph with the given
+// number of edges and arity range (MinArity >= 2). It grows a join tree: each
+// new edge overlaps a single existing edge in a proper nonempty subset and
+// adds at least one fresh node, which guarantees the running-intersection
+// property (hence acyclicity) and keeps the hypergraph reduced and connected.
+// The Nodes field of spec is ignored; nodes are created on demand.
+func RandomAcyclic(rng *rand.Rand, spec RandomSpec) *hypergraph.Hypergraph {
+	if spec.MinArity < 2 {
+		panic("gen: RandomAcyclic needs MinArity >= 2")
+	}
+	next := 0
+	fresh := func() string {
+		s := fmt.Sprintf("N%d", next)
+		next++
+		return s
+	}
+	var edges [][]string
+	first := make([]string, spec.arity(rng))
+	for i := range first {
+		first[i] = fresh()
+	}
+	edges = append(edges, first)
+	for len(edges) < spec.Edges {
+		parent := edges[rng.Intn(len(edges))]
+		a := spec.arity(rng)
+		// Proper nonempty overlap: 1 <= k <= min(a-1, |parent|-1).
+		maxK := min(a-1, len(parent)-1)
+		if maxK < 1 {
+			continue
+		}
+		k := 1 + rng.Intn(maxK)
+		perm := rng.Perm(len(parent))
+		e := make([]string, 0, a)
+		for _, p := range perm[:k] {
+			e = append(e, parent[p])
+		}
+		for len(e) < a {
+			e = append(e, fresh())
+		}
+		edges = append(edges, e)
+	}
+	return hypergraph.New(edges)
+}
+
+// AllConnectedReduced enumerates every reduced connected hypergraph whose
+// node set is exactly {first n names} (every node covered by some edge),
+// for n <= 4. This is the exhaustive ground-truth corpus for differential
+// tests. The count grows like the Dedekind numbers, so n is capped.
+func AllConnectedReduced(n int) []*hypergraph.Hypergraph {
+	if n < 1 || n > 4 {
+		panic("gen: AllConnectedReduced supports 1 <= n <= 4")
+	}
+	names := NodeNames(n)
+	subsets := 1<<n - 1 // nonempty subsets encoded 1..2^n-1
+	// Pre-decode subsets to name lists and bitsets.
+	type sub struct {
+		mask  int
+		nodes []string
+	}
+	subs := make([]sub, 0, subsets)
+	for m := 1; m <= subsets; m++ {
+		var ns []string
+		for b := 0; b < n; b++ {
+			if m&(1<<b) != 0 {
+				ns = append(ns, names[b])
+			}
+		}
+		subs = append(subs, sub{mask: m, nodes: ns})
+	}
+	var out []*hypergraph.Hypergraph
+	for family := 1; family < 1<<len(subs); family++ {
+		// Collect member masks; reject non-antichains early.
+		var members []int
+		ok := true
+		cover := 0
+		for i := 0; i < len(subs) && ok; i++ {
+			if family&(1<<i) == 0 {
+				continue
+			}
+			mi := subs[i].mask
+			for _, mj := range members {
+				if mi&mj == mi || mi&mj == mj { // one contains the other
+					ok = false
+					break
+				}
+			}
+			members = append(members, mi)
+			cover |= mi
+		}
+		if !ok || cover != subsets {
+			continue
+		}
+		// Connectivity over masks.
+		if !masksConnected(members) {
+			continue
+		}
+		var edges [][]string
+		for i, s := range subs {
+			if family&(1<<i) != 0 {
+				edges = append(edges, s.nodes)
+			}
+		}
+		out = append(out, hypergraph.New(edges))
+	}
+	return out
+}
+
+func masksConnected(members []int) bool {
+	if len(members) == 0 {
+		return false
+	}
+	reached := members[0]
+	used := make([]bool, len(members))
+	used[0] = true
+	for changed := true; changed; {
+		changed = false
+		for i, m := range members {
+			if !used[i] && m&reached != 0 {
+				used[i] = true
+				reached |= m
+				changed = true
+			}
+		}
+	}
+	for _, u := range used {
+		if !u {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomNodeSubset returns a random subset of h's nodes with each node
+// included with probability p.
+func RandomNodeSubset(rng *rand.Rand, h *hypergraph.Hypergraph, p float64) bitset.Set {
+	var s bitset.Set
+	h.NodeSet().ForEach(func(id int) {
+		if rng.Float64() < p {
+			s.Add(id)
+		}
+	})
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,180 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gyo"
+	"repro/internal/hypergraph"
+)
+
+func TestNodeNames(t *testing.T) {
+	if got := NodeNames(3); got[0] != "A" || got[2] != "C" {
+		t.Fatalf("NodeNames(3) = %v", got)
+	}
+	if got := NodeNames(30); got[0] != "N0" || got[29] != "N29" {
+		t.Fatalf("NodeNames(30) = %v", got)
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	cases := []struct {
+		name    string
+		h       *hypergraph.Hypergraph
+		edges   int
+		acyclic bool
+	}{
+		{"path5", PathGraph(5), 4, true},
+		{"star5", Star(5), 4, true},
+		{"cycle5", CycleGraph(5), 5, false},
+		{"grid3x3", Grid(3, 3), 12, false},
+		{"clique4", CliqueGraph(4), 6, false},
+		{"hyperring4", HyperRing(4), 4, false},
+		{"chain10", AcyclicChain(10, 3, 1), 10, true},
+		{"chain10wide", AcyclicChain(10, 4, 2), 10, true},
+	}
+	for _, c := range cases {
+		if got := c.h.NumEdges(); got != c.edges {
+			t.Errorf("%s: edges = %d, want %d", c.name, got, c.edges)
+		}
+		if got := gyo.IsAcyclic(c.h); got != c.acyclic {
+			t.Errorf("%s: IsAcyclic = %v, want %v", c.name, got, c.acyclic)
+		}
+		if !c.h.IsConnected() {
+			t.Errorf("%s: not connected", c.name)
+		}
+	}
+}
+
+func TestHyperRingHasNoArticulationSet(t *testing.T) {
+	for _, k := range []int{3, 4, 6} {
+		h := HyperRing(k)
+		if h.HasArticulationSet() {
+			t.Errorf("HyperRing(%d) should have no articulation set", k)
+		}
+	}
+}
+
+func TestAcyclicChainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for overlap >= arity")
+		}
+	}()
+	AcyclicChain(3, 2, 2)
+}
+
+func TestRandomIsConnectedAndReduced(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		h := Random(rng, RandomSpec{Nodes: 8, Edges: 6, MinArity: 2, MaxArity: 4})
+		if !h.IsConnected() {
+			t.Fatalf("Random produced disconnected hypergraph %v", h)
+		}
+		if !h.IsReduced() {
+			t.Fatalf("Random produced unreduced hypergraph %v", h)
+		}
+	}
+}
+
+func TestRandomAcyclicIsAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		h := RandomAcyclic(rng, RandomSpec{Edges: 12, MinArity: 2, MaxArity: 5})
+		if !gyo.IsAcyclic(h) {
+			t.Fatalf("RandomAcyclic produced cyclic hypergraph %v", h)
+		}
+		if !h.IsReduced() {
+			t.Fatalf("RandomAcyclic produced unreduced hypergraph %v", h)
+		}
+		if !h.IsConnected() {
+			t.Fatalf("RandomAcyclic produced disconnected hypergraph %v", h)
+		}
+		if h.NumEdges() != 12 {
+			t.Fatalf("edge count = %d", h.NumEdges())
+		}
+	}
+}
+
+func TestRandomAcyclicPanicsOnUnitArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for MinArity < 2")
+		}
+	}()
+	RandomAcyclic(rand.New(rand.NewSource(1)), RandomSpec{Edges: 3, MinArity: 1, MaxArity: 2})
+}
+
+func TestAllConnectedReducedSmall(t *testing.T) {
+	// n=1: only {{A}}.
+	hs := AllConnectedReduced(1)
+	if len(hs) != 1 || hs[0].CanonicalString() != "{A}" {
+		t.Fatalf("n=1 corpus = %v", hs)
+	}
+	// n=2: {{A,B}} and {{A},{B}} is disconnected, so just one... plus
+	// nothing else: {{A},{B}} rejected (disconnected), {{A},{A,B}} rejected
+	// (not an antichain).
+	hs = AllConnectedReduced(2)
+	if len(hs) != 1 {
+		t.Fatalf("n=2 corpus size = %d, want 1: %v", len(hs), hs)
+	}
+	// n=3 corpus: count fixed by enumeration; every member must be
+	// reduced, connected, and cover all three nodes.
+	// n=3, by hand: {ABC}, {AB,AC}, {AB,BC}, {AC,BC}, {AB,AC,BC}.
+	hs = AllConnectedReduced(3)
+	if len(hs) != 5 {
+		t.Fatalf("n=3 corpus size = %d, want 5: %v", len(hs), hs)
+	}
+	seen := map[string]bool{}
+	for _, h := range hs {
+		if !h.IsReduced() || !h.IsConnected() || h.NumNodes() != 3 {
+			t.Fatalf("corpus member invalid: %v", h)
+		}
+		k := h.CanonicalString()
+		if seen[k] {
+			t.Fatalf("duplicate corpus member %s", k)
+		}
+		seen[k] = true
+	}
+	// The triangle must be in there.
+	if !seen["{A B} {A C} {B C}"] {
+		t.Fatalf("triangle missing from corpus: %v", seen)
+	}
+}
+
+func TestAllConnectedReducedN4Count(t *testing.T) {
+	// Golden count: 84 reduced connected covering antichains over 4 nodes
+	// (the unfiltered antichain count is bounded by the Dedekind number 168).
+	hs := AllConnectedReduced(4)
+	if len(hs) != 84 {
+		t.Fatalf("n=4 corpus size = %d, want 84", len(hs))
+	}
+	for _, h := range hs {
+		if !h.IsReduced() || !h.IsConnected() || h.NumNodes() != 4 {
+			t.Fatalf("invalid corpus member: %v", h)
+		}
+	}
+	t.Logf("n=4 corpus: %d hypergraphs", len(hs))
+}
+
+func TestAllConnectedReducedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for n > 4")
+		}
+	}()
+	AllConnectedReduced(5)
+}
+
+func TestRandomNodeSubset(t *testing.T) {
+	h := PathGraph(6)
+	rng := rand.New(rand.NewSource(3))
+	all := RandomNodeSubset(rng, h, 1.0)
+	if !all.Equal(h.NodeSet()) {
+		t.Fatal("p=1 must select every node")
+	}
+	none := RandomNodeSubset(rng, h, 0.0)
+	if !none.IsEmpty() {
+		t.Fatal("p=0 must select nothing")
+	}
+}

@@ -1,0 +1,71 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+)
+
+// InstanceSpec parameterizes random relation-instance generation.
+type InstanceSpec struct {
+	Rows       int // number of tuples to draw (before deduplication)
+	DomainSize int // values per attribute: v0 .. v{DomainSize-1}
+}
+
+// UniversalRelation returns a random universal relation over the covered
+// nodes of the schema: Rows tuples with independently uniform attribute
+// values. Smaller domains produce denser joins.
+func UniversalRelation(rng *rand.Rand, schema *hypergraph.Hypergraph, spec InstanceSpec) *relation.Relation {
+	attrs := schema.NodeNames(schema.CoveredNodes())
+	rows := make([][]string, spec.Rows)
+	for i := range rows {
+		t := make([]string, len(attrs))
+		for j := range t {
+			t[j] = fmt.Sprintf("v%d", rng.Intn(spec.DomainSize))
+		}
+		rows[i] = t
+	}
+	return relation.MustNew(attrs, rows...)
+}
+
+// CorrelatedUniversalRelation returns a universal relation whose tuples are
+// perturbations of a small set of seed tuples, producing correlated columns
+// and therefore more selective joins than independent-uniform data.
+func CorrelatedUniversalRelation(rng *rand.Rand, schema *hypergraph.Hypergraph, spec InstanceSpec, seeds int) *relation.Relation {
+	attrs := schema.NodeNames(schema.CoveredNodes())
+	if seeds < 1 {
+		seeds = 1
+	}
+	base := make([][]string, seeds)
+	for i := range base {
+		t := make([]string, len(attrs))
+		for j := range t {
+			t[j] = fmt.Sprintf("v%d", rng.Intn(spec.DomainSize))
+		}
+		base[i] = t
+	}
+	rows := make([][]string, spec.Rows)
+	for i := range rows {
+		t := append([]string{}, base[rng.Intn(seeds)]...)
+		// Perturb one random position.
+		j := rng.Intn(len(t))
+		t[j] = fmt.Sprintf("v%d", rng.Intn(spec.DomainSize))
+		rows[i] = t
+	}
+	return relation.MustNew(attrs, rows...)
+}
+
+// TriangleWitnessInstance returns the classic pairwise-consistent but not
+// globally consistent instance of the triangle schema {A,B},{B,C},{C,A}:
+// each pair of objects agrees on its shared attribute, yet the full join
+// contains tuples no universal relation could have produced.
+func TriangleWitnessInstance() (schema *hypergraph.Hypergraph, objects []*relation.Relation) {
+	schema = hypergraph.Triangle()
+	// Edge order of hypergraph.Triangle(): {A,B}, {B,C}, {C,A}.
+	ab := relation.MustNew([]string{"A", "B"}, []string{"0", "0"}, []string{"1", "1"})
+	bc := relation.MustNew([]string{"B", "C"}, []string{"0", "1"}, []string{"1", "0"})
+	ca := relation.MustNew([]string{"C", "A"}, []string{"0", "0"}, []string{"1", "1"})
+	return schema, []*relation.Relation{ab, bc, ca}
+}

@@ -1,0 +1,220 @@
+package gyo
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/hypergraph"
+)
+
+func TestExample22(t *testing.T) {
+	// Paper Example 2.2: GR(Fig1, {A, D}) = {{A,C,E}, {C,D,E}}.
+	h := hypergraph.Fig1()
+	r := Reduce(h, h.MustSet("A", "D"))
+	want := hypergraph.New([][]string{{"A", "C", "E"}, {"C", "D", "E"}})
+	if !r.Hypergraph.EqualEdges(want) {
+		t.Fatalf("GR = %v, want %v", r.Hypergraph, want)
+	}
+	if r.Vanished() {
+		t.Fatal("must not vanish with sacred nodes")
+	}
+	// The trace must include the removals the paper walks through: nodes F
+	// and B, then the edges that became {A,E} and {A,C}.
+	trace := r.Trace()
+	for _, want := range []string{"remove node B", "remove node F", "edge-"} {
+		_ = want
+	}
+	var nodeRemovals, edgeRemovals int
+	for _, s := range r.Steps {
+		switch s.Kind {
+		case NodeRemoval:
+			nodeRemovals++
+			if s.Node == "A" || s.Node == "D" {
+				t.Fatalf("sacred node %s was removed", s.Node)
+			}
+		case EdgeRemoval:
+			edgeRemovals++
+		}
+	}
+	if nodeRemovals != 2 || edgeRemovals != 2 {
+		t.Fatalf("steps: %d node, %d edge removals (want 2, 2); trace:\n%s",
+			nodeRemovals, edgeRemovals, trace)
+	}
+}
+
+func TestFig1IsAcyclic(t *testing.T) {
+	if !IsAcyclic(hypergraph.Fig1()) {
+		t.Fatal("Fig1 must be acyclic")
+	}
+	r := Reduce(hypergraph.Fig1(), bitset.Set{})
+	if !r.Vanished() {
+		t.Fatalf("Fig1 should vanish; left %v", r.Hypergraph)
+	}
+}
+
+func TestCyclicExamples(t *testing.T) {
+	for _, h := range []*hypergraph.Hypergraph{
+		hypergraph.Triangle(),
+		hypergraph.CyclicCounterexample(),
+		hypergraph.Fig1MinusACE(),
+	} {
+		if IsAcyclic(h) {
+			t.Errorf("%v must be cyclic", h)
+		}
+	}
+}
+
+func TestCounterexampleStuckUnderGR(t *testing.T) {
+	// After Theorem 3.5: GR({AB,AC,BC,AD}, {D}) cannot remove anything —
+	// "all four edges remain when Graham reduction is attempted."
+	h := hypergraph.CyclicCounterexample()
+	r := Reduce(h, h.MustSet("D"))
+	if len(r.Steps) != 0 {
+		t.Fatalf("expected no steps, got:\n%s", r.Trace())
+	}
+	if !r.Hypergraph.EqualEdges(h) {
+		t.Fatalf("GR = %v, want all 4 edges", r.Hypergraph)
+	}
+}
+
+func TestAcyclicFamilies(t *testing.T) {
+	cases := []struct {
+		name    string
+		h       *hypergraph.Hypergraph
+		acyclic bool
+	}{
+		{"single edge", hypergraph.New([][]string{{"A", "B", "C"}}), true},
+		{"path", hypergraph.New([][]string{{"A", "B"}, {"B", "C"}, {"C", "D"}}), true},
+		{"star", hypergraph.New([][]string{{"A", "B"}, {"A", "C"}, {"A", "D"}}), true},
+		{"fig5", hypergraph.Fig5(), true},
+		{"triangle", hypergraph.Triangle(), false},
+		{"square", hypergraph.New([][]string{{"A", "B"}, {"B", "C"}, {"C", "D"}, {"D", "A"}}), false},
+		{"fan-covered triangle", hypergraph.New([][]string{{"A", "B"}, {"B", "C"}, {"C", "A"}, {"A", "B", "C"}}), true},
+		{"disconnected acyclic", hypergraph.New([][]string{{"A", "B"}, {"C", "D"}}), true},
+		{"disconnected one cyclic", hypergraph.New([][]string{{"A", "B"}, {"X", "Y"}, {"Y", "Z"}, {"Z", "X"}}), false},
+	}
+	for _, c := range cases {
+		if got := IsAcyclic(c.h); got != c.acyclic {
+			t.Errorf("%s: IsAcyclic = %v, want %v", c.name, got, c.acyclic)
+		}
+	}
+}
+
+func TestSacredBlocksReduction(t *testing.T) {
+	// A simple path with every node sacred cannot be reduced at all.
+	h := hypergraph.New([][]string{{"A", "B"}, {"B", "C"}})
+	r := Reduce(h, h.MustSet("A", "B", "C"))
+	if len(r.Steps) != 0 || !r.Hypergraph.EqualEdges(h) {
+		t.Fatalf("fully sacred hypergraph must be irreducible; got %v", r.Hypergraph)
+	}
+}
+
+func TestSacredSubsetStillReduces(t *testing.T) {
+	// GR(path, {A, D}) keeps a chain of partial edges linking A and D.
+	h := hypergraph.New([][]string{{"A", "B"}, {"B", "C"}, {"C", "D"}})
+	r := Reduce(h, h.MustSet("A", "D"))
+	want := hypergraph.New([][]string{{"A", "B"}, {"B", "C"}, {"C", "D"}})
+	if !r.Hypergraph.EqualEdges(want) {
+		t.Fatalf("GR = %v, want %v", r.Hypergraph, want)
+	}
+}
+
+func TestResultIsAlwaysReduced(t *testing.T) {
+	for _, h := range []*hypergraph.Hypergraph{
+		hypergraph.Fig1(), hypergraph.Fig5(), hypergraph.Triangle(),
+		hypergraph.CyclicCounterexample(),
+	} {
+		for _, sacred := range []bitset.Set{{}, h.NodeSet()} {
+			r := Reduce(h, sacred)
+			if !r.Hypergraph.IsReduced() {
+				t.Errorf("GR(%v, %v) not reduced: %v", h, h.NodeNames(sacred), r.Hypergraph)
+			}
+		}
+	}
+}
+
+func TestVanishedTerminalState(t *testing.T) {
+	// A connected acyclic hypergraph with no sacred nodes ends as one empty
+	// edge, not zero edges: the last edge has nothing to be a subset of.
+	r := Reduce(hypergraph.New([][]string{{"A", "B"}}), bitset.Set{})
+	if !r.Vanished() {
+		t.Fatal("single edge must vanish")
+	}
+	if r.Hypergraph.NumEdges() != 1 || !r.Hypergraph.Edge(0).IsEmpty() {
+		t.Fatalf("terminal state should be one empty edge; got %v (%d edges)",
+			r.Hypergraph, r.Hypergraph.NumEdges())
+	}
+}
+
+func TestStepStrings(t *testing.T) {
+	n := Step{Kind: NodeRemoval, Node: "A", Edge: 2, Into: -1}
+	if got := n.String(); !strings.Contains(got, "node A") {
+		t.Errorf("step string %q", got)
+	}
+	e := Step{Kind: EdgeRemoval, Edge: 1, Into: 3}
+	if got := e.String(); !strings.Contains(got, "#1") || !strings.Contains(got, "#3") {
+		t.Errorf("step string %q", got)
+	}
+	if NodeRemoval.String() != "node-removal" || EdgeRemoval.String() != "edge-removal" {
+		t.Error("StepKind.String wrong")
+	}
+}
+
+// TestConfluence is the executable form of Lemma 2.1: every order of rule
+// applications yields the same set of partial edges.
+func TestConfluence(t *testing.T) {
+	graphs := []*hypergraph.Hypergraph{
+		hypergraph.Fig1(),
+		hypergraph.Fig5(),
+		hypergraph.Fig1MinusACE(),
+		hypergraph.CyclicCounterexample(),
+		hypergraph.New([][]string{{"A", "B"}, {"B", "C"}, {"C", "D"}, {"B", "C", "D"}}),
+	}
+	for _, h := range graphs {
+		for _, sacredNames := range [][]string{nil, {"A"}, {"A", "C"}} {
+			sacred, err := h.Set(sacredNames...)
+			if err != nil {
+				continue
+			}
+			ref := Reduce(h, sacred)
+			for seed := int64(0); seed < 20; seed++ {
+				r := ReduceRandomOrder(h, sacred, rand.New(rand.NewSource(seed)))
+				if !r.Hypergraph.EqualEdges(ref.Hypergraph) {
+					t.Fatalf("confluence violated on %v sacred=%v seed=%d:\n%v vs %v",
+						h, sacredNames, seed, r.Hypergraph, ref.Hypergraph)
+				}
+			}
+		}
+	}
+}
+
+// TestReductionMonotoneInSacredNodes: growing the sacred set can only make
+// the reduction keep more.
+func TestReductionMonotoneInSacredNodes(t *testing.T) {
+	h := hypergraph.Fig1()
+	small := Reduce(h, h.MustSet("A")).Hypergraph
+	big := Reduce(h, h.MustSet("A", "D")).Hypergraph
+	for i := 0; i < small.NumEdges(); i++ {
+		found := false
+		for j := 0; j < big.NumEdges(); j++ {
+			if small.Edge(i).IsSubset(big.Edge(j)) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("edge %v of GR(H,{A}) not inside GR(H,{A,D})", small.EdgeNodes(i))
+		}
+	}
+}
+
+func BenchmarkReduceFig1(b *testing.B) {
+	h := hypergraph.Fig1()
+	sacred := h.MustSet("A", "D")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Reduce(h, sacred)
+	}
+}

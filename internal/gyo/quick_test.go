@@ -1,0 +1,137 @@
+package gyo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/gen"
+	"repro/internal/hypergraph"
+)
+
+func randomInput(seed int64) (*hypergraph.Hypergraph, bitset.Set) {
+	rng := rand.New(rand.NewSource(seed))
+	h := gen.Random(rng, gen.RandomSpec{Nodes: 8, Edges: 6, MinArity: 2, MaxArity: 4})
+	return h, gen.RandomNodeSubset(rng, h, 0.3)
+}
+
+// TestQuickGRIdempotent: reducing the result again removes nothing.
+func TestQuickGRIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		h, x := randomInput(seed)
+		r1 := Reduce(h, x)
+		r2 := Reduce(r1.Hypergraph, x)
+		return len(r2.Steps) == 0 && r2.Hypergraph.EqualEdges(r1.Hypergraph)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGRYieldsPartialEdges: every surviving edge is a partial edge of
+// the original hypergraph.
+func TestQuickGRYieldsPartialEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		h, x := randomInput(seed)
+		r := Reduce(h, x)
+		for _, e := range r.Hypergraph.Edges() {
+			if !h.IsPartialEdge(e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSacredSurvive: sacred nodes that occur in some edge are never
+// deleted.
+func TestQuickSacredSurvive(t *testing.T) {
+	f := func(seed int64) bool {
+		h, x := randomInput(seed)
+		r := Reduce(h, x)
+		want := x.And(h.CoveredNodes())
+		return want.IsSubset(r.Hypergraph.NodeSet())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConfluenceRandomGraphs: Lemma 2.1 over random graphs and random
+// rule orders — the indexed production reducer and the one-rule-at-a-time
+// randomized reducer agree.
+func TestQuickConfluenceRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		h, x := randomInput(seed)
+		ref := Reduce(h, x)
+		for s := int64(0); s < 3; s++ {
+			r := ReduceRandomOrder(h, x, rand.New(rand.NewSource(seed^s)))
+			if !r.Hypergraph.EqualEdges(ref.Hypergraph) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAcyclicInvariantUnderReduce: hypergraph reduction (dropping
+// subsumed edges) never changes acyclicity.
+func TestQuickAcyclicInvariantUnderReduce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Build possibly-unreduced hypergraphs by duplicating edges.
+		base := gen.Random(rng, gen.RandomSpec{Nodes: 7, Edges: 5, MinArity: 2, MaxArity: 4})
+		lists := base.EdgeLists()
+		lists = append(lists, lists[rng.Intn(len(lists))])
+		if len(lists[0]) > 1 {
+			lists = append(lists, lists[0][:1])
+		}
+		h := hypergraph.New(lists)
+		return IsAcyclic(h) == IsAcyclic(h.Reduce())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStepCountBound: the trace can never exceed one step per node
+// plus one per edge.
+func TestQuickStepCountBound(t *testing.T) {
+	f := func(seed int64) bool {
+		h, x := randomInput(seed)
+		r := Reduce(h, x)
+		return len(r.Steps) <= h.NumNodes()+h.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMonotoneSacred: GR with a larger sacred set keeps at least the
+// partial edges of the smaller run (edgewise containment).
+func TestQuickMonotoneSacred(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := gen.Random(rng, gen.RandomSpec{Nodes: 8, Edges: 6, MinArity: 2, MaxArity: 4})
+		y := gen.RandomNodeSubset(rng, h, 0.5)
+		x := y.And(gen.RandomNodeSubset(rng, h, 0.5))
+		small := Reduce(h, x).Hypergraph
+		big := Reduce(h, y).Hypergraph
+		for _, e := range small.Edges() {
+			if big.EdgeContaining(e) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

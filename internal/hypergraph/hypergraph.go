@@ -1,0 +1,321 @@
+// Package hypergraph implements the hypergraph model of Maier & Ullman,
+// "Connections in Acyclic Hypergraphs" (TCS 32, 1984; PODS 1982).
+//
+// A hypergraph H = (N, E) is a finite set of nodes and a finite set of edges,
+// each edge a subset of the nodes. A hypergraph is *reduced* when no edge is
+// a subset of another. The package provides the structural operations the
+// paper builds on: reduction, connected components, node-generated sets of
+// edges, partial edges, node removal, and articulation sets.
+//
+// Nodes are interned to dense integer ids; edges are bitsets over those ids.
+// The public API accepts and returns node names ([]string); the id-based
+// forms are exposed for the algorithm packages layered on top.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bitset"
+)
+
+// Hypergraph is an immutable hypergraph. Construct one with New, Parse, or a
+// Builder; derive others with Reduce, NodeGenerated, RemoveNodes, etc.
+// Methods never mutate the receiver.
+type Hypergraph struct {
+	names   []string       // node id -> name
+	index   map[string]int // name -> node id
+	nodeSet bitset.Set     // the hypergraph's node set N (may include isolated nodes)
+	edges   []bitset.Set   // edge id -> node set
+}
+
+// New builds a hypergraph from edges given as lists of node names.
+// The node universe is the sorted union of all names; duplicate names inside
+// an edge are collapsed; duplicate edges are kept (call Reduce to drop them).
+func New(edges [][]string) *Hypergraph {
+	seen := map[string]bool{}
+	for _, e := range edges {
+		for _, n := range e {
+			seen[n] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := &Hypergraph{
+		names: names,
+		index: make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		h.index[n] = i
+		h.nodeSet.Add(i)
+	}
+	for _, e := range edges {
+		s := bitset.New(len(names))
+		for _, n := range e {
+			s.Add(h.index[n])
+		}
+		h.edges = append(h.edges, s)
+	}
+	return h
+}
+
+// fromParts assembles a hypergraph that shares the universe of an existing
+// one. It is the internal constructor used by derivation methods.
+func fromParts(names []string, index map[string]int, nodeSet bitset.Set, edges []bitset.Set) *Hypergraph {
+	return &Hypergraph{names: names, index: index, nodeSet: nodeSet, edges: edges}
+}
+
+// Derive returns a hypergraph over the same node universe as h with the given
+// node set and edges. Edges must only use ids valid in h. The bitsets are
+// cloned, so the caller may keep mutating its copies.
+func (h *Hypergraph) Derive(nodeSet bitset.Set, edges []bitset.Set) *Hypergraph {
+	es := make([]bitset.Set, len(edges))
+	for i, e := range edges {
+		es[i] = e.Clone()
+	}
+	return fromParts(h.names, h.index, nodeSet.Clone(), es)
+}
+
+// NumNodes returns |N|, counting isolated nodes.
+func (h *Hypergraph) NumNodes() int { return h.nodeSet.Len() }
+
+// NumEdges returns |E|.
+func (h *Hypergraph) NumEdges() int { return len(h.edges) }
+
+// Nodes returns the node names in sorted order.
+func (h *Hypergraph) Nodes() []string {
+	out := make([]string, 0, h.nodeSet.Len())
+	h.nodeSet.ForEach(func(id int) { out = append(out, h.names[id]) })
+	return out
+}
+
+// NodeSet returns the node set N as a bitset (a copy).
+func (h *Hypergraph) NodeSet() bitset.Set { return h.nodeSet.Clone() }
+
+// NodeID returns the dense id of a node name.
+func (h *Hypergraph) NodeID(name string) (int, bool) {
+	id, ok := h.index[name]
+	if !ok || !h.nodeSet.Contains(id) {
+		return 0, false
+	}
+	return id, true
+}
+
+// NodeName returns the name of node id. It panics on an invalid id.
+func (h *Hypergraph) NodeName(id int) string { return h.names[id] }
+
+// NodeNames maps a bitset of node ids back to sorted node names.
+func (h *Hypergraph) NodeNames(s bitset.Set) []string {
+	out := make([]string, 0, s.Len())
+	s.ForEach(func(id int) { out = append(out, h.names[id]) })
+	return out
+}
+
+// MustSet builds a bitset from node names, panicking on unknown names.
+// It is a convenience for tests and examples.
+func (h *Hypergraph) MustSet(names ...string) bitset.Set {
+	s, err := h.Set(names...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Set builds a bitset from node names.
+func (h *Hypergraph) Set(names ...string) (bitset.Set, error) {
+	var s bitset.Set
+	for _, n := range names {
+		id, ok := h.NodeID(n)
+		if !ok {
+			return bitset.Set{}, fmt.Errorf("hypergraph: unknown node %q", n)
+		}
+		s.Add(id)
+	}
+	return s, nil
+}
+
+// Edge returns edge i's node set. The returned set is shared; callers must
+// not mutate it (clone first).
+func (h *Hypergraph) Edge(i int) bitset.Set { return h.edges[i] }
+
+// Edges returns the edge list. The slice and sets are shared; callers must
+// not mutate them.
+func (h *Hypergraph) Edges() []bitset.Set { return h.edges }
+
+// EdgeNodes returns edge i as sorted node names.
+func (h *Hypergraph) EdgeNodes(i int) []string { return h.NodeNames(h.edges[i]) }
+
+// EdgeLists returns all edges as sorted name lists, in edge order.
+func (h *Hypergraph) EdgeLists() [][]string {
+	out := make([][]string, len(h.edges))
+	for i := range h.edges {
+		out[i] = h.EdgeNodes(i)
+	}
+	return out
+}
+
+// FindEdge returns the index of the first edge equal to s, or -1.
+func (h *Hypergraph) FindEdge(s bitset.Set) int {
+	for i, e := range h.edges {
+		if e.Equal(s) {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsPartialEdge reports whether s is a subset of some edge of h.
+// The paper calls any subset of an edge a "partial edge".
+func (h *Hypergraph) IsPartialEdge(s bitset.Set) bool {
+	for _, e := range h.edges {
+		if s.IsSubset(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsReduced reports whether no edge is a subset of another (and there are no
+// duplicate edges).
+func (h *Hypergraph) IsReduced() bool {
+	for i, e := range h.edges {
+		for j, f := range h.edges {
+			if i != j && e.IsSubset(f) && (!e.Equal(f) || i > j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Reduce returns the reduced version of h: edges that are subsets of other
+// edges are removed (among duplicates, the earliest survives). Empty edges
+// are removed whenever any other edge exists; a hypergraph whose only edge is
+// empty keeps it. The node set is unchanged.
+func (h *Hypergraph) Reduce() *Hypergraph {
+	keep := make([]bool, len(h.edges))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i, e := range h.edges {
+		if !keep[i] {
+			continue
+		}
+		for j, f := range h.edges {
+			if i == j || !keep[i] {
+				continue
+			}
+			if !keep[j] {
+				continue
+			}
+			if e.Equal(f) {
+				if i < j {
+					keep[j] = false
+				}
+				continue
+			}
+			if e.IsProperSubset(f) {
+				keep[i] = false
+			} else if f.IsProperSubset(e) {
+				keep[j] = false
+			}
+		}
+	}
+	var edges []bitset.Set
+	for i, k := range keep {
+		if k {
+			edges = append(edges, h.edges[i].Clone())
+		}
+	}
+	return fromParts(h.names, h.index, h.nodeSet.Clone(), edges)
+}
+
+// Equal reports whether two hypergraphs have the same node names and the
+// same set of edges (as sets of name sets, ignoring order and duplicates).
+// It is name-based, so hypergraphs over different universes compare sanely.
+func (h *Hypergraph) Equal(g *Hypergraph) bool {
+	if !equalStringSets(h.Nodes(), g.Nodes()) {
+		return false
+	}
+	return equalEdgeSets(h.EdgeLists(), g.EdgeLists())
+}
+
+// EqualEdges reports whether two hypergraphs have the same set of edges (as
+// sets of node names), ignoring node sets, edge order, and duplicates.
+func (h *Hypergraph) EqualEdges(g *Hypergraph) bool {
+	return equalEdgeSets(h.EdgeLists(), g.EdgeLists())
+}
+
+func equalStringSets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func edgeKeySet(lists [][]string) map[string]bool {
+	m := map[string]bool{}
+	for _, l := range lists {
+		m[strings.Join(l, "\x00")] = true
+	}
+	return m
+}
+
+func equalEdgeSets(a, b [][]string) bool {
+	ma, mb := edgeKeySet(a), edgeKeySet(b)
+	if len(ma) != len(mb) {
+		return false
+	}
+	for k := range ma {
+		if !mb[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// CanonicalString renders the hypergraph as a deterministic string:
+// edges sorted lexicographically, nodes sorted inside each edge, plus any
+// isolated nodes. Useful for test comparisons and map keys.
+func (h *Hypergraph) CanonicalString() string {
+	lists := make([]string, 0, len(h.edges))
+	seen := map[string]bool{}
+	covered := bitset.New(len(h.names))
+	for i := range h.edges {
+		covered.InPlaceOr(h.edges[i])
+		s := "{" + strings.Join(h.EdgeNodes(i), " ") + "}"
+		if !seen[s] {
+			seen[s] = true
+			lists = append(lists, s)
+		}
+	}
+	sort.Strings(lists)
+	iso := h.nodeSet.AndNot(covered)
+	if !iso.IsEmpty() {
+		lists = append(lists, "isolated:"+strings.Join(h.NodeNames(iso), " "))
+	}
+	return strings.Join(lists, " ")
+}
+
+// String renders edges in their stored order.
+func (h *Hypergraph) String() string {
+	parts := make([]string, len(h.edges))
+	for i := range h.edges {
+		parts[i] = "{" + strings.Join(h.EdgeNodes(i), " ") + "}"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Clone returns a deep copy of h.
+func (h *Hypergraph) Clone() *Hypergraph {
+	return h.Derive(h.nodeSet, h.edges)
+}

@@ -1,0 +1,196 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+// arbitraryHypergraph builds a hypergraph from raw fuzz bytes: up to 6
+// edges over up to 8 nodes, at least one edge.
+func arbitraryHypergraph(data []byte) *Hypergraph {
+	names := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+	var edges [][]string
+	i := 0
+	for len(edges) < 1+int(at(data, i))%6 {
+		mask := int(at(data, i+1))%255 + 1
+		var e []string
+		for b := 0; b < 8; b++ {
+			if mask&(1<<b) != 0 {
+				e = append(e, names[b])
+			}
+		}
+		edges = append(edges, e)
+		i += 2
+	}
+	return New(edges)
+}
+
+func at(data []byte, i int) byte {
+	if len(data) == 0 {
+		return 1
+	}
+	return data[i%len(data)]
+}
+
+func arbitrarySubset(h *Hypergraph, seed byte) bitset.Set {
+	var s bitset.Set
+	rng := rand.New(rand.NewSource(int64(seed)))
+	h.NodeSet().ForEach(func(id int) {
+		if rng.Intn(2) == 0 {
+			s.Add(id)
+		}
+	})
+	return s
+}
+
+func TestQuickReduceIdempotent(t *testing.T) {
+	f := func(data []byte) bool {
+		h := arbitraryHypergraph(data)
+		r1 := h.Reduce()
+		return r1.Equal(r1.Reduce()) && r1.IsReduced()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNodeGeneratedFullIsReduce(t *testing.T) {
+	f := func(data []byte) bool {
+		h := arbitraryHypergraph(data)
+		return h.NodeGenerated(h.NodeSet()).EqualEdges(h.Reduce())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNodeGeneratedComposes: generating by N then by M equals
+// generating by N ∩ M directly.
+func TestQuickNodeGeneratedComposes(t *testing.T) {
+	f := func(data []byte, s1, s2 byte) bool {
+		h := arbitraryHypergraph(data)
+		n := arbitrarySubset(h, s1)
+		m := arbitrarySubset(h, s2)
+		lhs := h.NodeGenerated(n).NodeGenerated(m)
+		rhs := h.NodeGenerated(n.And(m))
+		return lhs.EqualEdges(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickComponentsPartitionNodes(t *testing.T) {
+	f := func(data []byte) bool {
+		h := arbitraryHypergraph(data)
+		var union bitset.Set
+		comps := h.Components()
+		for i, c := range comps {
+			if c.IsEmpty() {
+				return false
+			}
+			if union.Intersects(c) {
+				return false
+			}
+			union.InPlaceOr(c)
+			_ = i
+		}
+		return union.Equal(h.NodeSet())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRemoveNodesShrinksUniverse(t *testing.T) {
+	f := func(data []byte, s byte) bool {
+		h := arbitraryHypergraph(data)
+		x := arbitrarySubset(h, s)
+		r := h.RemoveNodes(x)
+		if !r.NodeSet().Equal(h.NodeSet().AndNot(x)) {
+			return false
+		}
+		for _, e := range r.Edges() {
+			if e.Intersects(x) || e.IsEmpty() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPartialEdgeClosedUnderSubset(t *testing.T) {
+	f := func(data []byte, s byte) bool {
+		h := arbitraryHypergraph(data)
+		if h.NumEdges() == 0 {
+			return true
+		}
+		e := h.Edge(int(s) % h.NumEdges())
+		sub := e.And(arbitrarySubset(h, s))
+		return h.IsPartialEdge(sub)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCanonicalStringStable(t *testing.T) {
+	f := func(data []byte) bool {
+		h := arbitraryHypergraph(data)
+		// Rebuilding from the edge lists in reverse order must not change
+		// the canonical form.
+		lists := h.EdgeLists()
+		rev := make([][]string, len(lists))
+		for i := range lists {
+			rev[len(lists)-1-i] = lists[i]
+		}
+		return New(rev).CanonicalString() == h.CanonicalString()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickParseFormatRoundtrip(t *testing.T) {
+	f := func(data []byte) bool {
+		h := arbitraryHypergraph(data)
+		g, _, err := Parse(h.Format())
+		return err == nil && g.EqualEdges(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEqualIsEquivalence(t *testing.T) {
+	f := func(d1, d2 []byte) bool {
+		a, b := arbitraryHypergraph(d1), arbitraryHypergraph(d2)
+		if !a.Equal(a) {
+			return false
+		}
+		if a.Equal(b) != b.Equal(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArbitraryHypergraphShape(t *testing.T) {
+	h := arbitraryHypergraph([]byte{3, 7, 9, 200})
+	if h.NumEdges() == 0 {
+		t.Fatal("generator must produce at least one edge")
+	}
+	if !reflect.DeepEqual(h.Nodes(), h.NodeNames(h.NodeSet())) {
+		t.Fatal("accessor mismatch")
+	}
+}

@@ -1,0 +1,306 @@
+// Package jointree builds and verifies join trees of acyclic hypergraphs
+// and derives semijoin full-reducer programs from them.
+//
+// A join tree of H is a tree over H's edges such that for every node n the
+// edges containing n induce a connected subtree (the running-intersection
+// property). A hypergraph has a join tree iff it is acyclic (BFMY), which
+// is the structural fact behind the paper's database interpretation: acyclic
+// schemas are the ones whose objects can be joined pairwise along a tree.
+//
+// Two constructions are provided: one reading the tree off the Graham
+// reduction trace, and one via a maximum-weight spanning tree of the edge
+// intersection graph (Bernstein–Goodman); both are verified against the
+// running-intersection property.
+package jointree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/gyo"
+	"repro/internal/hypergraph"
+)
+
+// JoinTree is a rooted forest over the edges of H (Parent[i] == -1 for
+// roots). For connected acyclic H it is a single tree.
+type JoinTree struct {
+	H      *hypergraph.Hypergraph
+	Parent []int
+}
+
+// Build constructs a join tree from the Graham reduction trace: when edge E
+// is removed because it became a subset of F, F becomes E's parent. It
+// returns ok=false when h is cyclic (no join tree exists).
+func Build(h *hypergraph.Hypergraph) (*JoinTree, bool) {
+	r := gyo.Reduce(h, bitset.Set{})
+	if !r.Vanished() {
+		return nil, false
+	}
+	parent := make([]int, h.NumEdges())
+	for i := range parent {
+		parent[i] = -1
+	}
+	for _, s := range r.Steps {
+		// Empty partial edges carry no shared nodes; linking them would
+		// fuse unrelated components of a disconnected hypergraph.
+		if s.Kind == gyo.EdgeRemoval && len(s.Partial) > 0 {
+			parent[s.Edge] = s.Into
+		}
+	}
+	t := &JoinTree{H: h, Parent: parent}
+	if err := t.Verify(); err != nil {
+		// The GYO construction always yields a valid join tree for acyclic
+		// inputs; reaching this is a bug, not an input error.
+		panic(fmt.Sprintf("jointree: GYO construction produced invalid tree: %v", err))
+	}
+	return t, true
+}
+
+// BuildMST constructs a candidate join tree as a maximum-weight spanning
+// forest of the intersection graph (edge weight = |Ei ∩ Ej|), per
+// Bernstein–Goodman, then checks the running-intersection property. For
+// acyclic h the check always passes; for cyclic h it always fails, so
+// (tree, ok) doubles as an acyclicity test.
+func BuildMST(h *hypergraph.Hypergraph) (*JoinTree, bool) {
+	m := h.NumEdges()
+	type cand struct {
+		w    int
+		i, j int
+	}
+	var cands []cand
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			w := h.Edge(i).And(h.Edge(j)).Len()
+			if w > 0 {
+				cands = append(cands, cand{w, i, j})
+			}
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].w != cands[b].w {
+			return cands[a].w > cands[b].w
+		}
+		if cands[a].i != cands[b].i {
+			return cands[a].i < cands[b].i
+		}
+		return cands[a].j < cands[b].j
+	})
+	uf := newUnionFind(m)
+	adj := make([][]int, m)
+	for _, c := range cands {
+		if uf.union(c.i, c.j) {
+			adj[c.i] = append(adj[c.i], c.j)
+			adj[c.j] = append(adj[c.j], c.i)
+		}
+	}
+	// Root each component at its smallest edge index.
+	parent := make([]int, m)
+	for i := range parent {
+		parent[i] = -2
+	}
+	for i := 0; i < m; i++ {
+		if parent[i] != -2 {
+			continue
+		}
+		parent[i] = -1
+		stack := []int{i}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range adj[v] {
+				if parent[w] == -2 {
+					parent[w] = v
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	t := &JoinTree{H: h, Parent: parent}
+	if err := t.Verify(); err != nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// unionFind is a standard disjoint-set structure for Kruskal.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b, reporting whether they were distinct.
+func (uf *unionFind) union(a, b int) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+	return true
+}
+
+// Verify checks the running-intersection property: for every node, the set
+// of edges containing it must induce a connected subgraph of the tree.
+func (t *JoinTree) Verify() error {
+	m := t.H.NumEdges()
+	if len(t.Parent) != m {
+		return fmt.Errorf("jointree: parent array size %d != %d edges", len(t.Parent), m)
+	}
+	adj := make([][]int, m)
+	roots := 0
+	for i, p := range t.Parent {
+		if p == -1 {
+			roots++
+			continue
+		}
+		if p < 0 || p >= m || p == i {
+			return fmt.Errorf("jointree: bad parent %d of edge %d", p, i)
+		}
+		adj[i] = append(adj[i], p)
+		adj[p] = append(adj[p], i)
+	}
+	if roots == 0 && m > 0 {
+		return fmt.Errorf("jointree: no root")
+	}
+	var err error
+	t.H.CoveredNodes().ForEach(func(n int) {
+		if err != nil {
+			return
+		}
+		holders := t.H.EdgesContainingNode(n)
+		if len(holders) <= 1 {
+			return
+		}
+		in := map[int]bool{}
+		for _, e := range holders {
+			in[e] = true
+		}
+		// BFS within holders from holders[0].
+		seen := map[int]bool{holders[0]: true}
+		queue := []int{holders[0]}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[v] {
+				if in[w] && !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		if len(seen) != len(holders) {
+			err = fmt.Errorf("jointree: node %s spans a disconnected tree region", t.H.NodeName(n))
+		}
+	})
+	return err
+}
+
+// Children returns the child lists of each edge.
+func (t *JoinTree) Children() [][]int {
+	ch := make([][]int, len(t.Parent))
+	for i, p := range t.Parent {
+		if p >= 0 {
+			ch[p] = append(ch[p], i)
+		}
+	}
+	return ch
+}
+
+// Roots returns the root edge indices.
+func (t *JoinTree) Roots() []int {
+	var out []int
+	for i, p := range t.Parent {
+		if p == -1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PostOrder returns the edges so that every child precedes its parent.
+func (t *JoinTree) PostOrder() []int {
+	ch := t.Children()
+	var out []int
+	var rec func(v int)
+	rec = func(v int) {
+		for _, c := range ch[v] {
+			rec(c)
+		}
+		out = append(out, v)
+	}
+	for _, r := range t.Roots() {
+		rec(r)
+	}
+	return out
+}
+
+// SemijoinStep is one statement of a semijoin program: object Target is
+// replaced by its semijoin with object Source (Target ⋉ Source).
+type SemijoinStep struct {
+	Target, Source int
+}
+
+// String renders the step as "R2 ⋉= R0".
+func (s SemijoinStep) String() string {
+	return fmt.Sprintf("R%d ⋉= R%d", s.Target, s.Source)
+}
+
+// FullReducer derives the classic two-pass semijoin program from the join
+// tree: an upward pass (parents semijoined with children, children first)
+// followed by a downward pass (children semijoined with parents). Applying
+// it to any database instance makes every object globally consistent
+// (Bernstein–Goodman: full reducers exist exactly for acyclic schemas).
+func (t *JoinTree) FullReducer() []SemijoinStep {
+	post := t.PostOrder()
+	var prog []SemijoinStep
+	for _, v := range post {
+		if p := t.Parent[v]; p >= 0 {
+			prog = append(prog, SemijoinStep{Target: p, Source: v})
+		}
+	}
+	for i := len(post) - 1; i >= 0; i-- {
+		v := post[i]
+		if p := t.Parent[v]; p >= 0 {
+			prog = append(prog, SemijoinStep{Target: v, Source: p})
+		}
+	}
+	return prog
+}
+
+// String renders the tree as parent links.
+func (t *JoinTree) String() string {
+	out := ""
+	for i, p := range t.Parent {
+		if i > 0 {
+			out += ", "
+		}
+		if p == -1 {
+			out += fmt.Sprintf("R%d:root", i)
+		} else {
+			out += fmt.Sprintf("R%d->R%d", i, p)
+		}
+	}
+	return out
+}

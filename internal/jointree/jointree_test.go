@@ -1,0 +1,148 @@
+package jointree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/gyo"
+	"repro/internal/hypergraph"
+)
+
+func TestBuildFig1(t *testing.T) {
+	h := hypergraph.Fig1()
+	jt, ok := Build(h)
+	if !ok {
+		t.Fatal("Fig1 is acyclic; join tree must exist")
+	}
+	if err := jt.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(jt.Roots()) != 1 {
+		t.Fatalf("roots = %v, want one", jt.Roots())
+	}
+	if len(jt.PostOrder()) != 4 {
+		t.Fatalf("postorder = %v", jt.PostOrder())
+	}
+}
+
+func TestBuildFailsOnCyclic(t *testing.T) {
+	for _, h := range []*hypergraph.Hypergraph{
+		hypergraph.Triangle(), hypergraph.CyclicCounterexample(), gen.CycleGraph(5),
+	} {
+		if _, ok := Build(h); ok {
+			t.Errorf("%v: cyclic hypergraph must have no join tree", h)
+		}
+		if _, ok := BuildMST(h); ok {
+			t.Errorf("%v: MST construction must fail on cyclic hypergraph", h)
+		}
+	}
+}
+
+func TestBuildMSTAgreesWithGYOOnCorpus(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		for _, h := range gen.AllConnectedReduced(n) {
+			_, gyoOK := Build(h)
+			_, mstOK := BuildMST(h)
+			acyc := gyo.IsAcyclic(h)
+			if gyoOK != acyc || mstOK != acyc {
+				t.Fatalf("%v: acyclic=%v but Build=%v BuildMST=%v", h, acyc, gyoOK, mstOK)
+			}
+		}
+	}
+}
+
+func TestBuildRandomAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		h := gen.RandomAcyclic(rng, gen.RandomSpec{Edges: 15, MinArity: 2, MaxArity: 5})
+		jt, ok := Build(h)
+		if !ok {
+			t.Fatalf("%v: join tree must exist", h)
+		}
+		if err := jt.Verify(); err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		mst, ok := BuildMST(h)
+		if !ok {
+			t.Fatalf("%v: MST join tree must exist", h)
+		}
+		if err := mst.Verify(); err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+	}
+}
+
+func TestDisconnectedForest(t *testing.T) {
+	h := hypergraph.New([][]string{{"A", "B"}, {"B", "C"}, {"X", "Y"}})
+	jt, ok := Build(h)
+	if !ok {
+		t.Fatal("disconnected acyclic hypergraph must have a join forest")
+	}
+	if len(jt.Roots()) != 2 {
+		t.Fatalf("roots = %v, want two (one per component)", jt.Roots())
+	}
+	if err := jt.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCatchesBadTree(t *testing.T) {
+	// Path A-B, B-C, C-D arranged so that B's holders are disconnected:
+	// make edge 0 ({A,B}) a child of edge 2 ({C,D}).
+	h := gen.PathGraph(4)
+	bad := &JoinTree{H: h, Parent: []int{2, -1, 1}}
+	if err := bad.Verify(); err == nil {
+		t.Fatal("running-intersection violation not caught")
+	}
+	short := &JoinTree{H: h, Parent: []int{-1}}
+	if err := short.Verify(); err == nil {
+		t.Fatal("size mismatch not caught")
+	}
+	self := &JoinTree{H: h, Parent: []int{0, -1, 1}}
+	if err := self.Verify(); err == nil {
+		t.Fatal("self-parent not caught")
+	}
+	cycle := &JoinTree{H: h, Parent: []int{1, 2, 0}}
+	if err := cycle.Verify(); err == nil {
+		t.Fatal("rootless cycle not caught")
+	}
+}
+
+func TestFullReducerShape(t *testing.T) {
+	h := gen.PathGraph(4) // edges AB, BC, CD
+	jt, ok := Build(h)
+	if !ok {
+		t.Fatal("path must be acyclic")
+	}
+	prog := jt.FullReducer()
+	// Two passes over m-1 tree edges each.
+	if len(prog) != 2*(h.NumEdges()-1) {
+		t.Fatalf("program length = %d, want %d", len(prog), 2*(h.NumEdges()-1))
+	}
+	// Upward pass first: each step's target is the parent of its source;
+	// downward pass mirrors it.
+	for i := 0; i < len(prog)/2; i++ {
+		if jt.Parent[prog[i].Source] != prog[i].Target {
+			t.Fatalf("upward step %d: %v is not child->parent", i, prog[i])
+		}
+	}
+	for i := len(prog) / 2; i < len(prog); i++ {
+		if jt.Parent[prog[i].Target] != prog[i].Source {
+			t.Fatalf("downward step %d: %v is not parent->child", i, prog[i])
+		}
+	}
+	if !strings.Contains(prog[0].String(), "⋉=") {
+		t.Fatalf("step rendering: %q", prog[0].String())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	h := gen.PathGraph(3)
+	jt, _ := Build(h)
+	s := jt.String()
+	if !strings.Contains(s, "root") {
+		t.Fatalf("String = %q", s)
+	}
+}

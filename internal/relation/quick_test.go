@@ -1,0 +1,120 @@
+package relation
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// randRel draws a relation over the given attributes with values in a small
+// domain; small domains force frequent matches in join laws.
+func randRel(rng *rand.Rand, attrs []string) *Relation {
+	n := 3 + rng.Intn(12)
+	rows := make([][]string, n)
+	for i := range rows {
+		row := make([]string, len(attrs))
+		for j := range row {
+			row[j] = strconv.Itoa(rng.Intn(3))
+		}
+		rows[i] = row
+	}
+	return MustNew(attrs, rows...)
+}
+
+func TestQuickSemijoinIsJoinProjection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randRel(rng, []string{"A", "B", "C"})
+		s := randRel(rng, []string{"B", "C", "D"})
+		sj := r.Semijoin(s)
+		viaJoin, err := r.Join(s).Project(r.Attrs())
+		if err != nil {
+			return false
+		}
+		return sj.Equal(viaJoin)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSemijoinIdempotentAndShrinking(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randRel(rng, []string{"A", "B"})
+		s := randRel(rng, []string{"B", "C"})
+		once := r.Semijoin(s)
+		twice := once.Semijoin(s)
+		return once.Equal(twice) && r.Contains(once)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickProjectionComposes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randRel(rng, []string{"A", "B", "C", "D"})
+		xy, err := r.Project([]string{"A", "B", "C"})
+		if err != nil {
+			return false
+		}
+		x1, err := xy.Project([]string{"A", "B"})
+		if err != nil {
+			return false
+		}
+		x2, err := r.Project([]string{"A", "B"})
+		if err != nil {
+			return false
+		}
+		return x1.Equal(x2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJoinMonotoneAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randRel(rng, []string{"A", "B"})
+		s := randRel(rng, []string{"B", "C"})
+		j := r.Join(s)
+		// The join projected back is contained in each input.
+		pr, err := j.Project(r.Attrs())
+		if err != nil {
+			return false
+		}
+		ps, err := j.Project(s.Attrs())
+		if err != nil {
+			return false
+		}
+		return r.Contains(pr) && s.Contains(ps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionMinusLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randRel(rng, []string{"A", "B"})
+		s := randRel(rng, []string{"A", "B"})
+		u, err := r.Union(s)
+		if err != nil {
+			return false
+		}
+		d, err := u.Minus(s)
+		if err != nil {
+			return false
+		}
+		// (r ∪ s) − s ⊆ r, and r ⊆ r ∪ s.
+		return r.Contains(d) && u.Contains(r) && u.Contains(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,365 @@
+// Package relation is a small in-memory relational algebra engine: schemas,
+// set-semantics relations, and the operators the paper's database
+// interpretation needs — projection, selection, natural join, semijoin,
+// union and difference.
+//
+// It is the substrate for the universal-relation experiments of §7: nodes of
+// a hypergraph become attributes, edges become objects (relations), and
+// queries are evaluated by joining objects and projecting.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is a set of tuples over a fixed attribute list. Attribute order
+// is normalized to sorted order at construction; rows are deduplicated.
+// Relations are immutable: operators return new relations.
+type Relation struct {
+	attrs []string
+	pos   map[string]int
+	rows  [][]string
+	index map[string]bool // row key -> present
+}
+
+// New builds a relation over the given attributes (deduplicated and sorted)
+// with the given rows. Rows must match the attribute count; they are
+// reordered along with the attributes and deduplicated.
+func New(attrs []string, rows ...[]string) (*Relation, error) {
+	seen := map[string]bool{}
+	for _, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("relation: empty attribute name")
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("relation: duplicate attribute %q", a)
+		}
+		seen[a] = true
+	}
+	sorted := append([]string{}, attrs...)
+	sort.Strings(sorted)
+	perm := make([]int, len(attrs)) // sorted position i takes value from original position perm[i]
+	orig := map[string]int{}
+	for i, a := range attrs {
+		orig[a] = i
+	}
+	for i, a := range sorted {
+		perm[i] = orig[a]
+	}
+	r := &Relation{
+		attrs: sorted,
+		pos:   map[string]int{},
+		index: map[string]bool{},
+	}
+	for i, a := range sorted {
+		r.pos[a] = i
+	}
+	for _, row := range rows {
+		if len(row) != len(attrs) {
+			return nil, fmt.Errorf("relation: row width %d != %d attributes", len(row), len(attrs))
+		}
+		t := make([]string, len(sorted))
+		for i := range sorted {
+			t[i] = row[perm[i]]
+		}
+		r.insert(t)
+	}
+	return r, nil
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(attrs []string, rows ...[]string) *Relation {
+	r, err := New(attrs, rows...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func rowKey(t []string) string { return strings.Join(t, "\x00") }
+
+func (r *Relation) insert(t []string) {
+	k := rowKey(t)
+	if !r.index[k] {
+		r.index[k] = true
+		r.rows = append(r.rows, t)
+	}
+}
+
+// empty returns a relation with r-compatible construction over attrs.
+func empty(attrs []string) *Relation {
+	out := &Relation{attrs: attrs, pos: map[string]int{}, index: map[string]bool{}}
+	for i, a := range attrs {
+		out.pos[a] = i
+	}
+	return out
+}
+
+// Attrs returns the attribute names in sorted order.
+func (r *Relation) Attrs() []string { return append([]string{}, r.attrs...) }
+
+// HasAttr reports whether a is an attribute of r.
+func (r *Relation) HasAttr(a string) bool {
+	_, ok := r.pos[a]
+	return ok
+}
+
+// Card returns the number of tuples.
+func (r *Relation) Card() int { return len(r.rows) }
+
+// Rows returns the tuples in deterministic (sorted) order.
+func (r *Relation) Rows() [][]string {
+	out := make([][]string, len(r.rows))
+	for i, t := range r.rows {
+		out[i] = append([]string{}, t...)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+func less(a, b []string) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Value returns the value of attribute a in tuple t of r.
+func (r *Relation) Value(t []string, a string) (string, bool) {
+	i, ok := r.pos[a]
+	if !ok {
+		return "", false
+	}
+	return t[i], true
+}
+
+// Project returns π_attrs(r). Unknown attributes are an error.
+func (r *Relation) Project(attrs []string) (*Relation, error) {
+	sorted := append([]string{}, attrs...)
+	sort.Strings(sorted)
+	sorted = dedup(sorted)
+	idx := make([]int, len(sorted))
+	for i, a := range sorted {
+		p, ok := r.pos[a]
+		if !ok {
+			return nil, fmt.Errorf("relation: projection on unknown attribute %q", a)
+		}
+		idx[i] = p
+	}
+	out := empty(sorted)
+	for _, t := range r.rows {
+		nt := make([]string, len(idx))
+		for i, p := range idx {
+			nt[i] = t[p]
+		}
+		out.insert(nt)
+	}
+	return out, nil
+}
+
+func dedup(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Select returns the tuples satisfying pred, which receives a value lookup.
+func (r *Relation) Select(pred func(get func(attr string) string) bool) *Relation {
+	out := empty(r.attrs)
+	for _, t := range r.rows {
+		row := t
+		get := func(a string) string {
+			if i, ok := r.pos[a]; ok {
+				return row[i]
+			}
+			return ""
+		}
+		if pred(get) {
+			out.insert(append([]string{}, t...))
+		}
+	}
+	return out
+}
+
+// Join returns the natural join r ⋈ s: tuples agreeing on all shared
+// attributes, over the union of the attribute lists. With no shared
+// attributes it is the cross product.
+func (r *Relation) Join(s *Relation) *Relation {
+	shared, only2 := r.splitAttrs(s)
+	outAttrs := append(append([]string{}, r.attrs...), only2...)
+	sort.Strings(outAttrs)
+	out := empty(outAttrs)
+
+	// Hash s on shared attributes.
+	h := map[string][][]string{}
+	for _, t := range s.rows {
+		k := s.keyOn(t, shared)
+		h[k] = append(h[k], t)
+	}
+	for _, t := range r.rows {
+		k := r.keyOn(t, shared)
+		for _, u := range h[k] {
+			nt := make([]string, len(outAttrs))
+			for i, a := range outAttrs {
+				if p, ok := r.pos[a]; ok {
+					nt[i] = t[p]
+				} else {
+					nt[i] = u[s.pos[a]]
+				}
+			}
+			out.insert(nt)
+		}
+	}
+	return out
+}
+
+// Semijoin returns r ⋉ s: the tuples of r that join with at least one tuple
+// of s. With no shared attributes, it returns r when s is nonempty and the
+// empty relation otherwise.
+func (r *Relation) Semijoin(s *Relation) *Relation {
+	shared, _ := r.splitAttrs(s)
+	out := empty(r.attrs)
+	if len(shared) == 0 {
+		if s.Card() == 0 {
+			return out
+		}
+		for _, t := range r.rows {
+			out.insert(append([]string{}, t...))
+		}
+		return out
+	}
+	h := map[string]bool{}
+	for _, t := range s.rows {
+		h[s.keyOn(t, shared)] = true
+	}
+	for _, t := range r.rows {
+		if h[r.keyOn(t, shared)] {
+			out.insert(append([]string{}, t...))
+		}
+	}
+	return out
+}
+
+// Union returns r ∪ s; the schemas must match.
+func (r *Relation) Union(s *Relation) (*Relation, error) {
+	if !sameAttrs(r.attrs, s.attrs) {
+		return nil, fmt.Errorf("relation: union schema mismatch %v vs %v", r.attrs, s.attrs)
+	}
+	out := empty(r.attrs)
+	for _, t := range r.rows {
+		out.insert(append([]string{}, t...))
+	}
+	for _, t := range s.rows {
+		out.insert(append([]string{}, t...))
+	}
+	return out, nil
+}
+
+// Minus returns r − s; the schemas must match.
+func (r *Relation) Minus(s *Relation) (*Relation, error) {
+	if !sameAttrs(r.attrs, s.attrs) {
+		return nil, fmt.Errorf("relation: difference schema mismatch %v vs %v", r.attrs, s.attrs)
+	}
+	out := empty(r.attrs)
+	for _, t := range r.rows {
+		if !s.index[rowKey(t)] {
+			out.insert(append([]string{}, t...))
+		}
+	}
+	return out, nil
+}
+
+// Equal reports set equality of tuples over identical schemas.
+func (r *Relation) Equal(s *Relation) bool {
+	if !sameAttrs(r.attrs, s.attrs) || len(r.rows) != len(s.rows) {
+		return false
+	}
+	for k := range r.index {
+		if !s.index[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether every tuple of s is in r (schemas must match).
+func (r *Relation) Contains(s *Relation) bool {
+	if !sameAttrs(r.attrs, s.attrs) {
+		return false
+	}
+	for k := range s.index {
+		if !r.index[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameAttrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Relation) splitAttrs(s *Relation) (shared, only2 []string) {
+	for _, a := range r.attrs {
+		if s.HasAttr(a) {
+			shared = append(shared, a)
+		}
+	}
+	for _, a := range s.attrs {
+		if !r.HasAttr(a) {
+			only2 = append(only2, a)
+		}
+	}
+	return
+}
+
+func (r *Relation) keyOn(t []string, attrs []string) string {
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = t[r.pos[a]]
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// String renders the relation as a small table with a header row.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.attrs, " | "))
+	b.WriteByte('\n')
+	for _, t := range r.Rows() {
+		b.WriteString(strings.Join(t, " | "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// JoinAll naturally joins all relations left to right. An empty input yields
+// the nullary relation with one empty tuple (the join identity).
+func JoinAll(rs []*Relation) *Relation {
+	if len(rs) == 0 {
+		out := empty(nil)
+		out.insert([]string{})
+		return out
+	}
+	acc := rs[0]
+	for _, r := range rs[1:] {
+		acc = acc.Join(r)
+	}
+	return acc
+}

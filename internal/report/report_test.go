@@ -1,0 +1,82 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("name", "n")
+	tab.Add("x", 1)
+	tab.Add("longer", 234)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Exact rendering: first column padded to the widest cell ("longer").
+	want := []string{
+		"name    n",
+		"------  ---",
+		"x       1",
+		"longer  234",
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Fatalf("line %d = %q, want %q\n%s", i, lines[i], w, out)
+		}
+	}
+}
+
+func TestTableFormatsDurationsAndFloats(t *testing.T) {
+	tab := NewTable("d", "f")
+	tab.Add(1500*time.Nanosecond, 3.14159)
+	tab.Add(2500*time.Microsecond, 2.0)
+	tab.Add(3*time.Second, 1.0)
+	tab.Add(500*time.Nanosecond, 0.5)
+	out := tab.String()
+	for _, want := range []string{"1.5µs", "2.50ms", "3.000s", "500ns", "3.14"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnicodeWidths(t *testing.T) {
+	tab := NewTable("sym", "v")
+	tab.Add("αβγ", 1)
+	tab.Add("xx", 2)
+	out := tab.String()
+	// The multi-byte cell must not break the following column's alignment:
+	// every data line has its second column at the same rune offset.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	col := -1
+	for _, line := range lines[2:] {
+		runes := []rune(line)
+		i := 0
+		for i < len(runes) && runes[i] != ' ' {
+			i++
+		}
+		for i < len(runes) && runes[i] == ' ' {
+			i++
+		}
+		if col == -1 {
+			col = i
+		} else if col != i {
+			t.Fatalf("misaligned columns:\n%s", out)
+		}
+	}
+}
+
+func TestSectionAndTimed(t *testing.T) {
+	var b strings.Builder
+	Section(&b, "hello")
+	if !strings.Contains(b.String(), "== hello ==") {
+		t.Fatalf("Section = %q", b.String())
+	}
+	d := Timed(func() { time.Sleep(time.Millisecond) })
+	if d < time.Millisecond {
+		t.Fatalf("Timed = %v", d)
+	}
+}

@@ -1,0 +1,361 @@
+package tableau
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/gen"
+	"repro/internal/gyo"
+	"repro/internal/hypergraph"
+)
+
+func TestFig2TableauStructure(t *testing.T) {
+	// Example 3.1: tableau for Fig. 1 with A and D sacred.
+	h := hypergraph.Fig1()
+	tab := New(h, h.MustSet("A", "D"))
+	if tab.NumRows() != 4 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+	occ := map[string]int{"A": 3, "B": 1, "C": 3, "D": 1, "E": 3, "F": 1}
+	for name, want := range occ {
+		id, _ := h.NodeID(name)
+		if got := tab.SpecialOccurrences(id); got != want {
+			t.Errorf("occurrences(%s) = %d, want %d", name, got, want)
+		}
+	}
+	for name, want := range map[string]bool{"A": true, "D": true, "B": false, "C": false} {
+		id, _ := h.NodeID(name)
+		if got := tab.IsDistinguished(id); got != want {
+			t.Errorf("distinguished(%s) = %v, want %v", name, got, want)
+		}
+	}
+	s := tab.String()
+	if !strings.Contains(s, "(summary)") || !strings.Contains(s, "{A B C}") {
+		t.Fatalf("rendering missing pieces:\n%s", s)
+	}
+}
+
+func TestFig3Example33(t *testing.T) {
+	// Example 3.3: the minimal rows of Fig. 2 are rows 2 ({C,D,E}) and
+	// 4 ({A,C,E}); TR(H, {A,D}) = {{C,D,E}, {A,C,E}}.
+	h := hypergraph.Fig1()
+	mn := Reduce(h, h.MustSet("A", "D"))
+	if len(mn.Rows) != 2 || mn.Rows[0] != 1 || mn.Rows[1] != 3 {
+		t.Fatalf("minimal rows = %v, want [1 3]", mn.Rows)
+	}
+	// "The desired row mapping h sends rows 1, 3, and 4 to 4, and 2 to 2."
+	// (paper's 1-based indexing; ours is 0-based)
+	want := RowMapping{3, 1, 3, 3}
+	for i, img := range want {
+		if mn.Mapping[i] != img {
+			t.Fatalf("mapping = %v, want %v", mn.Mapping, want)
+		}
+	}
+	tr := mn.Hypergraph()
+	if !tr.EqualEdges(hypergraph.New([][]string{{"C", "D", "E"}, {"A", "C", "E"}})) {
+		t.Fatalf("TR = %v", tr)
+	}
+	// Figure 3 rendering: the reduced tableau shows c, d, e in the first
+	// minimal row and a, c, e in the second; B and F render blank.
+	s := mn.String()
+	if !strings.Contains(s, "(row 1)") || !strings.Contains(s, "(row 3)") {
+		t.Fatalf("rendering:\n%s", s)
+	}
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "b") || strings.Contains(line, "f") {
+			t.Fatalf("dropped symbols must render blank:\n%s", s)
+		}
+	}
+}
+
+func TestCyclicCounterexampleAfterTheorem35(t *testing.T) {
+	// "let us take edges {A,B}, {A,C}, {B,C}, and {A,D}, with only D sacred.
+	// Then the tableau reduction consists only of D, since all edges can be
+	// mapped to {A,D}, yet all four edges remain when Graham reduction is
+	// attempted."
+	h := hypergraph.CyclicCounterexample()
+	d := h.MustSet("D")
+	tr := TR(h, d)
+	if !tr.EqualEdges(hypergraph.New([][]string{{"D"}})) {
+		t.Fatalf("TR = %v, want {{D}}", tr)
+	}
+	gr := gyo.Reduce(h, d).Hypergraph
+	if !gr.EqualEdges(h) {
+		t.Fatalf("GR = %v, want all four edges", gr)
+	}
+	if tr.EqualEdges(gr) {
+		t.Fatal("Theorem 3.5 must fail on this cyclic hypergraph")
+	}
+}
+
+func TestTriangleFoldsToOneRow(t *testing.T) {
+	// With no sacred nodes, every tableau folds onto a single row — this is
+	// the case that requires general (non-pinned) homomorphisms.
+	h := hypergraph.Triangle()
+	mn := Reduce(h, bitset.Set{})
+	if len(mn.Rows) != 1 {
+		t.Fatalf("minimal rows = %v, want a single row", mn.Rows)
+	}
+	tr := mn.Hypergraph()
+	if tr.NumEdges() != 1 || !tr.Edge(0).IsEmpty() {
+		t.Fatalf("TR(triangle, ∅) = %v, want one empty partial edge", tr)
+	}
+}
+
+func TestEmptySacredAlwaysCollapses(t *testing.T) {
+	for _, h := range []*hypergraph.Hypergraph{
+		hypergraph.Fig1(), hypergraph.Fig5(), hypergraph.Triangle(),
+		gen.PathGraph(5), gen.HyperRing(4),
+	} {
+		mn := Reduce(h, bitset.Set{})
+		if len(mn.Rows) != 1 {
+			t.Errorf("%v: TR(H, ∅) kept %d rows, want 1", h, len(mn.Rows))
+		}
+	}
+}
+
+func TestFig1SacredAC(t *testing.T) {
+	// §3 remark: Fig. 1 with A and C sacred — renaming may exchange special
+	// and nonspecial symbols; the reduction collapses to {{A,C}}.
+	h := hypergraph.Fig1()
+	tr := TR(h, h.MustSet("A", "C"))
+	if !tr.EqualEdges(hypergraph.New([][]string{{"A", "C"}})) {
+		t.Fatalf("TR(fig1, {A,C}) = %v, want {{A,C}}", tr)
+	}
+}
+
+func TestExample51CanonicalConnection(t *testing.T) {
+	// Example 5.1: H = Fig1 minus {A,C,E}; CC({A,C}) = {{A,C}}.
+	h := hypergraph.Fig1MinusACE()
+	tr := TR(h, h.MustSet("A", "C"))
+	if !tr.EqualEdges(hypergraph.New([][]string{{"A", "C"}})) {
+		t.Fatalf("CC({A,C}) = %v, want {{A,C}}", tr)
+	}
+}
+
+func TestFig5AllEdgesInConnection(t *testing.T) {
+	// Figure 5: CC({A,F}) must contain all four edges.
+	h := hypergraph.Fig5()
+	tr := TR(h, h.MustSet("A", "F"))
+	if !tr.EqualEdges(h) {
+		t.Fatalf("CC({A,F}) = %v, want all of %v", tr, h)
+	}
+}
+
+// TestTheorem35OnCorpus: GR(H,X) = TR(H,X) for every acyclic hypergraph in
+// the exhaustive small corpus and every sacred subset.
+func TestTheorem35OnCorpus(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		for _, h := range gen.AllConnectedReduced(n) {
+			if !gyo.IsAcyclic(h) {
+				continue
+			}
+			ids := h.NodeSet().Elems()
+			for mask := 0; mask < 1<<len(ids); mask++ {
+				var x bitset.Set
+				for b := range ids {
+					if mask&(1<<b) != 0 {
+						x.Add(ids[b])
+					}
+				}
+				gr := gyo.Reduce(h, x).Hypergraph
+				tr := TR(h, x)
+				if !gr.EqualEdges(tr) {
+					t.Fatalf("Theorem 3.5 violated on %v, X=%v:\nGR=%v\nTR=%v",
+						h, h.NodeNames(x), gr, tr)
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem35Random: the same on larger random acyclic hypergraphs.
+func TestTheorem35Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 40; i++ {
+		h := gen.RandomAcyclic(rng, gen.RandomSpec{Edges: 8, MinArity: 2, MaxArity: 4})
+		x := gen.RandomNodeSubset(rng, h, 0.25)
+		gr := gyo.Reduce(h, x).Hypergraph
+		tr := TR(h, x)
+		if !gr.EqualEdges(tr) {
+			t.Fatalf("Theorem 3.5 violated on %v, X=%v:\nGR=%v\nTR=%v",
+				h, h.NodeNames(x), gr, tr)
+		}
+	}
+}
+
+// TestLemma36NodeGenerated: TR(H, X) is a node-generated set of edges.
+func TestLemma36NodeGenerated(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	check := func(h *hypergraph.Hypergraph, x bitset.Set) {
+		tr := TR(h, x)
+		ng := h.NodeGenerated(tr.CoveredNodes())
+		if !tr.EqualEdges(ng) {
+			t.Fatalf("Lemma 3.6 violated on %v, X=%v: TR=%v but node-generated=%v",
+				h, h.NodeNames(x), tr, ng)
+		}
+	}
+	check(hypergraph.Fig1(), hypergraph.Fig1().MustSet("A", "D"))
+	check(hypergraph.CyclicCounterexample(), hypergraph.CyclicCounterexample().MustSet("D"))
+	for i := 0; i < 30; i++ {
+		h := gen.Random(rng, gen.RandomSpec{Nodes: 7, Edges: 5, MinArity: 2, MaxArity: 4})
+		check(h, gen.RandomNodeSubset(rng, h, 0.3))
+	}
+}
+
+// TestCorollary37: TR of an acyclic hypergraph is acyclic.
+func TestCorollary37(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 30; i++ {
+		h := gen.RandomAcyclic(rng, gen.RandomSpec{Edges: 7, MinArity: 2, MaxArity: 4})
+		x := gen.RandomNodeSubset(rng, h, 0.3)
+		if !gyo.IsAcyclic(TR(h, x)) {
+			t.Fatalf("Corollary 3.7 violated on %v, X=%v", h, h.NodeNames(x))
+		}
+	}
+}
+
+// TestLemma38Monotone: X ⊆ Y implies TR(H,X) ⊆ TR(H,Y) edgewise.
+func TestLemma38Monotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 30; i++ {
+		h := gen.Random(rng, gen.RandomSpec{Nodes: 7, Edges: 5, MinArity: 2, MaxArity: 4})
+		y := gen.RandomNodeSubset(rng, h, 0.5)
+		x := y.And(gen.RandomNodeSubset(rng, h, 0.5))
+		trX, trY := TR(h, x), TR(h, y)
+		for _, e := range trX.Edges() {
+			if trY.EdgeContaining(e) < 0 {
+				t.Fatalf("Lemma 3.8 violated on %v: X=%v Y=%v, edge %v of TR(H,X) not within TR(H,Y)=%v",
+					h, h.NodeNames(x), h.NodeNames(y), h.NodeNames(e), trY)
+			}
+		}
+	}
+}
+
+// TestLemma39EliminatedNodes: if some edge E containing n maps to an edge
+// without n, then n does not appear in TR(H,X).
+func TestLemma39EliminatedNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 30; i++ {
+		h := gen.Random(rng, gen.RandomSpec{Nodes: 7, Edges: 5, MinArity: 2, MaxArity: 4})
+		x := gen.RandomNodeSubset(rng, h, 0.3)
+		mn := Reduce(h, x)
+		trNodes := mn.Hypergraph().CoveredNodes()
+		h.NodeSet().ForEach(func(n int) {
+			for r := 0; r < h.NumEdges(); r++ {
+				if h.Edge(r).Contains(n) && !h.Edge(mn.Mapping[r]).Contains(n) {
+					if trNodes.Contains(n) {
+						t.Fatalf("Lemma 3.9 violated on %v X=%v: node %s should be eliminated",
+							h, h.NodeNames(x), h.NodeName(n))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLemma310ComponentExclusion: if Y is an articulation set and N a
+// component of H - Y with X ∩ N = ∅, then TR(H, X) has no node of N.
+func TestLemma310ComponentExclusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tested := 0
+	for i := 0; i < 60 && tested < 25; i++ {
+		h := gen.Random(rng, gen.RandomSpec{Nodes: 8, Edges: 6, MinArity: 2, MaxArity: 3})
+		arts := h.ArticulationSets()
+		if len(arts) == 0 {
+			continue
+		}
+		y := arts[rng.Intn(len(arts))]
+		comps := h.RemoveNodes(y).Components()
+		if len(comps) < 2 {
+			continue
+		}
+		n := comps[rng.Intn(len(comps))]
+		// Sacred set: anything outside N.
+		x := gen.RandomNodeSubset(rng, h, 0.4).AndNot(n)
+		tr := TR(h, x)
+		if tr.CoveredNodes().Intersects(n) {
+			t.Fatalf("Lemma 3.10 violated on %v: Y=%v N=%v X=%v TR=%v",
+				h, h.NodeNames(y), h.NodeNames(n), h.NodeNames(x), tr)
+		}
+		tested++
+	}
+	if tested < 10 {
+		t.Fatalf("only %d configurations exercised; generator too weak", tested)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	h := hypergraph.Fig1()
+	tab := New(h, h.MustSet("A", "D"))
+	domain := []int{0, 1, 2, 3}
+	good := RowMapping{3, 1, 3, 3}
+	if err := tab.Validate(good, domain); err != nil {
+		t.Fatalf("paper's mapping rejected: %v", err)
+	}
+	// Mapping row 1 ({C,D,E}, sacred D) elsewhere must fail condition (3).
+	bad := RowMapping{3, 3, 3, 3}
+	if err := tab.Validate(bad, domain); err == nil {
+		t.Fatal("mapping dropping distinguished d must be rejected")
+	}
+	// {0,1,3,3} maps rows 0,2 in valid agreement; it is a legal mapping.
+	ok2 := RowMapping{0, 1, 3, 3}
+	if err := tab.Validate(ok2, domain); err != nil {
+		t.Fatalf("legal mapping rejected: %v", err)
+	}
+	// Sending row 0 ({A,B,C}) to row 2 ({A,E,F}) breaks condition (2) on
+	// column C: C's rows {0,1,3} map to {2,1,3}, which neither agree on one
+	// row nor all keep the symbol.
+	bad2 := RowMapping{2, 1, 2, 3}
+	if err := tab.Validate(bad2, domain); err == nil {
+		t.Fatal("condition (2) violation on column C not caught")
+	}
+}
+
+func TestValidateCondition2(t *testing.T) {
+	// Two edges sharing node B, mapped to rows that "disagree" on column B.
+	h := hypergraph.New([][]string{{"A", "B"}, {"B", "C"}, {"D", "E"}})
+	tab := New(h, bitset.Set{})
+	domain := []int{0, 1, 2}
+	// Send row 0 to row 2 while leaving row 1 fixed: B's rows map to
+	// rows 2 and 1, neither agreement form holds.
+	bad := RowMapping{2, 1, 2}
+	if err := tab.Validate(bad, domain); err == nil {
+		t.Fatal("condition (2) violation not caught")
+	}
+}
+
+func TestFindMappingRejectsImpossible(t *testing.T) {
+	h := hypergraph.CyclicCounterexample()
+	tab := New(h, h.MustSet("D"))
+	// Target = all rows but the {A,D} row (index 3): impossible, D's row
+	// can only map to a row containing D.
+	if _, ok := tab.FindHom([]int{0, 1, 2, 3}, []int{0, 1, 2}); ok {
+		t.Fatal("hom dropping the only D-row must not exist")
+	}
+}
+
+func TestMinimizationIdempotent(t *testing.T) {
+	h := hypergraph.Fig5()
+	x := h.MustSet("A", "F")
+	tr1 := TR(h, x)
+	// Reducing the reduced hypergraph again with the same sacred set (now
+	// using tr1's own universe) is a no-op.
+	x2 := tr1.MustSet("A", "F")
+	tr2 := TR(tr1, x2)
+	if !tr1.EqualEdges(tr2) {
+		t.Fatalf("TR not idempotent: %v then %v", tr1, tr2)
+	}
+}
+
+func TestSacredOutsideUniverseIgnored(t *testing.T) {
+	h := hypergraph.Triangle()
+	var x bitset.Set
+	x.Add(1000) // not a node of h
+	mn := Reduce(h, x)
+	if len(mn.Rows) != 1 {
+		t.Fatalf("stray sacred bits must be ignored; rows = %v", mn.Rows)
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"repro/internal/chase"
 	"repro/internal/core"
 	"repro/internal/db"
+	"repro/internal/engine"
 	"repro/internal/gyo"
 	"repro/internal/hypergraph"
 	"repro/internal/jointree"
+	"repro/internal/mcs"
 	"repro/internal/relation"
 	"repro/internal/tableau"
 )
@@ -52,6 +54,13 @@ type (
 	// Classification places a hypergraph in the acyclicity hierarchy
 	// (α ⊃ β ⊃ γ ⊃ Berge).
 	Classification = acyclic.Classification
+	// MCSResult is the outcome of a maximum cardinality search: verdict,
+	// selection orders, join-tree parents or reject certificate.
+	MCSResult = mcs.Result
+	// MCSCertificate is the rejection certificate of a cyclic MCS run.
+	MCSCertificate = mcs.Certificate
+	// Engine is the concurrent, memoizing batch-query layer.
+	Engine = engine.Engine
 )
 
 // NewHypergraph builds a hypergraph from edges given as node-name lists.
@@ -69,9 +78,24 @@ func Fig1() *Hypergraph { return hypergraph.Fig1() }
 // Fig5 returns the reconstruction of the paper's Figure 5 (see DESIGN.md).
 func Fig5() *Hypergraph { return hypergraph.Fig5() }
 
-// IsAcyclic reports α-acyclicity — the paper's notion — via Graham
-// reduction.
-func IsAcyclic(h *Hypergraph) bool { return gyo.IsAcyclic(h) }
+// IsAcyclic reports α-acyclicity — the paper's notion — via the linear-time
+// maximum cardinality search (Tarjan–Yannakakis). IsAcyclicGYO is the
+// Graham-reduction twin; the two agree on every input (differentially
+// tested), GYO additionally yields the reduction trace.
+func IsAcyclic(h *Hypergraph) bool { return mcs.IsAcyclic(h) }
+
+// IsAcyclicGYO reports α-acyclicity via Graham reduction.
+func IsAcyclicGYO(h *Hypergraph) bool { return gyo.IsAcyclic(h) }
+
+// MCS runs the full maximum cardinality search: verdict, edge/vertex
+// orders, join-tree parents on acceptance, certificate on rejection.
+func MCS(h *Hypergraph) *MCSResult { return mcs.Run(h) }
+
+// NewEngine returns the concurrent batch-query engine: a worker pool sized
+// by GOMAXPROCS (workers <= 0) or the given count, with per-hypergraph
+// memoization keyed by the canonical hash. See Engine.IsAcyclicBatch,
+// Engine.JoinTreeBatch, Engine.ClassifyBatch.
+func NewEngine(workers int) *Engine { return engine.New(engine.WithWorkers(workers)) }
 
 // Classify computes the position of h in the acyclicity hierarchy.
 func Classify(h *Hypergraph) Classification { return acyclic.Classify(h) }
@@ -160,8 +184,13 @@ func MinimalConnectors(h *Hypergraph, names ...string) ([][]int, error) {
 func FindRing(h *Hypergraph) (*Ring, bool) { return core.FindRing(h, 0) }
 
 // BuildJoinTree constructs a join tree from the Graham reduction trace;
-// ok is false when h is cyclic.
+// ok is false when h is cyclic. BuildJoinTreeMCS is the linear-time sibling
+// for large hypergraphs.
 func BuildJoinTree(h *Hypergraph) (*JoinTree, bool) { return jointree.Build(h) }
+
+// BuildJoinTreeMCS constructs a join tree from the maximum-cardinality-
+// search ordering in O(total edge size); ok is false when h is cyclic.
+func BuildJoinTreeMCS(h *Hypergraph) (*JoinTree, bool) { return jointree.BuildMCS(h) }
 
 // NewRelation builds a relation over the given attributes.
 func NewRelation(attrs []string, rows ...[]string) (*Relation, error) {

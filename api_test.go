@@ -149,6 +149,35 @@ func TestFacadeMinimalConnectors(t *testing.T) {
 	}
 }
 
+func TestFacadeMCSAndEngine(t *testing.T) {
+	if !IsAcyclic(Fig1()) || IsAcyclic(NewHypergraph([][]string{{"A", "B"}, {"B", "C"}, {"C", "A"}})) {
+		t.Fatal("MCS-backed IsAcyclic broken")
+	}
+	if IsAcyclic(Fig1()) != IsAcyclicGYO(Fig1()) {
+		t.Fatal("MCS and GYO must agree")
+	}
+	r := MCS(Fig1())
+	if !r.Acyclic || r.Cert != nil || len(r.Parent) != Fig1().NumEdges() {
+		t.Fatalf("MCS result = %+v", r)
+	}
+	tri := NewHypergraph([][]string{{"A", "B"}, {"B", "C"}, {"C", "A"}})
+	if rc := MCS(tri); rc.Acyclic || rc.Cert == nil || rc.Cert.Validate(tri) != nil {
+		t.Fatalf("triangle certificate = %+v", rc.Cert)
+	}
+	jt, ok := BuildJoinTreeMCS(Fig1())
+	if !ok || jt.Verify() != nil {
+		t.Fatal("MCS join tree must exist and verify for Fig1")
+	}
+	e := NewEngine(0)
+	verdicts := e.IsAcyclicBatch([]*Hypergraph{Fig1(), tri, Fig5()})
+	if !verdicts[0] || verdicts[1] || !verdicts[2] {
+		t.Fatalf("batch verdicts = %v", verdicts)
+	}
+	if st := e.Stats(); st.Entries != 3 {
+		t.Fatalf("engine stats = %+v", st)
+	}
+}
+
 func TestFacadeParse(t *testing.T) {
 	h, names, err := ParseHypergraph("R1: A B\nB C\n")
 	if err != nil {

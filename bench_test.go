@@ -10,10 +10,12 @@ import (
 	"repro/internal/chase"
 	"repro/internal/core"
 	"repro/internal/db"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/gyo"
 	"repro/internal/hypergraph"
 	"repro/internal/jointree"
+	"repro/internal/mcs"
 	"repro/internal/tableau"
 )
 
@@ -109,6 +111,131 @@ func BenchmarkAcyclicityTests(b *testing.B) {
 			if _, ok := jointree.BuildMST(h); !ok {
 				b.Fatal("fig1 must have a join tree")
 			}
+		}
+	})
+	b.Run("mcs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !mcs.IsAcyclic(h) {
+				b.Fatal("fig1 must be acyclic")
+			}
+		}
+	})
+}
+
+// largeFamilies builds the 10⁴–10⁵-edge benchmark instances. AcyclicChain
+// stops at 10⁴ edges because its node universe grows with m and the dense
+// bitset representation charges universe/64 words per edge (~2.5 GB at
+// 10⁵); AcyclicBlocks and RandomRaw keep the universe bounded, so they
+// carry the 10⁵ tier (see ROADMAP: sparse edge representation).
+func largeFamilies() []struct {
+	name string
+	h    *hypergraph.Hypergraph
+} {
+	rng := rand.New(rand.NewSource(42))
+	return []struct {
+		name string
+		h    *hypergraph.Hypergraph
+	}{
+		{"chain/m=10000", gen.AcyclicChain(10_000, 3, 1)},
+		{"blocks/m=10000", gen.AcyclicBlocks(rng, 10_000, 16, 256)},
+		{"blocks/m=100000", gen.AcyclicBlocks(rng, 100_000, 16, 256)},
+		{"randomraw/m=10000", gen.RandomRaw(rng, gen.RandomSpec{Nodes: 2048, Edges: 10_000, MinArity: 2, MaxArity: 5})},
+		{"randomraw/m=100000", gen.RandomRaw(rng, gen.RandomSpec{Nodes: 2048, Edges: 100_000, MinArity: 2, MaxArity: 5})},
+	}
+}
+
+// BenchmarkAcyclicityTestsLarge — the MCS-vs-GYO scaling race at production
+// sizes: guaranteed-acyclic families (accept path, join-tree emitted) and
+// raw random instances (reject path) at 10⁴–10⁵ edges. Per-op time divided
+// by edge count exhibits MCS's linear scaling.
+func BenchmarkAcyclicityTestsLarge(b *testing.B) {
+	for _, f := range largeFamilies() {
+		want := mcs.IsAcyclic(f.h)
+		b.Run("mcs/"+f.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if mcs.IsAcyclic(f.h) != want {
+					b.Fatal("verdict mismatch")
+				}
+			}
+		})
+		b.Run("gyo/"+f.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if gyo.IsAcyclic(f.h) != want {
+					b.Fatal("verdict mismatch")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJoinTreeLarge — join-tree construction at scale from the MCS
+// ordering (the GYO-trace Build runs a quadratic-ish Verify pass and is not
+// usable at these sizes, which is exactly why BuildMCS skips it).
+func BenchmarkJoinTreeLarge(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	for _, f := range []struct {
+		name string
+		h    *hypergraph.Hypergraph
+	}{
+		{"chain/m=10000", gen.AcyclicChain(10_000, 3, 1)},
+		{"blocks/m=100000", gen.AcyclicBlocks(rng, 100_000, 16, 256)},
+	} {
+		b.Run("mcs/"+f.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok := jointree.BuildMCS(f.h); !ok {
+					b.Fatal("family must be acyclic")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineBatch — the concurrent batch layer against the serial
+// loop on a mixed workload, plus the memoized re-query path. Throughput
+// scales with GOMAXPROCS workers; the memo turns repeat traffic into map
+// probes.
+func BenchmarkEngineBatch(b *testing.B) {
+	const n = 256
+	hs := make([]*hypergraph.Hypergraph, n)
+	for i := range hs {
+		rng := rand.New(rand.NewSource(int64(i)))
+		if i%2 == 0 {
+			hs[i] = gen.RandomAcyclic(rng, gen.RandomSpec{Edges: 400, MinArity: 2, MaxArity: 4})
+		} else {
+			hs[i] = gen.Random(rng, gen.RandomSpec{Nodes: 300, Edges: 400, MinArity: 2, MaxArity: 4})
+		}
+	}
+	b.Run("serial-gyo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, h := range hs {
+				gyo.IsAcyclic(h)
+			}
+		}
+	})
+	b.Run("serial-mcs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, h := range hs {
+				mcs.IsAcyclic(h)
+			}
+		}
+	})
+	b.Run("engine-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			e := engine.New() // fresh memo: measures the fan-out itself
+			b.StartTimer()
+			e.IsAcyclicBatch(hs)
+		}
+	})
+	b.Run("engine-warm", func(b *testing.B) {
+		e := engine.New()
+		e.IsAcyclicBatch(hs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.IsAcyclicBatch(hs)
 		}
 	})
 }

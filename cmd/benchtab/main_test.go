@@ -16,6 +16,8 @@ func TestTablesRenderInQuickMode(t *testing.T) {
 		want []string
 	}{
 		{"gyo", func(w *strings.Builder) { gyoTable(w) }, []string{"P-GYO", "vanished", "true"}},
+		{"mcs", func(w *strings.Builder) { mcsTable(w) }, []string{"P-MCS", "GYO/MCS", "blocks", "random-raw"}},
+		{"engine", func(w *strings.Builder) { engineTable(w) }, []string{"P-ENG", "warm speedup", "200"}},
 		{"tr", func(w *strings.Builder) { trTable(w) }, []string{"P-TR", "TR/GR", "true"}},
 		{"cc", func(w *strings.Builder) { ccTable(w) }, []string{"P-CC", "CC edges", "fig1"}},
 		{"yannakakis", func(w *strings.Builder) { yannakakisTable(w) }, []string{"P-YAN", "speedup", "true"}},

@@ -18,6 +18,33 @@
 //	cc, _ := repro.CanonicalConnection(h, "A", "D")
 //	gr.EqualEdges(cc)                          // true — Theorem 3.5
 //
+// # Acyclicity engines
+//
+// Two independent deciders back IsAcyclic-style queries:
+//
+//   - internal/mcs — the Tarjan–Yannakakis maximum cardinality search, the
+//     default hot path. It repeatedly selects the edge sharing the most
+//     nodes with the already-selected region (a bucket queue keeps this
+//     O(total edge size)) and checks the running-intersection property as
+//     it goes. Acceptance doubles as a join-tree construction
+//     (BuildJoinTreeMCS); rejection carries a certificate cross-checkable
+//     against the Theorem 6.1 independent-path witness.
+//   - internal/gyo — Graham (GYO) reduction, the paper's own machinery,
+//     retained for reduction traces, GR(H, X) with sacred nodes, and as
+//     the differential baseline: internal/mcs's test suite pins the two
+//     engines to identical verdicts on >10,000 generated instances plus
+//     the exhaustive small-hypergraph corpus.
+//
+// # Batch engine
+//
+// internal/engine (facade: NewEngine) serves heavy query traffic: batches
+// fan out over a GOMAXPROCS-sized worker pool, and results are memoized
+// per hypergraph under the canonical hash (Hypergraph.Hash /
+// Hypergraph.Fingerprint), so repeated queries against a bounded schema
+// population cost a fingerprint and a map probe. Engine.IsAcyclicBatch,
+// Engine.JoinTreeBatch and Engine.ClassifyBatch are the batch mirrors of
+// the single-shot facade calls.
+//
 // See the examples/ directory for runnable programs and DESIGN.md for the
 // paper-to-package map.
 package repro

@@ -5,17 +5,25 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro"
 	"repro/internal/bitset"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// Figure 5 (reconstructed; see DESIGN.md): acyclic, yet there "appear"
 	// to be two distinct paths from A to F.
 	fig5 := repro.Fig5()
-	fmt.Println("Figure 5:", fig5, "— acyclic:", repro.IsAcyclic(fig5))
+	fmt.Fprintln(w, "Figure 5:", fig5, "— acyclic:", repro.IsAcyclic(fig5))
 
 	// Drop the second or third edge: A and F stay connected either way.
 	for _, skip := range []int{1, 2} {
@@ -26,25 +34,25 @@ func main() {
 			}
 		}
 		sub := repro.NewHypergraph(edges)
-		fmt.Printf("  without edge #%d: %v — connected: %v\n", skip, sub, sub.IsConnected())
+		fmt.Fprintf(w, "  without edge #%d: %v — connected: %v\n", skip, sub, sub.IsConnected())
 	}
 
 	// Yet the canonical connection keeps all four edges: in a tree-like
 	// (acyclic) hypergraph there is one canonical way to link A and F.
 	cc, err := repro.CanonicalConnection(fig5, "A", "F")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("CC({A,F}):", cc)
-	fmt.Println("CC == whole hypergraph:", cc.EqualEdges(fig5))
+	fmt.Fprintln(w, "CC({A,F}):", cc)
+	fmt.Fprintln(w, "CC == whole hypergraph:", cc.EqualEdges(fig5))
 
 	// Example 5.1: remove Fig. 1's central edge and independence appears.
 	h := repro.NewHypergraph([][]string{
 		{"A", "B", "C"}, {"C", "D", "E"}, {"A", "E", "F"},
 	})
-	fmt.Println("\nExample 5.1 hypergraph:", h, "— acyclic:", repro.IsAcyclic(h))
+	fmt.Fprintln(w, "\nExample 5.1 hypergraph:", h, "— acyclic:", repro.IsAcyclic(h))
 	cc2, _ := repro.CanonicalConnection(h, "A", "C")
-	fmt.Println("CC({A,C}):", cc2)
+	fmt.Fprintln(w, "CC({A,C}):", cc2)
 
 	set := func(names ...string) bitset.Set { return h.MustSet(names...) }
 	tree := &repro.Tree{
@@ -52,29 +60,30 @@ func main() {
 		Edges: [][2]int{{0, 1}, {1, 2}},
 	}
 	if err := tree.Validate(h); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ind, witness := tree.IsIndependent(h)
-	fmt.Printf("tree {A}-{E}-{C}: independent=%v (witness set #%d is outside CC)\n", ind, witness)
+	fmt.Fprintf(w, "tree {A}-{E}-{C}: independent=%v (witness set #%d is outside CC)\n", ind, witness)
 
 	// Lemma 5.2: every independent tree yields an independent path.
 	path, err := repro.PathFromTree(h, tree)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("derived independent path:", path.String(h))
+	fmt.Fprintln(w, "derived independent path:", path.String(h))
 
 	// Theorem 6.1 ties it together: cyclic <=> independent path exists.
-	fmt.Println("\nTheorem 6.1 check:")
+	fmt.Fprintln(w, "\nTheorem 6.1 check:")
 	for _, g := range []*repro.Hypergraph{repro.Fig1(), fig5, h} {
-		fmt.Printf("  %v: acyclic=%v hasIndependentPath=%v\n",
+		fmt.Fprintf(w, "  %v: acyclic=%v hasIndependentPath=%v\n",
 			g, repro.IsAcyclic(g), repro.HasIndependentPath(g))
 	}
 
 	// The acyclicity hierarchy on the same graphs (the paper's §1 remark
 	// that its notion is weaker than Berge's).
-	fmt.Println("\nacyclicity hierarchy (α ⊇ β ⊇ γ ⊇ Berge):")
+	fmt.Fprintln(w, "\nacyclicity hierarchy (α ⊇ β ⊇ γ ⊇ Berge):")
 	for _, g := range []*repro.Hypergraph{repro.Fig1(), fig5, h} {
-		fmt.Printf("  %v: %v\n", g, repro.Classify(g))
+		fmt.Fprintf(w, "  %v: %v\n", g, repro.Classify(g))
 	}
+	return nil
 }

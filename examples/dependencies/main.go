@@ -6,63 +6,72 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// An acyclic order-processing schema.
 	schema := repro.NewHypergraph([][]string{
 		{"Order", "Customer"},
 		{"Order", "Item", "Qty"},
 		{"Item", "Price"},
 	})
-	fmt.Println("schema:", schema, "— acyclic:", repro.IsAcyclic(schema))
+	fmt.Fprintln(w, "schema:", schema, "— acyclic:", repro.IsAcyclic(schema))
 
 	// Its join dependency and join-tree MVD basis.
 	jd := repro.JoinDependency(schema)
 	mvds, err := repro.JoinTreeMVDs(schema)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("join dependency:", jd)
-	fmt.Println("join-tree MVD basis:")
+	fmt.Fprintln(w, "join dependency:", jd)
+	fmt.Fprintln(w, "join-tree MVD basis:")
 	for _, m := range mvds {
-		fmt.Println("  ", m)
+		fmt.Fprintln(w, "  ", m)
 	}
 
 	// BFMY equivalence, decided by the chase.
 	universe := schema.Nodes()
 	fwd, err := repro.JDImplies(mvds, jd, universe, 200000)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("\nMVD basis implies the JD:", fwd)
+	fmt.Fprintln(w, "\nMVD basis implies the JD:", fwd)
 	backAll := true
 	for _, m := range mvds {
 		back, err := repro.JDImplies([]repro.JoinDep{jd}, m, universe, 200000)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		backAll = backAll && back
 	}
-	fmt.Println("JD implies every MVD:   ", backAll)
-	fmt.Println("=> the acyclic JD is equivalent to its join-tree MVDs (BFMY)")
+	fmt.Fprintln(w, "JD implies every MVD:   ", backAll)
+	fmt.Fprintln(w, "=> the acyclic JD is equivalent to its join-tree MVDs (BFMY)")
 
 	// The cyclic triangle: one direction survives, the other fails.
 	tri := repro.NewHypergraph([][]string{{"A", "B"}, {"B", "C"}, {"C", "A"}})
 	triJD := repro.JoinDependency(tri)
 	if _, err := repro.JoinTreeMVDs(tri); err == nil {
-		log.Fatal("cyclic schema must have no join tree")
+		return fmt.Errorf("cyclic schema must have no join tree")
 	} else {
-		fmt.Println("\ntriangle:", err)
+		fmt.Fprintln(w, "\ntriangle:", err)
 	}
 	// Pretend-decomposition MVD C →→ A still implies the JD...
 	mvd := repro.MVD([]string{"C"}, []string{"A", "C"}, tri.Nodes())
 	fwd2, _ := repro.JDImplies([]repro.JoinDep{mvd}, triJD, tri.Nodes(), 100000)
 	// ...but the JD does not imply it back.
 	back2, _ := repro.JDImplies([]repro.JoinDep{triJD}, mvd, tri.Nodes(), 100000)
-	fmt.Printf("MVD C→→A implies triangle JD: %v; triangle JD implies MVD: %v\n", fwd2, back2)
-	fmt.Println("=> no MVD basis is equivalent to a cyclic JD")
+	fmt.Fprintf(w, "MVD C→→A implies triangle JD: %v; triangle JD implies MVD: %v\n", fwd2, back2)
+	fmt.Fprintln(w, "=> no MVD basis is equivalent to a cyclic JD")
+	return nil
 }

@@ -5,12 +5,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// Figure 1 of the paper: nodes A..F, four edges.
 	h := repro.NewHypergraph([][]string{
 		{"A", "B", "C"},
@@ -18,32 +26,32 @@ func main() {
 		{"A", "E", "F"},
 		{"A", "C", "E"},
 	})
-	fmt.Println("hypergraph:", h)
-	fmt.Println("acyclic:   ", repro.IsAcyclic(h))
+	fmt.Fprintln(w, "hypergraph:", h)
+	fmt.Fprintln(w, "acyclic:   ", repro.IsAcyclic(h))
 
 	// Graham reduction keeping A and D sacred (Example 2.2).
 	trace, err := repro.GrahamReductionTrace(h, "A", "D")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("\nGraham reduction GR(H, {A,D}):")
-	fmt.Print(trace.Trace())
-	fmt.Println("result:", trace.Hypergraph)
+	fmt.Fprintln(w, "\nGraham reduction GR(H, {A,D}):")
+	fmt.Fprint(w, trace.Trace())
+	fmt.Fprintln(w, "result:", trace.Hypergraph)
 
 	// Tableau reduction of the same hypergraph (Example 3.3).
 	tr, err := repro.TableauReduction(h, "A", "D")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("\ntableau reduction TR(H, {A,D}):", tr)
-	fmt.Println("GR == TR (Theorem 3.5):", trace.Hypergraph.EqualEdges(tr))
+	fmt.Fprintln(w, "\ntableau reduction TR(H, {A,D}):", tr)
+	fmt.Fprintln(w, "GR == TR (Theorem 3.5):", trace.Hypergraph.EqualEdges(tr))
 
 	// The canonical connection is the same object under its §5 name.
 	cc, err := repro.CanonicalConnection(h, "A", "D")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("canonical connection CC({A,D}):", cc)
+	fmt.Fprintln(w, "canonical connection CC({A,D}):", cc)
 
 	// Cyclic hypergraphs break the equality: the paper's counterexample.
 	bad := repro.NewHypergraph([][]string{
@@ -51,17 +59,18 @@ func main() {
 	})
 	grBad, _ := repro.GrahamReduction(bad, "D")
 	trBad, _ := repro.TableauReduction(bad, "D")
-	fmt.Println("\ncyclic counterexample:", bad)
-	fmt.Println("GR(H,{D}):", grBad, " — stuck")
-	fmt.Println("TR(H,{D}):", trBad, " — collapsed")
-	fmt.Println("equal:", grBad.EqualEdges(trBad), "(Theorem 3.5 needs acyclicity)")
+	fmt.Fprintln(w, "\ncyclic counterexample:", bad)
+	fmt.Fprintln(w, "GR(H,{D}):", grBad, " — stuck")
+	fmt.Fprintln(w, "TR(H,{D}):", trBad, " — collapsed")
+	fmt.Fprintln(w, "equal:", grBad.EqualEdges(trBad), "(Theorem 3.5 needs acyclicity)")
 
 	// Theorem 6.1: cyclicity is witnessed by an independent path.
 	path, coreGraph, found, err := repro.IndependentPathWitness(bad)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if found {
-		fmt.Println("\nindependent path in the cyclic core", coreGraph, ":", path.String(coreGraph))
+		fmt.Fprintln(w, "\nindependent path in the cyclic core", coreGraph, ":", path.String(coreGraph))
 	}
+	return nil
 }

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSucceeds smoke-tests the example: it must complete without error
+// and print the golden headlines.
+func TestRunSucceeds(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"acyclic:    true",
+		"GR == TR (Theorem 3.5): true",
+		"(Theorem 3.5 needs acyclicity)",
+		"independent path in the cyclic core",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

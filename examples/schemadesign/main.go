@@ -8,54 +8,62 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro"
 )
 
-func audit(name string, h *repro.Hypergraph) bool {
-	fmt.Printf("--- %s ---\n", name)
-	fmt.Println("schema:", h)
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func audit(w io.Writer, name string, h *repro.Hypergraph) (bool, error) {
+	fmt.Fprintf(w, "--- %s ---\n", name)
+	fmt.Fprintln(w, "schema:", h)
 	c := repro.Classify(h)
-	fmt.Println("classification:", c)
+	fmt.Fprintln(w, "classification:", c)
 	if repro.IsAcyclic(h) {
 		jt, _ := repro.BuildJoinTree(h)
-		fmt.Println("join tree:", jt)
-		fmt.Println("verdict: SAFE — connections among attributes are uniquely defined (Theorem 6.1)")
-		fmt.Println()
-		return true
+		fmt.Fprintln(w, "join tree:", jt)
+		fmt.Fprintln(w, "verdict: SAFE — connections among attributes are uniquely defined (Theorem 6.1)")
+		fmt.Fprintln(w)
+		return true, nil
 	}
-	fmt.Println("verdict: UNSAFE — the schema is cyclic; connection semantics are ambiguous")
+	fmt.Fprintln(w, "verdict: UNSAFE — the schema is cyclic; connection semantics are ambiguous")
 	if ring, ok := repro.FindRing(h); ok {
-		fmt.Print("  ring (Lemma 4.1):")
+		fmt.Fprint(w, "  ring (Lemma 4.1):")
 		for i, e := range ring.Edges {
-			fmt.Printf(" E%d={%v}", i, h.EdgeNodes(e))
+			fmt.Fprintf(w, " E%d={%v}", i, h.EdgeNodes(e))
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
-	fmt.Println("  blocks:")
+	fmt.Fprintln(w, "  blocks:")
 	for _, b := range repro.Blocks(h) {
 		tag := ""
 		if b.NumEdges() > 1 {
 			tag = "   <- cyclic core candidate"
 		}
-		fmt.Printf("    %v%s\n", b, tag)
+		fmt.Fprintf(w, "    %v%s\n", b, tag)
 	}
 	path, coreGraph, found, err := repro.IndependentPathWitness(h)
 	if err != nil {
-		log.Fatal(err)
+		return false, err
 	}
 	if found {
-		fmt.Printf("  independent path (Theorem 6.1 witness) in %v:\n    %s\n",
+		fmt.Fprintf(w, "  independent path (Theorem 6.1 witness) in %v:\n    %s\n",
 			coreGraph, path.String(coreGraph))
-		fmt.Println("  meaning: those attribute sets can be linked outside the canonical connection,")
-		fmt.Println("  so a universal-relation interface would silently pick one of several readings")
+		fmt.Fprintln(w, "  meaning: those attribute sets can be linked outside the canonical connection,")
+		fmt.Fprintln(w, "  so a universal-relation interface would silently pick one of several readings")
 	}
-	fmt.Println()
-	return false
+	fmt.Fprintln(w)
+	return false, nil
 }
 
-func main() {
+func run(w io.Writer) error {
 	// A supply-chain schema someone might propose: suppliers supply parts,
 	// projects use parts, and suppliers are contracted to projects.
 	bad := repro.NewHypergraph([][]string{
@@ -63,7 +71,10 @@ func main() {
 		{"Part", "Project"},
 		{"Project", "Supplier"},
 	})
-	audit("supply-chain draft", bad)
+	badSafe, err := audit(w, "supply-chain draft", bad)
+	if err != nil {
+		return err
+	}
 
 	// The classic repair: add the ternary object recording which supplier
 	// supplies which part to which project. The ring is now covered by one
@@ -75,7 +86,10 @@ func main() {
 		{"Project", "Supplier"},
 		{"Supplier", "Part", "Project"},
 	})
-	audit("supply-chain with SPJ object", fixed)
+	fixedSafe, err := audit(w, "supply-chain with SPJ object", fixed)
+	if err != nil {
+		return err
+	}
 
 	// A larger mixed schema: an acyclic backbone with one cyclic pocket.
 	mixed := repro.NewHypergraph([][]string{
@@ -86,11 +100,14 @@ func main() {
 		{"Mgr", "Budget"},
 		{"Budget", "Dept"}, // closes a Dept-Mgr-Budget triangle
 	})
-	audit("HR schema with budget loop", mixed)
+	if _, err := audit(w, "HR schema with budget loop", mixed); err != nil {
+		return err
+	}
 
 	// Verify the repair claim programmatically.
-	if !repro.IsAcyclic(fixed) || repro.IsAcyclic(bad) {
-		log.Fatal("audit logic inconsistent")
+	if !fixedSafe || badSafe {
+		return fmt.Errorf("audit logic inconsistent")
 	}
-	fmt.Println("summary: cyclic drafts were flagged with concrete witnesses; the SPJ object repairs the ring")
+	fmt.Fprintln(w, "summary: cyclic drafts were flagged with concrete witnesses; the SPJ object repairs the ring")
+	return nil
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSucceeds smoke-tests the example: it must complete without error
+// and print the golden headlines.
+func TestRunSucceeds(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"verdict: UNSAFE",
+		"verdict: SAFE",
+		"ring (Lemma 4.1):",
+		"independent path (Theorem 6.1 witness)",
+		"the SPJ object repairs the ring",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

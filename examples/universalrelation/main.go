@@ -7,12 +7,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// Objects: who teaches a course, who takes it with which grade, and
 	// which department a student belongs to.
 	schema := repro.NewHypergraph([][]string{
@@ -20,8 +28,8 @@ func main() {
 		{"Course", "Student", "Grade"},
 		{"Student", "Dept"},
 	})
-	fmt.Println("schema:", schema)
-	fmt.Println("acyclic:", repro.IsAcyclic(schema))
+	fmt.Fprintln(w, "schema:", schema)
+	fmt.Fprintln(w, "acyclic:", repro.IsAcyclic(schema))
 
 	// A universal relation and its projections (a globally consistent DB).
 	u, err := repro.NewRelation(
@@ -33,49 +41,49 @@ func main() {
 		[]string{"logic", "fagin", "dave", "C", "math"},
 	)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	d, err := repro.DatabaseFromUniversal(schema, u)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Which teachers teach students of which departments?
 	query := []string{"Teacher", "Dept"}
 	objs, _ := d.ConnectionObjects(query)
-	fmt.Printf("\nquery %v\n", query)
-	fmt.Printf("canonical connection uses objects %v (of %d)\n", objs, schema.NumEdges())
+	fmt.Fprintf(w, "\nquery %v\n", query)
+	fmt.Fprintf(w, "canonical connection uses objects %v (of %d)\n", objs, schema.NumEdges())
 
 	cc, err := d.QueryCC(query)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(cc)
+	fmt.Fprintln(w, cc)
 
 	full, _ := d.QueryFull(query)
 	yan, _ := d.QueryYannakakis(query)
-	fmt.Println("CC == full join:  ", cc.Equal(full))
-	fmt.Println("CC == Yannakakis: ", cc.Equal(yan))
+	fmt.Fprintln(w, "CC == full join:  ", cc.Equal(full))
+	fmt.Fprintln(w, "CC == Yannakakis: ", cc.Equal(yan))
 
 	// A narrower query needs fewer objects: grades per course ignore
 	// teachers and departments entirely.
 	query2 := []string{"Course", "Grade"}
 	objs2, _ := d.ConnectionObjects(query2)
-	fmt.Printf("\nquery %v: connection uses objects %v\n", query2, objs2)
+	fmt.Fprintf(w, "\nquery %v: connection uses objects %v\n", query2, objs2)
 	ans2, _ := d.QueryCC(query2)
-	fmt.Println(ans2)
+	fmt.Fprintln(w, ans2)
 
 	// The join tree and its semijoin full reducer (how Yannakakis runs).
 	jt, ok := repro.BuildJoinTree(schema)
 	if !ok {
-		log.Fatal("schema unexpectedly cyclic")
+		return fmt.Errorf("schema unexpectedly cyclic")
 	}
-	fmt.Println("join tree:", jt)
-	fmt.Print("full reducer:")
+	fmt.Fprintln(w, "join tree:", jt)
+	fmt.Fprint(w, "full reducer:")
 	for _, s := range jt.FullReducer() {
-		fmt.Printf(" %v;", s)
+		fmt.Fprintf(w, " %v;", s)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 
 	// The §7 warning, concretely: a cyclic triangle schema admits databases
 	// that are pairwise consistent yet answer every query with ∅.
@@ -85,11 +93,12 @@ func main() {
 	ca, _ := repro.NewRelation([]string{"C", "A"}, []string{"0", "0"}, []string{"1", "1"})
 	td, err := repro.NewDatabase(tri, []*repro.Relation{ab, bc, ca})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("\ncyclic triangle schema:", tri)
-	fmt.Println("pairwise consistent:", td.IsPairwiseConsistent())
-	fmt.Println("globally consistent:", td.IsGloballyConsistent())
-	fmt.Println("full join tuples:   ", td.FullJoin().Card(),
+	fmt.Fprintln(w, "\ncyclic triangle schema:", tri)
+	fmt.Fprintln(w, "pairwise consistent:", td.IsPairwiseConsistent())
+	fmt.Fprintln(w, "globally consistent:", td.IsGloballyConsistent())
+	fmt.Fprintln(w, "full join tuples:   ", td.FullJoin().Card(),
 		"— every object holds data, yet the join is empty")
+	return nil
 }

@@ -23,11 +23,14 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/gyo"
 	"repro/internal/hypergraph"
+	"repro/internal/mcs"
 )
 
-// IsAcyclic reports α-acyclicity via Graham reduction (the paper's notion).
+// IsAcyclic reports α-acyclicity (the paper's notion) via the linear-time
+// maximum cardinality search of internal/mcs; gyo.IsAcyclic is the Graham
+// reduction twin it is differentially tested against.
 func IsAcyclic(h *hypergraph.Hypergraph) bool {
-	return gyo.IsAcyclic(h)
+	return mcs.IsAcyclic(h)
 }
 
 // maxDefinitionNodes bounds the exponential definition-based test.

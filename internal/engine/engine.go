@@ -1,0 +1,210 @@
+// Package engine provides the concurrent batch-query layer over the
+// acyclicity machinery: a worker pool sized by GOMAXPROCS fans batches of
+// hypergraphs out across cores, and per-hypergraph results are memoized
+// under the canonical hash of internal/hypergraph, so repeated queries for
+// the same schema — the dominant pattern when a service fields heavy query
+// traffic over a bounded schema population — cost one map probe after the
+// first computation.
+//
+// Single-query methods (IsAcyclic, JoinTree, Classify) share the memo with
+// their batch counterparts (IsAcyclicBatch, JoinTreeBatch, ClassifyBatch).
+// Each memo entry computes each result kind at most once, guarded by a
+// sync.Once, so concurrent duplicate queries coalesce instead of racing.
+//
+// Acyclicity and join trees run on the linear-time MCS engine
+// (internal/mcs); Classify delegates to internal/acyclic and inherits its
+// exponential γ test, so classification batches are meant for
+// small-to-moderate schemas.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/acyclic"
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+	"repro/internal/mcs"
+)
+
+// Engine is a concurrent, memoizing façade over the acyclicity algorithms.
+// The zero value is not usable; construct with New. Engines are safe for
+// concurrent use by multiple goroutines.
+type Engine struct {
+	workers int
+
+	mu   sync.Mutex
+	memo map[uint64][]*entry // canonical hash -> entries (collision chain)
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// entry memoizes the results for one hypergraph identity (fingerprint).
+// Each result kind is computed at most once.
+type entry struct {
+	fp string
+	h  *hypergraph.Hypergraph // first hypergraph seen with this fingerprint
+
+	acyOnce sync.Once
+	acyclic bool
+
+	jtOnce sync.Once
+	jt     *jointree.JoinTree
+	jtOK   bool
+
+	clOnce sync.Once
+	cl     acyclic.Classification
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers sets the worker-pool size for batch queries. Values < 1 fall
+// back to runtime.GOMAXPROCS(0), the default.
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n >= 1 {
+			e.workers = n
+		}
+	}
+}
+
+// New returns an Engine with an empty memo and a worker pool sized by
+// GOMAXPROCS unless overridden by WithWorkers.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		workers: runtime.GOMAXPROCS(0),
+		memo:    make(map[uint64][]*entry),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Workers returns the batch worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats reports memo effectiveness.
+type Stats struct {
+	Hits    int64 // queries answered by an existing memo entry
+	Misses  int64 // queries that created a new memo entry
+	Entries int   // distinct hypergraph identities seen
+}
+
+// Stats returns a snapshot of the memo counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	n := 0
+	for _, chain := range e.memo {
+		n += len(chain)
+	}
+	e.mu.Unlock()
+	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load(), Entries: n}
+}
+
+// entryFor interns h's identity: the canonical hash keys the memo, and the
+// full fingerprint disambiguates hash collisions. The fingerprint is built
+// once and hashed directly (h.Hash() would rebuild it).
+func (e *Engine) entryFor(h *hypergraph.Hypergraph) *entry {
+	fp := h.Fingerprint()
+	key := hypergraph.FingerprintHash(fp)
+	e.mu.Lock()
+	for _, en := range e.memo[key] {
+		if en.fp == fp {
+			e.mu.Unlock()
+			e.hits.Add(1)
+			return en
+		}
+	}
+	en := &entry{fp: fp, h: h}
+	e.memo[key] = append(e.memo[key], en)
+	e.mu.Unlock()
+	e.misses.Add(1)
+	return en
+}
+
+// IsAcyclic reports α-acyclicity of h via the linear-time MCS engine,
+// memoized.
+func (e *Engine) IsAcyclic(h *hypergraph.Hypergraph) bool {
+	en := e.entryFor(h)
+	en.acyOnce.Do(func() { en.acyclic = mcs.IsAcyclic(en.h) })
+	return en.acyclic
+}
+
+// JoinTree returns a join tree of h built from the MCS ordering, memoized;
+// ok is false when h is cyclic. The returned tree is shared across callers
+// and must be treated as read-only; its H field is the first hypergraph
+// interned under this identity (contentually identical to h).
+func (e *Engine) JoinTree(h *hypergraph.Hypergraph) (*jointree.JoinTree, bool) {
+	en := e.entryFor(h)
+	en.jtOnce.Do(func() { en.jt, en.jtOK = jointree.BuildMCS(en.h) })
+	return en.jt, en.jtOK
+}
+
+// Classify places h in the acyclicity hierarchy (α ⊇ β ⊇ γ ⊇ Berge),
+// memoized. The γ test is exponential; intended for small-to-moderate
+// schemas.
+func (e *Engine) Classify(h *hypergraph.Hypergraph) acyclic.Classification {
+	en := e.entryFor(h)
+	en.clOnce.Do(func() { en.cl = acyclic.Classify(en.h) })
+	return en.cl
+}
+
+// IsAcyclicBatch answers one verdict per input, fanned out across the
+// worker pool. Duplicate inputs (by canonical identity) are computed once.
+func (e *Engine) IsAcyclicBatch(hs []*hypergraph.Hypergraph) []bool {
+	out := make([]bool, len(hs))
+	e.fanOut(len(hs), func(i int) { out[i] = e.IsAcyclic(hs[i]) })
+	return out
+}
+
+// JoinTreeBatch builds one join tree per input (nil where cyclic), with the
+// ok verdicts in the second result.
+func (e *Engine) JoinTreeBatch(hs []*hypergraph.Hypergraph) ([]*jointree.JoinTree, []bool) {
+	trees := make([]*jointree.JoinTree, len(hs))
+	oks := make([]bool, len(hs))
+	e.fanOut(len(hs), func(i int) { trees[i], oks[i] = e.JoinTree(hs[i]) })
+	return trees, oks
+}
+
+// ClassifyBatch computes one classification per input.
+func (e *Engine) ClassifyBatch(hs []*hypergraph.Hypergraph) []acyclic.Classification {
+	out := make([]acyclic.Classification, len(hs))
+	e.fanOut(len(hs), func(i int) { out[i] = e.Classify(hs[i]) })
+	return out
+}
+
+// fanOut runs f(0..n-1) over the worker pool. Work is handed out via an
+// atomic cursor, so uneven per-item cost (cyclic rejects are cheap, big
+// acyclic instances are not) balances automatically.
+func (e *Engine) fanOut(n int, f func(i int)) {
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

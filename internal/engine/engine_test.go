@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/gyo"
+	"repro/internal/hypergraph"
+)
+
+func workload(n int) []*hypergraph.Hypergraph {
+	hs := make([]*hypergraph.Hypergraph, n)
+	for i := range hs {
+		rng := rand.New(rand.NewSource(int64(i)))
+		if i%2 == 0 {
+			hs[i] = gen.Random(rng, gen.RandomSpec{Nodes: 10, Edges: 8, MinArity: 2, MaxArity: 4})
+		} else {
+			hs[i] = gen.RandomAcyclic(rng, gen.RandomSpec{Edges: 10, MinArity: 2, MaxArity: 4})
+		}
+	}
+	return hs
+}
+
+func TestBatchMatchesSerialGYO(t *testing.T) {
+	hs := workload(200)
+	e := New(WithWorkers(4))
+	got := e.IsAcyclicBatch(hs)
+	for i, h := range hs {
+		if want := gyo.IsAcyclic(h); got[i] != want {
+			t.Fatalf("instance %d: engine=%v gyo=%v", i, got[i], want)
+		}
+	}
+}
+
+func TestJoinTreeBatch(t *testing.T) {
+	hs := workload(120)
+	e := New(WithWorkers(4))
+	trees, oks := e.JoinTreeBatch(hs)
+	acy := e.IsAcyclicBatch(hs)
+	for i := range hs {
+		if oks[i] != acy[i] {
+			t.Fatalf("instance %d: tree ok=%v but acyclic=%v", i, oks[i], acy[i])
+		}
+		if oks[i] {
+			if trees[i] == nil {
+				t.Fatalf("instance %d: missing tree", i)
+			}
+			if err := trees[i].Verify(); err != nil {
+				t.Fatalf("instance %d: %v", i, err)
+			}
+		} else if trees[i] != nil {
+			t.Fatalf("instance %d: tree for cyclic input", i)
+		}
+	}
+}
+
+func TestClassifyBatchAlphaAgreesWithIsAcyclic(t *testing.T) {
+	hs := workload(60)
+	e := New(WithWorkers(4))
+	cls := e.ClassifyBatch(hs)
+	for i, h := range hs {
+		if cls[i].Alpha != e.IsAcyclic(h) {
+			t.Fatalf("instance %d: classify alpha=%v engine=%v", i, cls[i].Alpha, e.IsAcyclic(h))
+		}
+	}
+}
+
+// TestMemoization: identical inputs (same content, distinct objects) hit the
+// memo; the memo entry count tracks distinct identities.
+func TestMemoization(t *testing.T) {
+	e := New(WithWorkers(2))
+	a1 := hypergraph.Fig1()
+	a2 := hypergraph.Fig1() // distinct object, same identity
+	b := hypergraph.Triangle()
+	batch := []*hypergraph.Hypergraph{a1, a2, b, a1, b, a2}
+	got := e.IsAcyclicBatch(batch)
+	want := []bool{true, true, false, true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("verdicts = %v", got)
+		}
+	}
+	st := e.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+	if st.Misses != 2 || st.Hits != int64(len(batch))-2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A join-tree query on a known identity adds no entry.
+	if _, ok := e.JoinTree(hypergraph.Fig1()); !ok {
+		t.Fatal("fig1 must have a join tree")
+	}
+	if st := e.Stats(); st.Entries != 2 {
+		t.Fatalf("entries after join tree = %d", st.Entries)
+	}
+}
+
+// TestSharedTreeIdentity: memoized join trees are shared pointers.
+func TestSharedTreeIdentity(t *testing.T) {
+	e := New()
+	t1, _ := e.JoinTree(hypergraph.Fig1())
+	t2, _ := e.JoinTree(hypergraph.Fig1())
+	if t1 != t2 {
+		t.Fatal("join tree must be memoized and shared")
+	}
+}
+
+// TestConcurrentSingleQueries: hammer one engine from many goroutines; run
+// with -race in CI.
+func TestConcurrentSingleQueries(t *testing.T) {
+	e := New()
+	hs := workload(40)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, h := range hs {
+				want := gyo.IsAcyclic(h)
+				if e.IsAcyclic(h) != want {
+					t.Errorf("goroutine %d instance %d: verdict mismatch", g, i)
+					return
+				}
+				if _, ok := e.JoinTree(h); ok != want {
+					t.Errorf("goroutine %d instance %d: tree mismatch", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestWorkerConfiguration(t *testing.T) {
+	if New(WithWorkers(7)).Workers() != 7 {
+		t.Fatal("WithWorkers ignored")
+	}
+	if New(WithWorkers(0)).Workers() < 1 {
+		t.Fatal("default workers must be >= 1")
+	}
+	// Empty and single-element batches take the serial path.
+	e := New(WithWorkers(8))
+	if out := e.IsAcyclicBatch(nil); len(out) != 0 {
+		t.Fatal("empty batch")
+	}
+	if out := e.IsAcyclicBatch([]*hypergraph.Hypergraph{hypergraph.Fig1()}); !out[0] {
+		t.Fatal("single batch")
+	}
+}

@@ -132,6 +132,65 @@ func AcyclicChain(m, arity, overlap int) *hypergraph.Hypergraph {
 	return hypergraph.New(edges)
 }
 
+// AcyclicBlocks returns a large guaranteed-acyclic hypergraph with m edges
+// over a bounded node universe of blockCount*blockSize nodes — the
+// large-instance benchmark family. (The dense bitset edge representation
+// costs universe/64 words per edge, so unbounded-universe families like
+// AcyclicChain become memory-bound near 10⁵ edges; this family does not.)
+//
+// Structure: one full edge per block of nodes, 2-node connector edges
+// chaining consecutive blocks, and the remaining m-(2*blockCount-1) edges
+// random contiguous sub-ranges of a random block. Every sub-range is a
+// subset of its block edge and the block edges form a chain, so the whole
+// hypergraph satisfies the running-intersection property and is α-acyclic
+// (though deliberately not reduced). Requires m >= 2*blockCount-1,
+// blockCount >= 1, blockSize >= 2.
+func AcyclicBlocks(rng *rand.Rand, m, blockCount, blockSize int) *hypergraph.Hypergraph {
+	if blockCount < 1 || blockSize < 2 || m < 2*blockCount-1 {
+		panic("gen: AcyclicBlocks needs blockCount >= 1, blockSize >= 2, m >= 2*blockCount-1")
+	}
+	names := NodeNames(blockCount * blockSize)
+	block := func(b int) []string { return names[b*blockSize : (b+1)*blockSize] }
+	edges := make([][]string, 0, m)
+	for b := 0; b < blockCount; b++ {
+		edges = append(edges, block(b))
+	}
+	for b := 0; b+1 < blockCount; b++ {
+		edges = append(edges, []string{block(b)[blockSize-1], block(b + 1)[0]})
+	}
+	for len(edges) < m {
+		b := block(rng.Intn(blockCount))
+		arity := 2 + rng.Intn(min(15, blockSize-1))
+		start := rng.Intn(blockSize - arity + 1)
+		edges = append(edges, b[start:start+arity])
+	}
+	return hypergraph.New(edges)
+}
+
+// RandomRaw returns a seeded random hypergraph with no reduction and no
+// connectivity repair: edges are drawn independently over the node
+// universe. Unlike Random, generation is O(total edge size), so it scales
+// to 10⁵ edges; such instances are cyclic with overwhelming probability and
+// stress the rejection path of the acyclicity engines.
+func RandomRaw(rng *rand.Rand, spec RandomSpec) *hypergraph.Hypergraph {
+	names := NodeNames(spec.Nodes)
+	edges := make([][]string, 0, spec.Edges)
+	for i := 0; i < spec.Edges; i++ {
+		a := min(spec.arity(rng), spec.Nodes)
+		seen := make(map[int]bool, a)
+		e := make([]string, 0, a)
+		for len(e) < a {
+			p := rng.Intn(spec.Nodes)
+			if !seen[p] {
+				seen[p] = true
+				e = append(e, names[p])
+			}
+		}
+		edges = append(edges, e)
+	}
+	return hypergraph.New(edges)
+}
+
 // RandomSpec parameterizes the random hypergraph generators.
 type RandomSpec struct {
 	Nodes    int // number of nodes to draw from

@@ -1,0 +1,59 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gyo"
+)
+
+func TestAcyclicBlocksShapeAndVerdict(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := AcyclicBlocks(rng, 300, 4, 32)
+	if h.NumEdges() != 300 {
+		t.Fatalf("edges = %d", h.NumEdges())
+	}
+	if h.NumNodes() != 4*32 {
+		t.Fatalf("nodes = %d", h.NumNodes())
+	}
+	if !h.IsConnected() {
+		t.Fatal("blocks must be chained into one component")
+	}
+	if !gyo.IsAcyclic(h) {
+		t.Fatal("AcyclicBlocks must be acyclic")
+	}
+	// Degenerate corner: minimum edge count, minimum block size.
+	tiny := AcyclicBlocks(rng, 5, 3, 2)
+	if tiny.NumEdges() != 5 || !gyo.IsAcyclic(tiny) {
+		t.Fatalf("tiny blocks: edges=%d", tiny.NumEdges())
+	}
+}
+
+func TestAcyclicBlocksPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for m < 2*blockCount-1")
+		}
+	}()
+	AcyclicBlocks(rand.New(rand.NewSource(1)), 3, 3, 8)
+}
+
+func TestRandomRawShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := RandomRaw(rng, RandomSpec{Nodes: 50, Edges: 120, MinArity: 2, MaxArity: 5})
+	if h.NumEdges() != 120 {
+		t.Fatalf("edges = %d", h.NumEdges())
+	}
+	for i := 0; i < h.NumEdges(); i++ {
+		if l := h.Edge(i).Len(); l < 2 || l > 5 {
+			t.Fatalf("edge %d arity %d out of range", i, l)
+		}
+	}
+	// Arity capped by the universe.
+	small := RandomRaw(rng, RandomSpec{Nodes: 3, Edges: 10, MinArity: 2, MaxArity: 8})
+	for i := 0; i < small.NumEdges(); i++ {
+		if small.Edge(i).Len() > 3 {
+			t.Fatal("arity must be capped at the node count")
+		}
+	}
+}

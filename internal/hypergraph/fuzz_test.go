@@ -1,0 +1,61 @@
+package hypergraph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseFormatRoundTrip: for any input text, Parse never panics, and
+// when it succeeds, Format is a faithful re-encoding — Parse∘Format is the
+// identity on the parsed hypergraph and Format∘Parse∘Format is a fixpoint.
+func FuzzParseFormatRoundTrip(f *testing.F) {
+	f.Add(Fig1().Format())
+	f.Add(Fig5().Format())
+	f.Add(CyclicCounterexample().Format())
+	f.Add("# comment\nR1: A B C\nR2: C D E\nA E F\nA, C, E\n")
+	f.Add("a:b c\n#x y\np\tq\u00a0r\n")
+	f.Add("dup dup dup\ndup\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		h1, names, err := Parse(text)
+		if err != nil {
+			return // invalid inputs only need to fail cleanly
+		}
+		if len(names) != h1.NumEdges() {
+			t.Fatalf("names %d != edges %d", len(names), h1.NumEdges())
+		}
+		s1 := h1.Format()
+		h2, _, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\nformatted:\n%s", err, s1)
+		}
+		if h1.Fingerprint() != h2.Fingerprint() {
+			t.Fatalf("round trip changed the hypergraph\nwas:  %s\nnow:  %s\ntext:\n%s",
+				h1.Fingerprint(), h2.Fingerprint(), s1)
+		}
+		if !h1.Equal(h2) {
+			t.Fatalf("round trip changed nodes or edge set\nwas %v now %v", h1, h2)
+		}
+		if s2 := h2.Format(); s2 != s1 {
+			t.Fatalf("Format not a fixpoint\nfirst:\n%q\nsecond:\n%q", s1, s2)
+		}
+	})
+}
+
+// TestFormatGuards pins the explicit-name guard behavior.
+func TestFormatGuards(t *testing.T) {
+	h := New([][]string{{"x:y", "z"}, {"#lead", "w"}, {"plain", "b"}})
+	s := h.Format()
+	for _, want := range []string{"e0: ", "x:y"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, s)
+		}
+	}
+	h2, _, err := Parse(s)
+	if err != nil || !h.Equal(h2) {
+		t.Fatalf("guarded round trip: err=%v\n%v\n%v", err, h, h2)
+	}
+	// '#lead' is sorted first within its edge, so its line needs the guard.
+	if !strings.Contains(s, ": #lead") {
+		t.Fatalf("missing '#' guard:\n%s", s)
+	}
+}

@@ -1,0 +1,64 @@
+package hypergraph
+
+import (
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitset"
+)
+
+// Fingerprint renders the hypergraph's order-sensitive canonical form: each
+// edge as its sorted node names, edges in stored order, plus any isolated
+// nodes. Two hypergraphs have equal fingerprints iff they have the same node
+// set and identical edge sequences (as sets of names) — exactly the identity
+// under which acyclicity verdicts, classifications, and join trees (whose
+// parent arrays are indexed by edge position) are interchangeable.
+// CanonicalString is the edge-order-insensitive sibling.
+func (h *Hypergraph) Fingerprint() string {
+	var b strings.Builder
+	size := 0
+	for _, e := range h.edges {
+		size += 2 + 8*e.Len() // rough name-length guess to avoid regrowth
+	}
+	b.Grow(size)
+	// Node ids are assigned in sorted-name order at construction, so
+	// iterating each edge by id yields its names in a canonical order
+	// without per-edge sorting or allocation. Every name is length-prefixed,
+	// so fingerprints stay collision-free no matter which bytes (braces,
+	// separators) the names themselves contain.
+	writeName := func(name string) {
+		b.WriteString(strconv.Itoa(len(name)))
+		b.WriteByte(':')
+		b.WriteString(name)
+	}
+	covered := bitset.New(len(h.names))
+	for i := range h.edges {
+		covered.InPlaceOr(h.edges[i])
+		b.WriteByte('{')
+		h.edges[i].ForEach(func(id int) { writeName(h.names[id]) })
+		b.WriteByte('}')
+	}
+	iso := h.nodeSet.AndNot(covered)
+	if !iso.IsEmpty() {
+		b.WriteString("|iso:")
+		iso.ForEach(func(id int) { writeName(h.names[id]) })
+	}
+	return b.String()
+}
+
+// Hash returns FingerprintHash(h.Fingerprint()): the canonical hash used
+// to key memoized per-hypergraph results (the engine package). Callers
+// needing collision safety compare Fingerprint on hash hits.
+func (h *Hypergraph) Hash() uint64 {
+	return FingerprintHash(h.Fingerprint())
+}
+
+// FingerprintHash hashes an already-computed Fingerprint with 64-bit
+// FNV-1a. Callers that need both the fingerprint and its hash (the engine's
+// memo) use this to avoid rebuilding the canonical string.
+func FingerprintHash(fp string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(fp))
+	return f.Sum64()
+}

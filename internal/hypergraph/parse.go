@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode"
 )
 
 // Parse reads a hypergraph from a simple text format: one edge per line,
@@ -34,7 +35,7 @@ func Parse(text string) (*Hypergraph, []string, error) {
 			}
 		}
 		fields := strings.FieldsFunc(line, func(r rune) bool {
-			return r == ' ' || r == '\t' || r == ','
+			return unicode.IsSpace(r) || r == ','
 		})
 		if len(fields) == 0 {
 			return nil, nil, fmt.Errorf("hypergraph: line %d: edge with no nodes", lineNo+1)
@@ -57,11 +58,29 @@ func MustParse(text string) *Hypergraph {
 	return h
 }
 
-// Format renders the hypergraph in the format accepted by Parse.
+// Format renders the hypergraph in the format accepted by Parse, one edge
+// per line. Parse(Format(h)) reproduces h's node set and edge sequence
+// whenever h's node names are nonempty and contain no whitespace and no
+// comma (always true for Parse-produced hypergraphs, whose names come from
+// whitespace/comma splitting and are never empty): lines whose first node
+// starts with '#' or whose nodes contain ':' are emitted with an explicit
+// "e<i>:" edge name so they cannot be taken for comments or misread as
+// named edges.
 func (h *Hypergraph) Format() string {
 	var b strings.Builder
 	for i := range h.edges {
-		b.WriteString(strings.Join(h.EdgeNodes(i), " "))
+		nodes := h.EdgeNodes(i)
+		guard := len(nodes) > 0 && strings.HasPrefix(nodes[0], "#")
+		for _, n := range nodes {
+			if strings.Contains(n, ":") {
+				guard = true
+				break
+			}
+		}
+		if guard {
+			fmt.Fprintf(&b, "e%d: ", i)
+		}
+		b.WriteString(strings.Join(nodes, " "))
 		b.WriteByte('\n')
 	}
 	return b.String()

@@ -1,0 +1,119 @@
+package mcs_test
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+	"repro/internal/mcs"
+)
+
+func TestKnownVerdicts(t *testing.T) {
+	cases := []struct {
+		name    string
+		h       *hypergraph.Hypergraph
+		acyclic bool
+	}{
+		{"fig1", hypergraph.Fig1(), true},
+		{"fig5", hypergraph.Fig5(), true},
+		{"fig1-minus-ace", hypergraph.Fig1MinusACE(), false},
+		{"triangle", hypergraph.Triangle(), false},
+		{"cyclic-counterexample", hypergraph.CyclicCounterexample(), false},
+		{"path", gen.PathGraph(6), true},
+		{"star", gen.Star(8), true},
+		{"cycle", gen.CycleGraph(5), false},
+		{"hyper-ring", gen.HyperRing(4), false},
+		{"grid", gen.Grid(3, 3), false},
+		{"chain", gen.AcyclicChain(40, 4, 2), true},
+		{"single-edge", hypergraph.New([][]string{{"A", "B", "C"}}), true},
+		{"two-components", hypergraph.New([][]string{{"A", "B"}, {"C", "D"}}), true},
+		{"component-mix", hypergraph.New([][]string{{"A", "B"}, {"B", "C"}, {"C", "A"}, {"X", "Y"}}), false},
+		{"duplicate-edges", hypergraph.New([][]string{{"A", "B"}, {"A", "B"}, {"B", "C"}}), true},
+		{"subset-edge", hypergraph.New([][]string{{"A", "B", "C"}, {"A", "B"}, {"C", "D"}}), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := mcs.Run(c.h)
+			if r.Acyclic != c.acyclic {
+				t.Fatalf("mcs.Run(%v).Acyclic = %v, want %v", c.h, r.Acyclic, c.acyclic)
+			}
+			if c.acyclic {
+				if r.Cert != nil {
+					t.Fatal("acyclic result carries a certificate")
+				}
+				jt := &jointree.JoinTree{H: c.h, Parent: r.Parent}
+				if err := jt.Verify(); err != nil {
+					t.Fatalf("join tree invalid: %v", err)
+				}
+			} else {
+				if r.Cert == nil {
+					t.Fatal("cyclic result missing certificate")
+				}
+				if err := r.Cert.Validate(c.h); err != nil {
+					t.Fatalf("certificate invalid: %v", err)
+				}
+				if r.Parent != nil {
+					t.Fatal("cyclic result carries join-tree parents")
+				}
+			}
+		})
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	empty := hypergraph.New(nil)
+	if !mcs.IsAcyclic(empty) {
+		t.Fatal("empty hypergraph is acyclic")
+	}
+	r := mcs.Run(empty)
+	if len(r.Parent) != 0 || r.Cert != nil {
+		t.Fatalf("empty: %+v", r)
+	}
+}
+
+// TestOrdersAreComplete: acceptance visits every edge and numbers every
+// covered node exactly once.
+func TestOrdersAreComplete(t *testing.T) {
+	h := gen.AcyclicChain(25, 3, 1)
+	r := mcs.Run(h)
+	if !r.Acyclic {
+		t.Fatal("chain must be acyclic")
+	}
+	if len(r.EdgeOrder) != h.NumEdges() {
+		t.Fatalf("edge order %d, want %d", len(r.EdgeOrder), h.NumEdges())
+	}
+	seenE := map[int]bool{}
+	for _, e := range r.EdgeOrder {
+		if seenE[e] {
+			t.Fatalf("edge %d selected twice", e)
+		}
+		seenE[e] = true
+	}
+	if len(r.VertexOrder) != h.CoveredNodes().Len() {
+		t.Fatalf("vertex order %d, want %d", len(r.VertexOrder), h.CoveredNodes().Len())
+	}
+	seenV := map[int]bool{}
+	for _, v := range r.VertexOrder {
+		if seenV[v] {
+			t.Fatalf("vertex %d numbered twice", v)
+		}
+		seenV[v] = true
+	}
+}
+
+// TestParentsFollowOrder: every parent precedes its child in the selection
+// order (the RIP ordering invariant behind the join tree).
+func TestParentsFollowOrder(t *testing.T) {
+	h := hypergraph.Fig1()
+	r := mcs.Run(h)
+	pos := make(map[int]int)
+	for i, e := range r.EdgeOrder {
+		pos[e] = i
+	}
+	for e, p := range r.Parent {
+		if p >= 0 && pos[p] >= pos[e] {
+			t.Fatalf("parent %d of edge %d selected later", p, e)
+		}
+	}
+}

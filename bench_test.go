@@ -122,11 +122,12 @@ func BenchmarkAcyclicityTests(b *testing.B) {
 	})
 }
 
-// largeFamilies builds the 10⁴–10⁵-edge benchmark instances. AcyclicChain
-// stops at 10⁴ edges because its node universe grows with m and the dense
-// bitset representation charges universe/64 words per edge (~2.5 GB at
-// 10⁵); AcyclicBlocks and RandomRaw keep the universe bounded, so they
-// carry the 10⁵ tier (see ROADMAP: sparse edge representation).
+// largeFamilies builds the 10⁴–10⁵-edge benchmark instances. The
+// name-interned AcyclicChain historically stopped at 10⁴ edges because the
+// dense bitset representation charged universe/64 words per edge (~2.5 GB
+// at 10⁵); the adaptive sparse representation removed that wall — see
+// BenchmarkSparseMillionEdges for the unbounded-universe tier — and these
+// families are kept for the name-interning construction path.
 func largeFamilies() []struct {
 	name string
 	h    *hypergraph.Hypergraph
@@ -187,6 +188,112 @@ func BenchmarkJoinTreeLarge(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, ok := jointree.BuildMCS(f.h); !ok {
 					b.Fatal("family must be acyclic")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSparseMillionEdges — the representation-layer headline: a
+// 10⁶-edge unbounded-universe chain (≈2·10⁶ nodes), the family the dense
+// representation capped near 10⁵ edges (universe/64 words per edge ≈ 250 KB,
+// ≈250 GB total at this size). Under the adaptive sparse representation the
+// whole instance costs ~edge-size memory and every stage — construction,
+// MCS verdict, join-tree build, running-intersection verification — runs in
+// well under a second on commodity hardware.
+func BenchmarkSparseMillionEdges(b *testing.B) {
+	const m = 1_000_000
+	h := gen.AcyclicChainIDs(m, 3, 1)
+	b.Run("construct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gen.AcyclicChainIDs(m, 3, 1)
+		}
+	})
+	b.Run("mcs-verdict", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !mcs.IsAcyclic(h) {
+				b.Fatal("chain must be acyclic")
+			}
+		}
+	})
+	b.Run("jointree-build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := jointree.BuildMCS(h); !ok {
+				b.Fatal("chain must be acyclic")
+			}
+		}
+	})
+	jt, _ := jointree.BuildMCS(h)
+	b.Run("verify", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := jt.Verify(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	reject := gen.RandomRawIDs(rand.New(rand.NewSource(42)),
+		gen.RandomSpec{Nodes: 1 << 16, Edges: m, MinArity: 2, MaxArity: 5})
+	b.Run("mcs-reject", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if mcs.IsAcyclic(reject) {
+				b.Fatal("random raw instance should be cyclic")
+			}
+		}
+	})
+}
+
+// BenchmarkReduceScaling — the linearized hypergraph.Reduce from 10⁴ to 10⁵
+// edges on subset-heavy block families whose block count scales with m (so
+// per-block subset populations stay bounded). ns/op divided by edge count
+// staying flat is the superlinear→linear evidence; the seed's all-pairs
+// subset scan grew quadratically here.
+func BenchmarkReduceScaling(b *testing.B) {
+	for _, m := range []int{10_000, 100_000} {
+		rng := rand.New(rand.NewSource(int64(m)))
+		h := gen.AcyclicBlocksIDs(rng, m, m/625, 256)
+		b.Run(fmt.Sprintf("blocks/m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.Reduce()
+			}
+		})
+	}
+}
+
+// BenchmarkJoinTreeVerifyScaling — the single-sweep JoinTree.Verify from
+// 10⁴ to 10⁵ edges; the seed's per-node holder BFS was the quadratic hot
+// spot on families where node degree grows with m.
+func BenchmarkJoinTreeVerifyScaling(b *testing.B) {
+	for _, m := range []int{10_000, 100_000} {
+		h := gen.AcyclicChainIDs(m, 3, 1)
+		jt, ok := jointree.BuildMCS(h)
+		if !ok {
+			b.Fatal("chain must be acyclic")
+		}
+		b.Run(fmt.Sprintf("chain/m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := jt.Verify(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rng := rand.New(rand.NewSource(int64(m)))
+		hb := gen.AcyclicBlocksIDs(rng, m, m/625, 256)
+		jtb, ok := jointree.BuildMCS(hb)
+		if !ok {
+			b.Fatal("blocks must be acyclic")
+		}
+		b.Run(fmt.Sprintf("blocks/m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := jtb.Verify(); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

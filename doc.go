@@ -35,15 +35,43 @@
 //     engines to identical verdicts on >10,000 generated instances plus
 //     the exhaustive small-hypergraph corpus.
 //
+// # Representation layer
+//
+// Nodes are interned to dense ids; each edge is stored in an adaptive
+// representation (internal/hypergraph.Edge) chosen per edge by density:
+//
+//   - dense (internal/bitset.Set): ⌈universe/64⌉ words, word-parallel
+//     subset/intersection kernels. Chosen for universes up to 1024 nodes —
+//     the whole paper-scale surface — and for edges covering at least 1/32
+//     of a larger universe (the memory parity point: universe/8 bytes dense
+//     vs 4·|edge| bytes sparse).
+//   - sparse (internal/bitset.Sparse): a strictly increasing []int32 with
+//     merge-based kernels. Storage is proportional to edge size, which is
+//     what lets unbounded-universe families scale: a 10⁶-edge chain over
+//     2·10⁶ nodes costs ~92 MB total where dense edges would charge
+//     ~250 KB each (~250 GB). NewHypergraphFromIDs builds such instances in
+//     O(total edge size); MCS verdict, join-tree construction, and
+//     running-intersection verification each run in well under a second at
+//     that size (see BENCH_sparse.json).
+//
+// The structural hot paths are linear in total edge size: Hypergraph.Reduce
+// buckets edges by content hash and confirms containment through minimum-
+// degree occurrence lists behind a Bloom-signature prefilter, and
+// JoinTree.Verify checks the running-intersection property in one sweep
+// counting per-node holder components.
+//
 // # Batch engine
 //
 // internal/engine (facade: NewEngine) serves heavy query traffic: batches
 // fan out over a GOMAXPROCS-sized worker pool, and results are memoized
 // per hypergraph under the canonical hash (Hypergraph.Hash /
 // Hypergraph.Fingerprint), so repeated queries against a bounded schema
-// population cost a fingerprint and a map probe. Engine.IsAcyclicBatch,
-// Engine.JoinTreeBatch and Engine.ClassifyBatch are the batch mirrors of
-// the single-shot facade calls.
+// population cost a fingerprint and a map probe. The memo is partitioned
+// into fingerprint-keyed shards (at least GOMAXPROCS, rounded up to a power
+// of two), so warm repeat traffic scales across cores instead of
+// serializing behind one lock. Engine.IsAcyclicBatch, Engine.JoinTreeBatch
+// and Engine.ClassifyBatch are the batch mirrors of the single-shot facade
+// calls.
 //
 // See the examples/ directory for runnable programs and DESIGN.md for the
 // paper-to-package map.

@@ -8,6 +8,17 @@
 // A Set is a value type backed by a slice of 64-bit words. The zero value is
 // the empty set over an empty universe. Sets grow on demand; operations on
 // sets of different lengths treat the missing high words as zero.
+//
+// Like slices, plain struct copies of a Set share their backing words: an
+// in-place operation (Add, Remove, InPlaceOr, InPlaceAndNot) on one copy is
+// visible through every copy that shares the storage, and growth may or may
+// not carry the sharing along. Use Clone wherever an independent set is
+// needed; the derivation operations (And, Or, AndNot) always return freshly
+// allocated sets.
+//
+// For edges over large universes the dense representation charges
+// ⌈universe/64⌉ words regardless of cardinality; Sparse is the sorted-id
+// sibling whose storage is proportional to the number of elements.
 package bitset
 
 import (
@@ -40,6 +51,21 @@ func Of(elems ...int) Set {
 	return s
 }
 
+// Full returns the set {0, 1, ..., n-1}.
+func Full(n int) Set {
+	if n <= 0 {
+		return Set{}
+	}
+	words := make([]uint64, (n+wordBits-1)/wordBits)
+	for i := range words {
+		words[i] = ^uint64(0)
+	}
+	if r := n % wordBits; r != 0 {
+		words[len(words)-1] = (1 << uint(r)) - 1
+	}
+	return Set{words: words}
+}
+
 // Clone returns an independent copy of s.
 func (s Set) Clone() Set {
 	if len(s.words) == 0 {
@@ -50,10 +76,31 @@ func (s Set) Clone() Set {
 	return Set{words: w}
 }
 
+// ensure grows s.words to cover the given word index in one step. Growth
+// within spare capacity re-slices and explicitly zeroes the uncovered words
+// (they may hold stale bits when another Set copy grew through the same
+// backing array); growth beyond capacity allocates with doubling, so a run
+// of ascending Adds stays amortized O(1) instead of the O(n²) an
+// append-one-word-at-a-time loop risks on aliased storage.
 func (s *Set) ensure(word int) {
-	for len(s.words) <= word {
-		s.words = append(s.words, 0)
+	if word < len(s.words) {
+		return
 	}
+	if word < cap(s.words) {
+		n := len(s.words)
+		s.words = s.words[:word+1]
+		for i := n; i <= word; i++ {
+			s.words[i] = 0
+		}
+		return
+	}
+	newCap := word + 1
+	if c := 2 * cap(s.words); c > newCap {
+		newCap = c
+	}
+	words := make([]uint64, word+1, newCap)
+	copy(words, s.words)
+	s.words = words
 }
 
 // Add inserts e into the set. It panics if e is negative.
@@ -143,6 +190,19 @@ func (s Set) IsProperSubset(t Set) bool {
 	return s.IsSubset(t) && !s.Equal(t)
 }
 
+// IntersectCount returns |s ∩ t| without materializing the intersection.
+func (s Set) IntersectCount(t Set) int {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		count += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return count
+}
+
 // Intersects reports whether s and t share at least one element.
 func (s Set) Intersects(t Set) bool {
 	n := len(s.words)
@@ -200,7 +260,14 @@ func (s Set) AndNot(t Set) Set {
 
 // InPlaceOr adds all elements of t to s.
 func (s *Set) InPlaceOr(t Set) {
-	s.ensure(len(t.words) - 1)
+	if len(t.words) > len(s.words) {
+		// Grow through a fresh array rather than ensure: if s is a shorter
+		// copy sharing t's backing array, re-slicing and zeroing in place
+		// would clobber t's live high words before they are read.
+		words := make([]uint64, len(t.words))
+		copy(words, s.words)
+		s.words = words
+	}
 	for i, w := range t.words {
 		s.words[i] |= w
 	}
@@ -223,6 +290,20 @@ func (s Set) ForEach(f func(e int)) {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
 			f(i*wordBits + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// ForEachUntil calls f on every element in ascending order until f returns
+// false — the abortable iterator behind short-circuiting predicates.
+func (s Set) ForEachUntil(f func(e int) bool) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !f(i*wordBits + b) {
+				return
+			}
 			w &^= 1 << uint(b)
 		}
 	}

@@ -1,0 +1,73 @@
+package bitset
+
+import (
+	"reflect"
+	"testing"
+)
+
+// decodeElems turns fuzz bytes into a small element list: each byte is one
+// element, the high bit routing it into a wider band so the kernels see both
+// tight clusters and spread-out ids.
+func decodeElems(data []byte) []int {
+	out := make([]int, 0, len(data))
+	for _, b := range data {
+		e := int(b & 0x7f)
+		if b&0x80 != 0 {
+			e = e*37 + 128
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// FuzzSparseMergeKernels drives the sorted-merge kernels (IsSubset,
+// Intersects, IntersectCount, And, Or, AndNot, Equal) with arbitrary operand
+// pairs and checks every result against the dense Set reference. The split
+// byte partitions the input into the two operands, so the fuzzer controls
+// relative lengths, overlaps, and duplicate patterns.
+func FuzzSparseMergeKernels(f *testing.F) {
+	f.Add([]byte{}, byte(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, byte(3))
+	f.Add([]byte{0, 0, 0, 255, 255, 128, 7}, byte(2))
+	f.Add([]byte{10, 20, 30, 10, 20, 30}, byte(3))
+	f.Fuzz(func(t *testing.T, data []byte, split byte) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		cut := 0
+		if len(data) > 0 {
+			cut = int(split) % (len(data) + 1)
+		}
+		ea, eb := decodeElems(data[:cut]), decodeElems(data[cut:])
+		sa, sb := SparseOf(ea...), SparseOf(eb...)
+		da, db := Of(ea...), Of(eb...)
+
+		if !reflect.DeepEqual(sa.Elems(), da.Elems()) {
+			t.Fatalf("construction: %v vs %v", sa.Elems(), da.Elems())
+		}
+		if got, want := sa.Equal(sb), da.Equal(db); got != want {
+			t.Fatalf("Equal(%v, %v) = %v, dense %v", sa, sb, got, want)
+		}
+		if got, want := sa.IsSubset(sb), da.IsSubset(db); got != want {
+			t.Fatalf("IsSubset(%v, %v) = %v, dense %v", sa, sb, got, want)
+		}
+		if got, want := sb.IsSubset(sa), db.IsSubset(da); got != want {
+			t.Fatalf("IsSubset(%v, %v) = %v, dense %v", sb, sa, got, want)
+		}
+		if got, want := sa.Intersects(sb), da.Intersects(db); got != want {
+			t.Fatalf("Intersects(%v, %v) = %v, dense %v", sa, sb, got, want)
+		}
+		if got, want := sa.IntersectCount(sb), da.And(db).Len(); got != want {
+			t.Fatalf("IntersectCount(%v, %v) = %d, dense %d", sa, sb, got, want)
+		}
+		if got, want := sa.And(sb).Elems(), da.And(db).Elems(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("And(%v, %v) = %v, dense %v", sa, sb, got, want)
+		}
+		if got, want := sa.Or(sb).Elems(), da.Or(db).Elems(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Or(%v, %v) = %v, dense %v", sa, sb, got, want)
+		}
+		if got, want := sa.AndNot(sb).Elems(), da.AndNot(db).Elems(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("AndNot(%v, %v) = %v, dense %v", sa, sb, got, want)
+		}
+	})
+}

@@ -1,0 +1,344 @@
+package bitset
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sparse is a set of non-negative integers stored as a strictly increasing
+// slice of int32 ids. Its storage is proportional to the number of elements,
+// which is what lets hypergraph edges over unbounded universes (millions of
+// node ids) cost O(|edge|) instead of the ⌈universe/64⌉ words a dense Set
+// charges. All binary operations are linear merges over the sorted slices;
+// Contains is a binary search.
+//
+// The zero value is the empty set. Like Set, plain struct copies share the
+// backing slice; the in-place operations (Add, Remove) may or may not carry
+// that sharing along — use Clone for an independent copy. Elements must fit
+// in an int32 (ids above 2³¹-1 panic), which bounds universes at ~2.1e9,
+// far beyond what the dense side of the adaptive representation tolerates.
+type Sparse struct {
+	ids []int32
+}
+
+// SparseOf returns the sparse set containing exactly the given elements.
+func SparseOf(elems ...int) Sparse {
+	ids := make([]int32, 0, len(elems))
+	for _, e := range elems {
+		ids = append(ids, checkID(e))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return Sparse{ids: DedupSorted(ids)}
+}
+
+// SparseFromSorted adopts a strictly increasing id slice as a sparse set
+// without copying. It panics if the slice is not strictly increasing or
+// contains a negative id; callers that cannot guarantee order should sort
+// first (see SparseOf).
+func SparseFromSorted(ids []int32) Sparse {
+	for i, id := range ids {
+		if id < 0 || (i > 0 && ids[i-1] >= id) {
+			panic("bitset: SparseFromSorted ids not strictly increasing")
+		}
+	}
+	return Sparse{ids: ids}
+}
+
+// SparseFromSet converts a dense set to its sparse form.
+func SparseFromSet(s Set) Sparse {
+	ids := make([]int32, 0, s.Len())
+	s.ForEach(func(e int) { ids = append(ids, int32(e)) })
+	return Sparse{ids: ids}
+}
+
+func checkID(e int) int32 {
+	if e < 0 {
+		panic("bitset: negative element " + strconv.Itoa(e))
+	}
+	if e > 1<<31-1 {
+		panic("bitset: element " + strconv.Itoa(e) + " exceeds int32 range")
+	}
+	return int32(e)
+}
+
+// DedupSorted collapses adjacent duplicates of a sorted id slice in place
+// and returns the shortened slice — the normalization step shared by every
+// sorted-id adopter (SparseOf here, hypergraph.FromIDs above this package).
+func DedupSorted(ids []int32) []int32 {
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || out[len(out)-1] != id {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy of s.
+func (s Sparse) Clone() Sparse {
+	if len(s.ids) == 0 {
+		return Sparse{}
+	}
+	ids := make([]int32, len(s.ids))
+	copy(ids, s.ids)
+	return Sparse{ids: ids}
+}
+
+// Len returns the number of elements.
+func (s Sparse) Len() int { return len(s.ids) }
+
+// IsEmpty reports whether the set has no elements.
+func (s Sparse) IsEmpty() bool { return len(s.ids) == 0 }
+
+// Contains reports whether e is in the set.
+func (s Sparse) Contains(e int) bool {
+	if e < 0 || len(s.ids) == 0 || e > int(s.ids[len(s.ids)-1]) {
+		return false
+	}
+	id := int32(e)
+	i := sort.Search(len(s.ids), func(k int) bool { return s.ids[k] >= id })
+	return i < len(s.ids) && s.ids[i] == id
+}
+
+// Add inserts e. It is O(n) in the worst case (slice insertion); Sparse sets
+// are built once and queried, so mutation is a convenience, not a hot path.
+func (s *Sparse) Add(e int) {
+	id := checkID(e)
+	i := sort.Search(len(s.ids), func(k int) bool { return s.ids[k] >= id })
+	if i < len(s.ids) && s.ids[i] == id {
+		return
+	}
+	s.ids = append(s.ids, 0)
+	copy(s.ids[i+1:], s.ids[i:])
+	s.ids[i] = id
+}
+
+// Remove deletes e if present.
+func (s *Sparse) Remove(e int) {
+	if e < 0 {
+		return
+	}
+	id := int32(e)
+	i := sort.Search(len(s.ids), func(k int) bool { return s.ids[k] >= id })
+	if i < len(s.ids) && s.ids[i] == id {
+		s.ids = append(s.ids[:i], s.ids[i+1:]...)
+	}
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s Sparse) Min() int {
+	if len(s.ids) == 0 {
+		return -1
+	}
+	return int(s.ids[0])
+}
+
+// Max returns the largest element, or -1 if the set is empty.
+func (s Sparse) Max() int {
+	if len(s.ids) == 0 {
+		return -1
+	}
+	return int(s.ids[len(s.ids)-1])
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s Sparse) Equal(t Sparse) bool {
+	if len(s.ids) != len(t.ids) {
+		return false
+	}
+	for i, id := range s.ids {
+		if t.ids[i] != id {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubset reports whether every element of s is in t, by a linear merge.
+func (s Sparse) IsSubset(t Sparse) bool {
+	if len(s.ids) > len(t.ids) {
+		return false
+	}
+	j := 0
+	for _, id := range s.ids {
+		for j < len(t.ids) && t.ids[j] < id {
+			j++
+		}
+		if j == len(t.ids) || t.ids[j] != id {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// IsProperSubset reports whether s ⊂ t strictly.
+func (s Sparse) IsProperSubset(t Sparse) bool {
+	return len(s.ids) < len(t.ids) && s.IsSubset(t)
+}
+
+// Intersects reports whether s and t share at least one element.
+func (s Sparse) Intersects(t Sparse) bool {
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(t.ids) {
+		switch {
+		case s.ids[i] == t.ids[j]:
+			return true
+		case s.ids[i] < t.ids[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// IntersectCount returns |s ∩ t| without materializing the intersection.
+func (s Sparse) IntersectCount(t Sparse) int {
+	n, i, j := 0, 0, 0
+	for i < len(s.ids) && j < len(t.ids) {
+		switch {
+		case s.ids[i] == t.ids[j]:
+			n++
+			i++
+			j++
+		case s.ids[i] < t.ids[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// And returns s ∩ t as a new sparse set.
+func (s Sparse) And(t Sparse) Sparse {
+	short := len(s.ids)
+	if len(t.ids) < short {
+		short = len(t.ids)
+	}
+	out := make([]int32, 0, short)
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(t.ids) {
+		switch {
+		case s.ids[i] == t.ids[j]:
+			out = append(out, s.ids[i])
+			i++
+			j++
+		case s.ids[i] < t.ids[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return Sparse{ids: out}
+}
+
+// Or returns s ∪ t as a new sparse set.
+func (s Sparse) Or(t Sparse) Sparse {
+	out := make([]int32, 0, len(s.ids)+len(t.ids))
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(t.ids) {
+		switch {
+		case s.ids[i] == t.ids[j]:
+			out = append(out, s.ids[i])
+			i++
+			j++
+		case s.ids[i] < t.ids[j]:
+			out = append(out, s.ids[i])
+			i++
+		default:
+			out = append(out, t.ids[j])
+			j++
+		}
+	}
+	out = append(out, s.ids[i:]...)
+	out = append(out, t.ids[j:]...)
+	return Sparse{ids: out}
+}
+
+// AndNot returns s \ t as a new sparse set.
+func (s Sparse) AndNot(t Sparse) Sparse {
+	out := make([]int32, 0, len(s.ids))
+	j := 0
+	for _, id := range s.ids {
+		for j < len(t.ids) && t.ids[j] < id {
+			j++
+		}
+		if j == len(t.ids) || t.ids[j] != id {
+			out = append(out, id)
+		}
+	}
+	return Sparse{ids: out}
+}
+
+// ForEach calls f on every element in ascending order.
+func (s Sparse) ForEach(f func(e int)) {
+	for _, id := range s.ids {
+		f(int(id))
+	}
+}
+
+// ForEachUntil calls f on every element in ascending order until f returns
+// false.
+func (s Sparse) ForEachUntil(f func(e int) bool) {
+	for _, id := range s.ids {
+		if !f(int(id)) {
+			return
+		}
+	}
+}
+
+// Elems returns the elements in ascending order.
+func (s Sparse) Elems() []int {
+	out := make([]int, len(s.ids))
+	for i, id := range s.ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// IDs returns the backing sorted id slice. It is shared — callers must not
+// mutate it.
+func (s Sparse) IDs() []int32 { return s.ids }
+
+// ToSet converts to the dense representation.
+func (s Sparse) ToSet() Set {
+	if len(s.ids) == 0 {
+		return Set{}
+	}
+	out := New(int(s.ids[len(s.ids)-1]) + 1)
+	for _, id := range s.ids {
+		out.Add(int(id))
+	}
+	return out
+}
+
+// Key returns a string usable as a map key identifying the set's contents.
+// Two sparse sets have equal keys iff they are Equal. The encoding differs
+// from Set.Key (element-wise vs word-wise), so keys from the two types must
+// not be mixed in one map.
+func (s Sparse) Key() string {
+	var b strings.Builder
+	b.Grow(len(s.ids) * 8)
+	for _, id := range s.ids {
+		b.WriteString(strconv.FormatInt(int64(id), 16))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// String renders the set as "{0 3 7}".
+func (s Sparse) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range s.ids {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.FormatInt(int64(id), 10))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

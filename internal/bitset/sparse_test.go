@@ -1,0 +1,226 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestSparseZeroValue(t *testing.T) {
+	var s Sparse
+	if !s.IsEmpty() || s.Len() != 0 {
+		t.Fatal("zero value should be empty")
+	}
+	if s.Contains(0) || s.Contains(7) {
+		t.Fatal("zero value should contain nothing")
+	}
+	if s.Min() != -1 || s.Max() != -1 {
+		t.Fatalf("Min/Max = %d/%d, want -1/-1", s.Min(), s.Max())
+	}
+	if got := s.String(); got != "{}" {
+		t.Fatalf("String = %q, want {}", got)
+	}
+	if !s.IsSubset(Sparse{}) || !s.Equal(Sparse{}) || s.Intersects(Sparse{}) {
+		t.Fatal("empty-set relations wrong")
+	}
+}
+
+func TestSparseOfSortsAndDedups(t *testing.T) {
+	s := SparseOf(7, 3, 7, 0, 3)
+	if got := s.Elems(); !reflect.DeepEqual(got, []int{0, 3, 7}) {
+		t.Fatalf("Elems = %v", got)
+	}
+}
+
+func TestSparseFromSortedPanicsOnDisorder(t *testing.T) {
+	for _, bad := range [][]int32{{3, 1}, {1, 1}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SparseFromSorted(%v) should panic", bad)
+				}
+			}()
+			SparseFromSorted(bad)
+		}()
+	}
+}
+
+func TestSparseAddRemove(t *testing.T) {
+	var s Sparse
+	for _, e := range []int{5, 1, 9, 5, 0} {
+		s.Add(e)
+	}
+	if got := s.Elems(); !reflect.DeepEqual(got, []int{0, 1, 5, 9}) {
+		t.Fatalf("Elems = %v", got)
+	}
+	s.Remove(5)
+	s.Remove(5)  // idempotent
+	s.Remove(-3) // no-op
+	if got := s.Elems(); !reflect.DeepEqual(got, []int{0, 1, 9}) {
+		t.Fatalf("Elems after Remove = %v", got)
+	}
+}
+
+// randomPair draws a dense/sparse pair with identical contents over a
+// universe whose size itself is randomized, so both the packed-small and the
+// spread-out regimes are exercised.
+func randomPair(rng *rand.Rand) (Set, Sparse) {
+	universe := 1 + rng.Intn(2000)
+	n := rng.Intn(40)
+	var d Set
+	var elems []int
+	for i := 0; i < n; i++ {
+		e := rng.Intn(universe)
+		d.Add(e)
+		elems = append(elems, e)
+	}
+	return d, SparseOf(elems...)
+}
+
+// TestSparseMatchesSetDifferential pins every Sparse operation to the dense
+// Set semantics op-by-op on randomized universes: for any pair of contents,
+// converting operands, applying the op, and converting back must commute.
+func TestSparseMatchesSetDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		da, sa := randomPair(rng)
+		db, sb := randomPair(rng)
+		if !reflect.DeepEqual(da.Elems(), sa.Elems()) {
+			t.Fatalf("trial %d: construction mismatch %v vs %v", trial, da.Elems(), sa.Elems())
+		}
+		if got, want := sa.Len(), da.Len(); got != want {
+			t.Fatalf("trial %d: Len %d vs %d", trial, got, want)
+		}
+		if got, want := sa.IsEmpty(), da.IsEmpty(); got != want {
+			t.Fatalf("trial %d: IsEmpty %v vs %v", trial, got, want)
+		}
+		if got, want := sa.Min(), da.Min(); got != want {
+			t.Fatalf("trial %d: Min %d vs %d", trial, got, want)
+		}
+		for _, probe := range []int{-1, 0, rng.Intn(2100), sa.Min(), sa.Max()} {
+			if got, want := sa.Contains(probe), da.Contains(probe); got != want {
+				t.Fatalf("trial %d: Contains(%d) %v vs %v", trial, probe, got, want)
+			}
+		}
+		if got, want := sa.Equal(sb), da.Equal(db); got != want {
+			t.Fatalf("trial %d: Equal %v vs %v", trial, got, want)
+		}
+		if got, want := sa.IsSubset(sb), da.IsSubset(db); got != want {
+			t.Fatalf("trial %d: IsSubset %v vs %v\n a=%v\n b=%v", trial, got, want, sa, sb)
+		}
+		if got, want := sa.IsProperSubset(sb), da.IsProperSubset(db); got != want {
+			t.Fatalf("trial %d: IsProperSubset %v vs %v", trial, got, want)
+		}
+		if got, want := sa.Intersects(sb), da.Intersects(db); got != want {
+			t.Fatalf("trial %d: Intersects %v vs %v", trial, got, want)
+		}
+		if got, want := sa.IntersectCount(sb), da.And(db).Len(); got != want {
+			t.Fatalf("trial %d: IntersectCount %d vs %d", trial, got, want)
+		}
+		if got, want := sa.And(sb).Elems(), da.And(db).Elems(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: And %v vs %v", trial, got, want)
+		}
+		if got, want := sa.Or(sb).Elems(), da.Or(db).Elems(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: Or %v vs %v", trial, got, want)
+		}
+		if got, want := sa.AndNot(sb).Elems(), da.AndNot(db).Elems(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: AndNot %v vs %v", trial, got, want)
+		}
+		if got, want := SparseFromSet(da).Elems(), sa.Elems(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: SparseFromSet %v vs %v", trial, got, want)
+		}
+		if got, want := sa.ToSet().Elems(), da.Elems(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: ToSet %v vs %v", trial, got, want)
+		}
+		// Key discipline: equal contents iff equal keys.
+		if (sa.Key() == sb.Key()) != sa.Equal(sb) {
+			t.Fatalf("trial %d: Key/Equal disagree", trial)
+		}
+		// Add/Remove differential on a mutable copy.
+		mutS, mutD := sa.Clone(), da.Clone()
+		for k := 0; k < 5; k++ {
+			e := rng.Intn(2100)
+			if rng.Intn(2) == 0 {
+				mutS.Add(e)
+				mutD.Add(e)
+			} else {
+				mutS.Remove(e)
+				mutD.Remove(e)
+			}
+		}
+		if !reflect.DeepEqual(mutS.Elems(), mutD.Elems()) {
+			t.Fatalf("trial %d: Add/Remove drift %v vs %v", trial, mutS.Elems(), mutD.Elems())
+		}
+	}
+}
+
+func TestSparseCloneIndependence(t *testing.T) {
+	s := SparseOf(1, 2, 3)
+	c := s.Clone()
+	c.Add(9)
+	c.Remove(2)
+	if got := s.Elems(); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("clone mutation leaked into original: %v", got)
+	}
+}
+
+// TestEnsureZeroesReusedCapacity: growth into spare capacity must not expose
+// stale bits left behind by another Set that grew through the same backing
+// array (the regression the single-resize ensure guards against).
+func TestEnsureZeroesReusedCapacity(t *testing.T) {
+	big := New(1024)
+	big.Add(700)
+	// Simulate a short set whose slice shares the polluted backing array.
+	short := Set{words: big.words[:1]}
+	short.Add(800)
+	if short.Contains(700) {
+		t.Fatal("growth into dirty capacity resurrected element 700")
+	}
+	if got := short.Elems(); !reflect.DeepEqual(got, []int{800}) {
+		t.Fatalf("Elems = %v, want [800]", got)
+	}
+}
+
+// TestInPlaceOrAliasedGrowth: s |= t where s is a shorter prefix copy
+// sharing t's backing array must not lose t's high words.
+func TestInPlaceOrAliasedGrowth(t *testing.T) {
+	var full Set
+	full.Add(3)
+	full.Add(200)
+	short := Set{words: full.words[:1]} // shares storage, sees only {3}
+	short.InPlaceOr(full)
+	if got := short.Elems(); !reflect.DeepEqual(got, []int{3, 200}) {
+		t.Fatalf("aliased InPlaceOr lost elements: %v", got)
+	}
+	if got := full.Elems(); !reflect.DeepEqual(got, []int{3, 200}) {
+		t.Fatalf("aliased InPlaceOr corrupted source: %v", got)
+	}
+}
+
+func TestFull(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130} {
+		f := Full(n)
+		if f.Len() != n {
+			t.Fatalf("Full(%d).Len = %d", n, f.Len())
+		}
+		if n > 0 && (!f.Contains(0) || !f.Contains(n-1) || f.Contains(n)) {
+			t.Fatalf("Full(%d) membership wrong", n)
+		}
+	}
+}
+
+func BenchmarkSparseSubsetMerge(b *testing.B) {
+	small := make([]int32, 16)
+	big := make([]int32, 4096)
+	for i := range big {
+		big[i] = int32(i * 3)
+	}
+	for i := range small {
+		small[i] = int32(i * 700)
+	}
+	s, t := SparseFromSorted(small), SparseFromSorted(big)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.IsSubset(t)
+	}
+}

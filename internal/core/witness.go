@@ -255,6 +255,7 @@ func FindIndependentPathExhaustive(h *hypergraph.Hypergraph, maxLen int) (*Path,
 	}
 	// edgeCount[e] = number of chosen sets contained in edge e.
 	edgeCount := make([]int, h.NumEdges())
+	edges := h.Edges() // hoisted: Edges() materializes a fresh slice per call
 	var seq []bitset.Set
 	var result *Path
 
@@ -295,7 +296,7 @@ func FindIndependentPathExhaustive(h *hypergraph.Hypergraph, maxLen int) (*Path,
 			}
 			// Minimality: no edge may contain three sets.
 			ok := true
-			for e, edge := range h.Edges() {
+			for e, edge := range edges {
 				if cand.IsSubset(edge) && edgeCount[e] == 2 {
 					ok = false
 					break
@@ -304,7 +305,7 @@ func FindIndependentPathExhaustive(h *hypergraph.Hypergraph, maxLen int) (*Path,
 			if !ok {
 				continue
 			}
-			for e, edge := range h.Edges() {
+			for e, edge := range edges {
 				if cand.IsSubset(edge) {
 					edgeCount[e]++
 				}
@@ -314,7 +315,7 @@ func FindIndependentPathExhaustive(h *hypergraph.Hypergraph, maxLen int) (*Path,
 				return true
 			}
 			seq = seq[:len(seq)-1]
-			for e, edge := range h.Edges() {
+			for e, edge := range edges {
 				if cand.IsSubset(edge) {
 					edgeCount[e]--
 				}

@@ -6,6 +6,13 @@
 // traffic over a bounded schema population — cost one map probe after the
 // first computation.
 //
+// The memo is partitioned into fingerprint-keyed shards (a power of two at
+// least GOMAXPROCS, rounded up), each guarded by its own mutex, so the
+// warm-memo path scales across cores instead of serializing every worker
+// behind one lock: a batch of repeat queries touches shards uniformly (the
+// canonical hash is the shard selector) and contention drops by the shard
+// count.
+//
 // Single-query methods (IsAcyclic, JoinTree, Classify) share the memo with
 // their batch counterparts (IsAcyclicBatch, JoinTreeBatch, ClassifyBatch).
 // Each memo entry computes each result kind at most once, guarded by a
@@ -34,11 +41,20 @@ import (
 type Engine struct {
 	workers int
 
-	mu   sync.Mutex
-	memo map[uint64][]*entry // canonical hash -> entries (collision chain)
+	shards []shard // fingerprint-keyed memo shards, len is a power of two
+	mask   uint64
 
 	hits   atomic.Int64
 	misses atomic.Int64
+}
+
+// shard is one memo partition. The padding rounds the struct up to a full
+// 64-byte cache line (mutex 8 + map header 8 + 48), so uncontended locks on
+// neighboring shards do not false-share.
+type shard struct {
+	mu   sync.Mutex
+	memo map[uint64][]*entry // canonical hash -> entries (collision chain)
+	_    [48]byte
 }
 
 // entry memoizes the results for one hypergraph identity (fingerprint).
@@ -71,21 +87,47 @@ func WithWorkers(n int) Option {
 	}
 }
 
-// New returns an Engine with an empty memo and a worker pool sized by
-// GOMAXPROCS unless overridden by WithWorkers.
+// WithShards sets the memo shard count, rounded up to a power of two.
+// Values < 1 fall back to the default (GOMAXPROCS rounded up). Mostly for
+// tests (a single shard makes contention and chain behavior deterministic).
+func WithShards(n int) Option {
+	return func(e *Engine) {
+		if n >= 1 {
+			e.initShards(n)
+		}
+	}
+}
+
+// New returns an Engine with an empty sharded memo and a worker pool sized
+// by GOMAXPROCS unless overridden by WithWorkers/WithShards.
 func New(opts ...Option) *Engine {
 	e := &Engine{
 		workers: runtime.GOMAXPROCS(0),
-		memo:    make(map[uint64][]*entry),
 	}
+	e.initShards(e.workers)
 	for _, o := range opts {
 		o(e)
 	}
 	return e
 }
 
+func (e *Engine) initShards(n int) {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	e.shards = make([]shard, size)
+	for i := range e.shards {
+		e.shards[i].memo = make(map[uint64][]*entry)
+	}
+	e.mask = uint64(size - 1)
+}
+
 // Workers returns the batch worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// Shards returns the memo shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
 
 // Stats reports memo effectiveness.
 type Stats struct {
@@ -94,34 +136,38 @@ type Stats struct {
 	Entries int   // distinct hypergraph identities seen
 }
 
-// Stats returns a snapshot of the memo counters.
+// Stats returns a snapshot of the memo counters, aggregated across shards.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
 	n := 0
-	for _, chain := range e.memo {
-		n += len(chain)
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.Lock()
+		for _, chain := range s.memo {
+			n += len(chain)
+		}
+		s.mu.Unlock()
 	}
-	e.mu.Unlock()
 	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load(), Entries: n}
 }
 
-// entryFor interns h's identity: the canonical hash keys the memo, and the
-// full fingerprint disambiguates hash collisions. The fingerprint is built
-// once and hashed directly (h.Hash() would rebuild it).
+// entryFor interns h's identity: the canonical hash keys the memo and picks
+// the shard, and the full fingerprint disambiguates hash collisions. The
+// fingerprint is built once and hashed directly (h.Hash() would rebuild it).
 func (e *Engine) entryFor(h *hypergraph.Hypergraph) *entry {
 	fp := h.Fingerprint()
 	key := hypergraph.FingerprintHash(fp)
-	e.mu.Lock()
-	for _, en := range e.memo[key] {
+	s := &e.shards[key&e.mask]
+	s.mu.Lock()
+	for _, en := range s.memo[key] {
 		if en.fp == fp {
-			e.mu.Unlock()
+			s.mu.Unlock()
 			e.hits.Add(1)
 			return en
 		}
 	}
 	en := &entry{fp: fp, h: h}
-	e.memo[key] = append(e.memo[key], en)
-	e.mu.Unlock()
+	s.memo[key] = append(s.memo[key], en)
+	s.mu.Unlock()
 	e.misses.Add(1)
 	return en
 }

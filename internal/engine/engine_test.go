@@ -134,6 +134,59 @@ func TestConcurrentSingleQueries(t *testing.T) {
 	wg.Wait()
 }
 
+// TestShardConfiguration: shard counts round up to powers of two, a single
+// shard still behaves, and identities spread across shards aggregate in
+// Stats exactly as the single-map memo did.
+func TestShardConfiguration(t *testing.T) {
+	for n, want := range map[int]int{1: 1, 2: 2, 3: 4, 7: 8, 8: 8, 9: 16} {
+		if got := New(WithShards(n)).Shards(); got != want {
+			t.Fatalf("WithShards(%d) = %d shards, want %d", n, got, want)
+		}
+	}
+	if New().Shards() < 1 {
+		t.Fatal("default shard count must be >= 1")
+	}
+	for _, shards := range []int{1, 4, 32} {
+		e := New(WithShards(shards), WithWorkers(4))
+		hs := workload(100)
+		batch := append(append([]*hypergraph.Hypergraph{}, hs...), hs...) // every identity twice
+		e.IsAcyclicBatch(batch)
+		st := e.Stats()
+		if st.Entries != len(hs) {
+			t.Fatalf("shards=%d: entries = %d, want %d", shards, st.Entries, len(hs))
+		}
+		if st.Hits+st.Misses != int64(len(batch)) || st.Misses != int64(len(hs)) {
+			t.Fatalf("shards=%d: stats = %+v", shards, st)
+		}
+	}
+}
+
+// TestShardedMemoConcurrentWarm: concurrent warm-path traffic across shards
+// must stay consistent (run with -race in CI).
+func TestShardedMemoConcurrentWarm(t *testing.T) {
+	e := New(WithShards(8))
+	hs := workload(30)
+	e.IsAcyclicBatch(hs) // warm every identity
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, h := range hs {
+				want := gyo.IsAcyclic(h)
+				if e.IsAcyclic(h) != want {
+					t.Error("warm verdict mismatch")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := e.Stats(); st.Entries != len(hs) {
+		t.Fatalf("entries = %d, want %d", st.Entries, len(hs))
+	}
+}
+
 func TestWorkerConfiguration(t *testing.T) {
 	if New(WithWorkers(7)).Workers() != 7 {
 		t.Fatal("WithWorkers ignored")

@@ -132,6 +132,89 @@ func AcyclicChain(m, arity, overlap int) *hypergraph.Hypergraph {
 	return hypergraph.New(edges)
 }
 
+// AcyclicChainIDs is the id-based AcyclicChain: the same chained structure
+// built through hypergraph.FromIDs, skipping name interning entirely. With
+// the adaptive sparse edge representation this is the family that scales to
+// 10⁶ edges — the node universe grows with m, which the dense representation
+// cannot afford (universe/64 words per edge), and construction is O(total
+// edge size). Edge i covers the contiguous ids [i·(arity-overlap),
+// i·(arity-overlap)+arity). Requires 1 <= overlap < arity.
+func AcyclicChainIDs(m, arity, overlap int) *hypergraph.Hypergraph {
+	if overlap < 1 || overlap >= arity {
+		panic("gen: need 1 <= overlap < arity")
+	}
+	step := arity - overlap
+	n := arity + (m-1)*step
+	edges := make([][]int32, m)
+	flat := make([]int32, m*arity) // one backing array: FromIDs adopts sorted slices
+	for i := 0; i < m; i++ {
+		e := flat[i*arity : (i+1)*arity]
+		for j := range e {
+			e[j] = int32(i*step + j)
+		}
+		edges[i] = e
+	}
+	return hypergraph.FromIDs(n, edges)
+}
+
+// AcyclicBlocksIDs is the id-based AcyclicBlocks (same structure, built via
+// hypergraph.FromIDs): blockCount full block edges chained by 2-node
+// connectors, padded to m edges with random contiguous sub-ranges of random
+// blocks. Scaling blockCount with m keeps per-block subset populations
+// bounded, which is the regime where the linearized Reduce shows its
+// edge-size-proportional cost. Requirements match AcyclicBlocks.
+func AcyclicBlocksIDs(rng *rand.Rand, m, blockCount, blockSize int) *hypergraph.Hypergraph {
+	if blockCount < 1 || blockSize < 2 || m < 2*blockCount-1 {
+		panic("gen: AcyclicBlocksIDs needs blockCount >= 1, blockSize >= 2, m >= 2*blockCount-1")
+	}
+	n := blockCount * blockSize
+	edges := make([][]int32, 0, m)
+	for b := 0; b < blockCount; b++ {
+		e := make([]int32, blockSize)
+		for j := range e {
+			e[j] = int32(b*blockSize + j)
+		}
+		edges = append(edges, e)
+	}
+	for b := 0; b+1 < blockCount; b++ {
+		edges = append(edges, []int32{int32(b*blockSize + blockSize - 1), int32((b + 1) * blockSize)})
+	}
+	for len(edges) < m {
+		b := rng.Intn(blockCount) * blockSize
+		arity := 2 + rng.Intn(min(15, blockSize-1))
+		start := rng.Intn(blockSize - arity + 1)
+		e := make([]int32, arity)
+		for j := range e {
+			e[j] = int32(b + start + j)
+		}
+		edges = append(edges, e)
+	}
+	return hypergraph.FromIDs(n, edges)
+}
+
+// RandomRawIDs is the id-based RandomRaw: independent random edges over a
+// bounded universe with no reduction or connectivity repair, built via
+// hypergraph.FromIDs. Such instances are cyclic with overwhelming
+// probability and stress the rejection path of the acyclicity engines at
+// sizes where name interning would dominate the measurement.
+func RandomRawIDs(rng *rand.Rand, spec RandomSpec) *hypergraph.Hypergraph {
+	edges := make([][]int32, 0, spec.Edges)
+	for i := 0; i < spec.Edges; i++ {
+		a := min(spec.arity(rng), spec.Nodes)
+		seen := make(map[int32]bool, a)
+		e := make([]int32, 0, a)
+		for len(e) < a {
+			p := int32(rng.Intn(spec.Nodes))
+			if !seen[p] {
+				seen[p] = true
+				e = append(e, p)
+			}
+		}
+		edges = append(edges, e)
+	}
+	return hypergraph.FromIDs(spec.Nodes, edges)
+}
+
 // AcyclicBlocks returns a large guaranteed-acyclic hypergraph with m edges
 // over a bounded node universe of blockCount*blockSize nodes — the
 // large-instance benchmark family. (The dense bitset edge representation

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/gyo"
+	"repro/internal/jointree"
+	"repro/internal/mcs"
 )
 
 func TestAcyclicBlocksShapeAndVerdict(t *testing.T) {
@@ -36,6 +38,69 @@ func TestAcyclicBlocksPanics(t *testing.T) {
 		}
 	}()
 	AcyclicBlocks(rand.New(rand.NewSource(1)), 3, 3, 8)
+}
+
+// TestIDGeneratorsMatchNamedFamilies: the id-based generators must produce
+// structurally identical hypergraphs to their name-interning twins (same
+// edge count, same verdicts, same reduction behavior), while landing on the
+// sparse representation when the universe warrants it.
+func TestIDGeneratorsMatchNamedFamilies(t *testing.T) {
+	chain := AcyclicChainIDs(1000, 3, 1)
+	named := AcyclicChain(1000, 3, 1)
+	if chain.NumEdges() != named.NumEdges() || chain.NumNodes() != named.NumNodes() {
+		t.Fatalf("chain shape: ids=%d/%d named=%d/%d",
+			chain.NumEdges(), chain.NumNodes(), named.NumEdges(), named.NumNodes())
+	}
+	if !mcs.IsAcyclic(chain) || !gyo.IsAcyclic(chain) {
+		t.Fatal("AcyclicChainIDs must be acyclic under both engines")
+	}
+	if !chain.IsConnected() {
+		t.Fatal("chain must be connected")
+	}
+	if !chain.EdgeView(0).IsSparse() {
+		t.Fatal("chain over a 1000+-node universe must use the sparse representation")
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	blocks := AcyclicBlocksIDs(rng, 300, 4, 32)
+	if blocks.NumEdges() != 300 || blocks.NumNodes() != 4*32 {
+		t.Fatalf("blocks shape: %d edges, %d nodes", blocks.NumEdges(), blocks.NumNodes())
+	}
+	if !mcs.IsAcyclic(blocks) || !blocks.IsConnected() {
+		t.Fatal("AcyclicBlocksIDs must be acyclic and connected")
+	}
+	// Sub-range edges vanish under reduction; the block edges and the
+	// two-node connectors (which span two blocks) survive.
+	if r, want := blocks.Reduce(), 4+3; r.NumEdges() != want {
+		t.Fatalf("blocks must reduce to %d edges, got %d", want, r.NumEdges())
+	}
+
+	raw := RandomRawIDs(rng, RandomSpec{Nodes: 50, Edges: 120, MinArity: 2, MaxArity: 5})
+	if raw.NumEdges() != 120 {
+		t.Fatalf("raw edges = %d", raw.NumEdges())
+	}
+	for i := 0; i < raw.NumEdges(); i++ {
+		if l := raw.EdgeView(i).Len(); l < 2 || l > 5 {
+			t.Fatalf("raw edge %d arity %d out of range", i, l)
+		}
+	}
+}
+
+// TestIDChainVerdictAndTreeAtScale: a 10⁵-edge unbounded-universe chain —
+// infeasible under the dense representation (≈2.5 GB) — must test acyclic
+// and yield a verifiable join tree in one pass.
+func TestIDChainVerdictAndTreeAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	h := AcyclicChainIDs(100_000, 3, 1)
+	jt, ok := jointree.BuildMCS(h)
+	if !ok {
+		t.Fatal("chain must be acyclic")
+	}
+	if err := jt.Verify(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestRandomRawShape(t *testing.T) {

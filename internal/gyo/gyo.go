@@ -227,8 +227,10 @@ func newState(h *hypergraph.Hypergraph, sacred bitset.Set) *state {
 	})
 	st.count = make([]int, maxID+1)
 	st.nodeEdges = make([][]int, maxID+1)
-	for i, e := range h.Edges() {
-		st.edges = append(st.edges, e.Clone())
+	for i, e := range h.EdgeViews() {
+		// Dense materializes a fresh mutable copy whatever representation
+		// the edge landed on; the reduction state shrinks edges in place.
+		st.edges = append(st.edges, e.Dense())
 		st.alive[i] = true
 		e.ForEach(func(id int) {
 			st.count[id]++

@@ -9,12 +9,16 @@ import (
 )
 
 // Fingerprint renders the hypergraph's order-sensitive canonical form: each
-// edge as its sorted node names, edges in stored order, plus any isolated
-// nodes. Two hypergraphs have equal fingerprints iff they have the same node
-// set and identical edge sequences (as sets of names) — exactly the identity
-// under which acyclicity verdicts, classifications, and join trees (whose
-// parent arrays are indexed by edge position) are interchangeable.
-// CanonicalString is the edge-order-insensitive sibling.
+// edge as its node names in id order, edges in stored order, plus any
+// isolated nodes. Equal fingerprints imply the same node set and identical
+// edge sequences (as sets of names) — exactly the identity under which
+// acyclicity verdicts, classifications, and join trees (whose parent arrays
+// are indexed by edge position) are interchangeable — so the engine memo is
+// always sound. The converse holds within one construction route but not
+// across routes: New assigns ids in sorted-name order while FromIDs keeps
+// the caller's numeric order, so the same content built both ways may
+// fingerprint differently (costing a duplicate memo entry, never a wrong
+// answer). CanonicalString is the edge-order-insensitive sibling.
 func (h *Hypergraph) Fingerprint() string {
 	var b strings.Builder
 	size := 0
@@ -22,27 +26,27 @@ func (h *Hypergraph) Fingerprint() string {
 		size += 2 + 8*e.Len() // rough name-length guess to avoid regrowth
 	}
 	b.Grow(size)
-	// Node ids are assigned in sorted-name order at construction, so
-	// iterating each edge by id yields its names in a canonical order
-	// without per-edge sorting or allocation. Every name is length-prefixed,
-	// so fingerprints stay collision-free no matter which bytes (braces,
-	// separators) the names themselves contain.
+	// Iterating each edge by id yields a deterministic name order without
+	// per-edge sorting or allocation (sorted-name order for New-built
+	// hypergraphs, numeric id order for FromIDs). Every name is
+	// length-prefixed, so fingerprints stay collision-free no matter which
+	// bytes (braces, separators) the names themselves contain.
 	writeName := func(name string) {
 		b.WriteString(strconv.Itoa(len(name)))
 		b.WriteByte(':')
 		b.WriteString(name)
 	}
-	covered := bitset.New(len(h.names))
+	covered := bitset.New(h.n)
 	for i := range h.edges {
-		covered.InPlaceOr(h.edges[i])
+		h.edges[i].OrInto(&covered)
 		b.WriteByte('{')
-		h.edges[i].ForEach(func(id int) { writeName(h.names[id]) })
+		h.edges[i].ForEach(func(id int) { writeName(h.nameOf(id)) })
 		b.WriteByte('}')
 	}
 	iso := h.nodeSet.AndNot(covered)
 	if !iso.IsEmpty() {
 		b.WriteString("|iso:")
-		iso.ForEach(func(id int) { writeName(h.names[id]) })
+		iso.ForEach(func(id int) { writeName(h.nameOf(id)) })
 	}
 	return b.String()
 }

@@ -7,27 +7,32 @@
 // paper builds on: reduction, connected components, node-generated sets of
 // edges, partial edges, node removal, and articulation sets.
 //
-// Nodes are interned to dense integer ids; edges are bitsets over those ids.
-// The public API accepts and returns node names ([]string); the id-based
-// forms are exposed for the algorithm packages layered on top.
+// Nodes are interned to dense integer ids; edges are stored in the adaptive
+// Edge representation (dense bitset or sorted-id sparse, chosen per edge by
+// density), so total storage is proportional to total edge size even over
+// million-node universes. The public API accepts and returns node names
+// ([]string); the id-based forms (EdgeView, Universe, FromIDs) are exposed
+// for the algorithm packages layered on top.
 package hypergraph
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/bitset"
 )
 
-// Hypergraph is an immutable hypergraph. Construct one with New, Parse, or a
-// Builder; derive others with Reduce, NodeGenerated, RemoveNodes, etc.
+// Hypergraph is an immutable hypergraph. Construct one with New, FromIDs,
+// Parse, or derive others with Reduce, NodeGenerated, RemoveNodes, etc.
 // Methods never mutate the receiver.
 type Hypergraph struct {
-	names   []string       // node id -> name
-	index   map[string]int // name -> node id
+	names   []string       // node id -> name; nil means synthetic "N<id>" names (FromIDs)
+	index   map[string]int // name -> node id; nil when names is nil
+	n       int            // universe size: node ids live in [0, n)
 	nodeSet bitset.Set     // the hypergraph's node set N (may include isolated nodes)
-	edges   []bitset.Set   // edge id -> node set
+	edges   []Edge         // edge id -> node set (adaptive representation)
 }
 
 // New builds a hypergraph from edges given as lists of node names.
@@ -46,39 +51,87 @@ func New(edges [][]string) *Hypergraph {
 	}
 	sort.Strings(names)
 	h := &Hypergraph{
-		names: names,
-		index: make(map[string]int, len(names)),
+		names:   names,
+		index:   make(map[string]int, len(names)),
+		n:       len(names),
+		nodeSet: bitset.Full(len(names)),
 	}
 	for i, n := range names {
 		h.index[n] = i
-		h.nodeSet.Add(i)
 	}
 	for _, e := range edges {
-		s := bitset.New(len(names))
+		ids := make([]int32, 0, len(e))
 		for _, n := range e {
-			s.Add(h.index[n])
+			ids = append(ids, int32(h.index[n]))
 		}
-		h.edges = append(h.edges, s)
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		ids = bitset.DedupSorted(ids)
+		h.edges = append(h.edges, edgeFromSortedIDs(ids, h.n))
+	}
+	return h
+}
+
+// FromIDs builds a hypergraph directly over the node universe {0, ..., n-1}
+// with edges given as id lists, skipping name interning entirely — the
+// constructor of choice for large generated instances (10⁶ edges build in
+// O(total edge size)). Node id k is named "N<k>"; ids out of [0, n) panic.
+// Unsorted or duplicated ids within an edge are sorted and collapsed; sorted
+// id slices are adopted without copying, so callers must not reuse them.
+func FromIDs(n int, edges [][]int32) *Hypergraph {
+	h := &Hypergraph{
+		n:       n,
+		nodeSet: bitset.Full(n),
+	}
+	h.edges = make([]Edge, 0, len(edges))
+	for _, ids := range edges {
+		sorted := true
+		for i, id := range ids {
+			if id < 0 || int(id) >= n {
+				panic(fmt.Sprintf("hypergraph: FromIDs id %d out of universe [0, %d)", id, n))
+			}
+			if i > 0 && ids[i-1] >= id {
+				sorted = false
+			}
+		}
+		if !sorted {
+			cp := make([]int32, len(ids))
+			copy(cp, ids)
+			sort.Slice(cp, func(a, b int) bool { return cp[a] < cp[b] })
+			ids = bitset.DedupSorted(cp)
+		}
+		h.edges = append(h.edges, edgeFromSortedIDs(ids, n))
 	}
 	return h
 }
 
 // fromParts assembles a hypergraph that shares the universe of an existing
 // one. It is the internal constructor used by derivation methods.
-func fromParts(names []string, index map[string]int, nodeSet bitset.Set, edges []bitset.Set) *Hypergraph {
-	return &Hypergraph{names: names, index: index, nodeSet: nodeSet, edges: edges}
+func fromParts(names []string, index map[string]int, n int, nodeSet bitset.Set, edges []Edge) *Hypergraph {
+	return &Hypergraph{names: names, index: index, n: n, nodeSet: nodeSet, edges: edges}
+}
+
+// derive is fromParts keeping h's universe.
+func (h *Hypergraph) derive(nodeSet bitset.Set, edges []Edge) *Hypergraph {
+	return fromParts(h.names, h.index, h.n, nodeSet, edges)
 }
 
 // Derive returns a hypergraph over the same node universe as h with the given
-// node set and edges. Edges must only use ids valid in h. The bitsets are
-// cloned, so the caller may keep mutating its copies.
+// node set and edges. Edges must only use ids valid in h. The inputs are
+// copied (into the adaptive representation), so the caller may keep mutating
+// its sets.
 func (h *Hypergraph) Derive(nodeSet bitset.Set, edges []bitset.Set) *Hypergraph {
-	es := make([]bitset.Set, len(edges))
+	es := make([]Edge, len(edges))
 	for i, e := range edges {
-		es[i] = e.Clone()
+		es[i] = edgeOfSet(e, h.n)
 	}
-	return fromParts(h.names, h.index, nodeSet.Clone(), es)
+	return h.derive(nodeSet.Clone(), es)
 }
+
+// Universe returns the size of the id universe: node ids live in [0,
+// Universe()). It bounds array-indexed per-node state in the algorithm
+// packages and may exceed NumNodes for derived hypergraphs whose node set
+// shrank.
+func (h *Hypergraph) Universe() int { return h.n }
 
 // NumNodes returns |N|, counting isolated nodes.
 func (h *Hypergraph) NumNodes() int { return h.nodeSet.Len() }
@@ -86,10 +139,20 @@ func (h *Hypergraph) NumNodes() int { return h.nodeSet.Len() }
 // NumEdges returns |E|.
 func (h *Hypergraph) NumEdges() int { return len(h.edges) }
 
-// Nodes returns the node names in sorted order.
+// nameOf returns the name of a node id, synthesizing "N<id>" for
+// FromIDs-built hypergraphs.
+func (h *Hypergraph) nameOf(id int) string {
+	if h.names == nil {
+		return "N" + strconv.Itoa(id)
+	}
+	return h.names[id]
+}
+
+// Nodes returns the node names in id order (sorted name order for
+// New-built hypergraphs).
 func (h *Hypergraph) Nodes() []string {
 	out := make([]string, 0, h.nodeSet.Len())
-	h.nodeSet.ForEach(func(id int) { out = append(out, h.names[id]) })
+	h.nodeSet.ForEach(func(id int) { out = append(out, h.nameOf(id)) })
 	return out
 }
 
@@ -98,20 +161,44 @@ func (h *Hypergraph) NodeSet() bitset.Set { return h.nodeSet.Clone() }
 
 // NodeID returns the dense id of a node name.
 func (h *Hypergraph) NodeID(name string) (int, bool) {
-	id, ok := h.index[name]
+	id, ok := h.lookup(name)
 	if !ok || !h.nodeSet.Contains(id) {
 		return 0, false
 	}
 	return id, true
 }
 
-// NodeName returns the name of node id. It panics on an invalid id.
-func (h *Hypergraph) NodeName(id int) string { return h.names[id] }
+// lookup resolves a name to an id: through the interning map for New-built
+// hypergraphs, arithmetically for the synthetic "N<id>" names of FromIDs
+// (no map is ever materialized, keeping those hypergraphs memory-light and
+// immutable — safe for the engine's concurrent workers).
+func (h *Hypergraph) lookup(name string) (int, bool) {
+	if h.names != nil {
+		id, ok := h.index[name]
+		return id, ok
+	}
+	if len(name) < 2 || name[0] != 'N' {
+		return 0, false
+	}
+	k, err := strconv.Atoi(name[1:])
+	if err != nil || k < 0 || k >= h.n || name != "N"+strconv.Itoa(k) {
+		return 0, false
+	}
+	return k, true
+}
 
-// NodeNames maps a bitset of node ids back to sorted node names.
+// NodeName returns the name of node id. It panics on an invalid id.
+func (h *Hypergraph) NodeName(id int) string {
+	if id < 0 || id >= h.n {
+		panic("hypergraph: node id " + strconv.Itoa(id) + " out of universe")
+	}
+	return h.nameOf(id)
+}
+
+// NodeNames maps a bitset of node ids back to node names in id order.
 func (h *Hypergraph) NodeNames(s bitset.Set) []string {
 	out := make([]string, 0, s.Len())
-	s.ForEach(func(id int) { out = append(out, h.names[id]) })
+	s.ForEach(func(id int) { out = append(out, h.nameOf(id)) })
 	return out
 }
 
@@ -138,18 +225,39 @@ func (h *Hypergraph) Set(names ...string) (bitset.Set, error) {
 	return s, nil
 }
 
-// Edge returns edge i's node set. The returned set is shared; callers must
-// not mutate it (clone first).
-func (h *Hypergraph) Edge(i int) bitset.Set { return h.edges[i] }
+// EdgeView returns edge i in the adaptive representation — the zero-copy
+// accessor the algorithm packages use on hot paths.
+func (h *Hypergraph) EdgeView(i int) Edge { return h.edges[i] }
 
-// Edges returns the edge list. The slice and sets are shared; callers must
-// not mutate them.
-func (h *Hypergraph) Edges() []bitset.Set { return h.edges }
+// EdgeViews returns the edge list in the adaptive representation. The slice
+// is shared; Edge values are immutable.
+func (h *Hypergraph) EdgeViews() []Edge { return h.edges }
 
-// EdgeNodes returns edge i as sorted node names.
-func (h *Hypergraph) EdgeNodes(i int) []string { return h.NodeNames(h.edges[i]) }
+// Edge returns edge i's node set as a dense bitset. The returned set may
+// share storage; callers must not mutate it (clone first). For sparse edges
+// this materializes ⌈universe/64⌉ words — large-instance code should use
+// EdgeView instead.
+func (h *Hypergraph) Edge(i int) bitset.Set { return h.edges[i].Set() }
 
-// EdgeLists returns all edges as sorted name lists, in edge order.
+// Edges returns the edge list as dense bitsets. The sets may share storage;
+// callers must not mutate them. Like Edge, this is the paper-scale
+// compatibility surface — EdgeViews is the scalable accessor.
+func (h *Hypergraph) Edges() []bitset.Set {
+	out := make([]bitset.Set, len(h.edges))
+	for i := range h.edges {
+		out[i] = h.edges[i].Set()
+	}
+	return out
+}
+
+// EdgeNodes returns edge i as node names in id order.
+func (h *Hypergraph) EdgeNodes(i int) []string {
+	out := make([]string, 0, h.edges[i].Len())
+	h.edges[i].ForEach(func(id int) { out = append(out, h.nameOf(id)) })
+	return out
+}
+
+// EdgeLists returns all edges as name lists, in edge order.
 func (h *Hypergraph) EdgeLists() [][]string {
 	out := make([][]string, len(h.edges))
 	for i := range h.edges {
@@ -161,7 +269,7 @@ func (h *Hypergraph) EdgeLists() [][]string {
 // FindEdge returns the index of the first edge equal to s, or -1.
 func (h *Hypergraph) FindEdge(s bitset.Set) int {
 	for i, e := range h.edges {
-		if e.Equal(s) {
+		if e.EqualSet(s) {
 			return i
 		}
 	}
@@ -172,66 +280,11 @@ func (h *Hypergraph) FindEdge(s bitset.Set) int {
 // The paper calls any subset of an edge a "partial edge".
 func (h *Hypergraph) IsPartialEdge(s bitset.Set) bool {
 	for _, e := range h.edges {
-		if s.IsSubset(e) {
+		if e.ContainsSet(s) {
 			return true
 		}
 	}
 	return false
-}
-
-// IsReduced reports whether no edge is a subset of another (and there are no
-// duplicate edges).
-func (h *Hypergraph) IsReduced() bool {
-	for i, e := range h.edges {
-		for j, f := range h.edges {
-			if i != j && e.IsSubset(f) && (!e.Equal(f) || i > j) {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// Reduce returns the reduced version of h: edges that are subsets of other
-// edges are removed (among duplicates, the earliest survives). Empty edges
-// are removed whenever any other edge exists; a hypergraph whose only edge is
-// empty keeps it. The node set is unchanged.
-func (h *Hypergraph) Reduce() *Hypergraph {
-	keep := make([]bool, len(h.edges))
-	for i := range keep {
-		keep[i] = true
-	}
-	for i, e := range h.edges {
-		if !keep[i] {
-			continue
-		}
-		for j, f := range h.edges {
-			if i == j || !keep[i] {
-				continue
-			}
-			if !keep[j] {
-				continue
-			}
-			if e.Equal(f) {
-				if i < j {
-					keep[j] = false
-				}
-				continue
-			}
-			if e.IsProperSubset(f) {
-				keep[i] = false
-			} else if f.IsProperSubset(e) {
-				keep[j] = false
-			}
-		}
-	}
-	var edges []bitset.Set
-	for i, k := range keep {
-		if k {
-			edges = append(edges, h.edges[i].Clone())
-		}
-	}
-	return fromParts(h.names, h.index, h.nodeSet.Clone(), edges)
 }
 
 // Equal reports whether two hypergraphs have the same node names and the
@@ -289,9 +342,9 @@ func equalEdgeSets(a, b [][]string) bool {
 func (h *Hypergraph) CanonicalString() string {
 	lists := make([]string, 0, len(h.edges))
 	seen := map[string]bool{}
-	covered := bitset.New(len(h.names))
+	covered := bitset.New(h.n)
 	for i := range h.edges {
-		covered.InPlaceOr(h.edges[i])
+		h.edges[i].OrInto(&covered)
 		s := "{" + strings.Join(h.EdgeNodes(i), " ") + "}"
 		if !seen[s] {
 			seen[s] = true
@@ -315,7 +368,11 @@ func (h *Hypergraph) String() string {
 	return strings.Join(parts, " ")
 }
 
-// Clone returns a deep copy of h.
+// Clone returns an independent copy of h: the node set and edge list are
+// copied, while the per-edge payloads are shared immutable views (Edge
+// values are never mutated, the same contract Edge and Edges rely on).
 func (h *Hypergraph) Clone() *Hypergraph {
-	return h.Derive(h.nodeSet, h.edges)
+	es := make([]Edge, len(h.edges))
+	copy(es, h.edges)
+	return h.derive(h.nodeSet.Clone(), es)
 }

@@ -22,9 +22,9 @@ func (h *Hypergraph) Components() []bitset.Set {
 				if used[i] || e.IsEmpty() {
 					continue
 				}
-				if e.Intersects(comp) {
+				if e.IntersectsSet(comp) {
 					used[i] = true
-					comp.InPlaceOr(e)
+					e.OrInto(&comp)
 					changed = true
 				}
 			}
@@ -51,17 +51,17 @@ func (h *Hypergraph) IsConnected() bool { return h.ComponentCount() <= 1 }
 // single empty edge {∅}.
 func (h *Hypergraph) NodeGenerated(n bitset.Set) *Hypergraph {
 	n = n.And(h.nodeSet)
-	var edges []bitset.Set
+	var edges []Edge
 	for _, e := range h.edges {
-		p := e.And(n)
+		p := e.AndSet(n)
 		if !p.IsEmpty() {
 			edges = append(edges, p)
 		}
 	}
 	if len(edges) == 0 && len(h.edges) > 0 {
-		edges = append(edges, bitset.Set{})
+		edges = append(edges, Edge{})
 	}
-	return fromParts(h.names, h.index, n, edges).Reduce()
+	return h.derive(n, edges).Reduce()
 }
 
 // RemoveNodes returns h with the nodes of x deleted from the node set and
@@ -69,14 +69,14 @@ func (h *Hypergraph) NodeGenerated(n bitset.Set) *Hypergraph {
 // reduced (the paper notes this; call Reduce if needed).
 func (h *Hypergraph) RemoveNodes(x bitset.Set) *Hypergraph {
 	nodeSet := h.nodeSet.AndNot(x)
-	var edges []bitset.Set
+	var edges []Edge
 	for _, e := range h.edges {
-		p := e.AndNot(x)
+		p := e.AndNotSet(x)
 		if !p.IsEmpty() {
 			edges = append(edges, p)
 		}
 	}
-	return fromParts(h.names, h.index, nodeSet, edges)
+	return h.derive(nodeSet, edges)
 }
 
 // IsArticulationSet reports whether x is an articulation set of h: x must be
@@ -91,8 +91,9 @@ func (h *Hypergraph) IsArticulationSet(x bitset.Set) bool {
 
 func (h *Hypergraph) isEdgeIntersection(x bitset.Set) bool {
 	for i, e := range h.edges {
+		es := e.Set() // materialize sparse edges once per outer edge, not per pair
 		for j := i + 1; j < len(h.edges); j++ {
-			if e.And(h.edges[j]).Equal(x) {
+			if es.And(h.edges[j].Set()).Equal(x) {
 				return true
 			}
 		}
@@ -107,8 +108,9 @@ func (h *Hypergraph) ArticulationSets() []bitset.Set {
 	seen := map[string]bool{}
 	var out []bitset.Set
 	for i, e := range h.edges {
+		es := e.Set()
 		for j := i + 1; j < len(h.edges); j++ {
-			x := e.And(h.edges[j])
+			x := es.And(h.edges[j].Set())
 			k := x.Key()
 			if seen[k] {
 				continue
@@ -127,8 +129,9 @@ func (h *Hypergraph) HasArticulationSet() bool {
 	base := h.ComponentCount()
 	seen := map[string]bool{}
 	for i, e := range h.edges {
+		es := e.Set()
 		for j := i + 1; j < len(h.edges); j++ {
-			x := e.And(h.edges[j])
+			x := es.And(h.edges[j].Set())
 			k := x.Key()
 			if seen[k] {
 				continue
@@ -144,9 +147,9 @@ func (h *Hypergraph) HasArticulationSet() bool {
 
 // CoveredNodes returns the union of all edges.
 func (h *Hypergraph) CoveredNodes() bitset.Set {
-	u := bitset.New(len(h.names))
+	u := bitset.New(h.n)
 	for _, e := range h.edges {
-		u.InPlaceOr(e)
+		e.OrInto(&u)
 	}
 	return u.And(h.nodeSet)
 }
@@ -155,7 +158,7 @@ func (h *Hypergraph) CoveredNodes() bitset.Set {
 func (h *Hypergraph) EdgesTouching(s bitset.Set) []int {
 	var out []int
 	for i, e := range h.edges {
-		if e.Intersects(s) {
+		if e.IntersectsSet(s) {
 			out = append(out, i)
 		}
 	}
@@ -177,7 +180,7 @@ func (h *Hypergraph) EdgesContainingNode(id int) []int {
 // subset, or -1 if s is not a partial edge.
 func (h *Hypergraph) EdgeContaining(s bitset.Set) int {
 	for i, e := range h.edges {
-		if s.IsSubset(e) {
+		if e.ContainsSet(s) {
 			return i
 		}
 	}

@@ -88,7 +88,7 @@ func BuildMST(h *hypergraph.Hypergraph) (*JoinTree, bool) {
 	var cands []cand
 	for i := 0; i < m; i++ {
 		for j := i + 1; j < m; j++ {
-			w := h.Edge(i).And(h.Edge(j)).Len()
+			w := h.EdgeView(i).IntersectCount(h.EdgeView(j))
 			if w > 0 {
 				cands = append(cands, cand{w, i, j})
 			}
@@ -180,12 +180,25 @@ func (uf *unionFind) union(a, b int) bool {
 
 // Verify checks the running-intersection property: for every node, the set
 // of edges containing it must induce a connected subgraph of the tree.
+//
+// The check is a single sweep in O(total edge size): in a forest, the
+// holders of a node n form k connected components exactly when k holders
+// are "component tops" — holders whose parent is a root boundary or does
+// not contain n (a connected induced subgraph of a tree has a unique
+// minimal-depth element). So one pass grouping edges by parent, marking
+// the parent's nodes and counting unmarked child nodes, counts every
+// node's holder components; RIP holds iff every count is at most one.
+// The seed implementation instead BFS-ed the holder set per node
+// (O(nodes · edges) on star-like inputs), the quadratic hot spot this
+// rewrite removes.
 func (t *JoinTree) Verify() error {
 	m := t.H.NumEdges()
 	if len(t.Parent) != m {
 		return fmt.Errorf("jointree: parent array size %d != %d edges", len(t.Parent), m)
 	}
-	adj := make([][]int, m)
+	// Structural pass: bounds, self-parents, root existence, and a CSR
+	// child index (slice-of-slices headers are too heavy at 10⁶ edges).
+	childCount := make([]int32, m)
 	roots := 0
 	for i, p := range t.Parent {
 		if p == -1 {
@@ -195,43 +208,75 @@ func (t *JoinTree) Verify() error {
 		if p < 0 || p >= m || p == i {
 			return fmt.Errorf("jointree: bad parent %d of edge %d", p, i)
 		}
-		adj[i] = append(adj[i], p)
-		adj[p] = append(adj[p], i)
+		childCount[p]++
 	}
 	if roots == 0 && m > 0 {
 		return fmt.Errorf("jointree: no root")
 	}
-	var err error
-	t.H.CoveredNodes().ForEach(func(n int) {
-		if err != nil {
-			return
+	chOff := make([]int32, m+1)
+	for i := 0; i < m; i++ {
+		chOff[i+1] = chOff[i] + childCount[i]
+	}
+	chData := make([]int32, m-roots)
+	fill := make([]int32, m)
+	copy(fill, chOff[:m])
+	for i, p := range t.Parent {
+		if p >= 0 {
+			chData[fill[p]] = int32(i)
+			fill[p]++
 		}
-		holders := t.H.EdgesContainingNode(n)
-		if len(holders) <= 1 {
-			return
+	}
+	// Forest check: every edge must be reachable from a root through parent
+	// links (a parent cycle hiding beside a legitimate root would otherwise
+	// slip through the per-node counting below).
+	reached := 0
+	stack := make([]int32, 0, m)
+	for i, p := range t.Parent {
+		if p == -1 {
+			stack = append(stack, int32(i))
 		}
-		in := map[int]bool{}
-		for _, e := range holders {
-			in[e] = true
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		reached++
+		stack = append(stack, chData[chOff[v]:chOff[v+1]]...)
+	}
+	if reached != m {
+		return fmt.Errorf("jointree: parent links contain a cycle (%d of %d edges reachable from roots)", reached, m)
+	}
+
+	// RIP sweep: count component tops per node.
+	n := t.H.Universe()
+	comps := make([]int32, n)
+	mark := make([]int32, n)
+	stamp := int32(0)
+	for p := 0; p < m; p++ {
+		cs := chData[chOff[p]:chOff[p+1]]
+		if len(cs) == 0 {
+			continue
 		}
-		// BFS within holders from holders[0].
-		seen := map[int]bool{holders[0]: true}
-		queue := []int{holders[0]}
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			for _, w := range adj[v] {
-				if in[w] && !seen[w] {
-					seen[w] = true
-					queue = append(queue, w)
+		stamp++
+		t.H.EdgeView(p).ForEach(func(id int) { mark[id] = stamp })
+		for _, c := range cs {
+			t.H.EdgeView(int(c)).ForEach(func(id int) {
+				if mark[id] != stamp {
+					comps[id]++
 				}
-			}
+			})
 		}
-		if len(seen) != len(holders) {
-			err = fmt.Errorf("jointree: node %s spans a disconnected tree region", t.H.NodeName(n))
+	}
+	for i, p := range t.Parent {
+		if p == -1 {
+			t.H.EdgeView(i).ForEach(func(id int) { comps[id]++ })
 		}
-	})
-	return err
+	}
+	for id := 0; id < n; id++ {
+		if comps[id] > 1 {
+			return fmt.Errorf("jointree: node %s spans a disconnected tree region", t.H.NodeName(id))
+		}
+	}
+	return nil
 }
 
 // Children returns the child lists of each edge.

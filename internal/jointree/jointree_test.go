@@ -110,6 +110,109 @@ func TestVerifyCatchesBadTree(t *testing.T) {
 	}
 }
 
+// naiveVerify is the seed's per-node holder BFS, kept as the reference the
+// single-sweep Verify is pinned against. It reports only the RIP verdict
+// (structural errors are covered by TestVerifyCatchesBadTree).
+func naiveVerify(t *JoinTree) bool {
+	m := t.H.NumEdges()
+	adj := make([][]int, m)
+	for i, p := range t.Parent {
+		if p >= 0 {
+			adj[i] = append(adj[i], p)
+			adj[p] = append(adj[p], i)
+		}
+	}
+	ok := true
+	t.H.CoveredNodes().ForEach(func(n int) {
+		holders := t.H.EdgesContainingNode(n)
+		if len(holders) <= 1 {
+			return
+		}
+		in := map[int]bool{}
+		for _, e := range holders {
+			in[e] = true
+		}
+		seen := map[int]bool{holders[0]: true}
+		queue := []int{holders[0]}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[v] {
+				if in[w] && !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		if len(seen) != len(holders) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// isForest reports whether every edge reaches a root through parent links.
+func isForest(parent []int) bool {
+	for i := range parent {
+		v, steps := i, 0
+		for parent[v] >= 0 {
+			v = parent[v]
+			if steps++; steps > len(parent) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestVerifyMatchesNaiveDifferential: on random acyclic instances, the
+// MCS-built tree and randomly corrupted variants of it must get the same
+// verdict from the sweep-based Verify and the per-node BFS reference.
+func TestVerifyMatchesNaiveDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		h := gen.RandomAcyclic(rng, gen.RandomSpec{Edges: 3 + rng.Intn(20), MinArity: 2, MaxArity: 5})
+		jt, ok := BuildMCS(h)
+		if !ok {
+			t.Fatalf("trial %d: acyclic instance rejected", trial)
+		}
+		if err := jt.Verify(); err != nil {
+			t.Fatalf("trial %d: valid tree rejected: %v", trial, err)
+		}
+		if !naiveVerify(jt) {
+			t.Fatalf("trial %d: reference rejects the MCS tree", trial)
+		}
+		// Corrupt a parent link (keeping the structure a rooted forest) and
+		// compare verdicts.
+		m := h.NumEdges()
+		if m < 3 {
+			continue
+		}
+		bad := &JoinTree{H: h, Parent: append([]int{}, jt.Parent...)}
+		for k := 0; k < 3; k++ {
+			i := rng.Intn(m)
+			p := rng.Intn(m)
+			if p != i {
+				bad.Parent[i] = p
+			}
+		}
+		gotErr := bad.Verify()
+		if !isForest(bad.Parent) {
+			// Reparenting may close a parent cycle; the sweep must reject it
+			// (the undirected reference cannot see link direction, so no
+			// verdict comparison is meaningful here).
+			if gotErr == nil {
+				t.Fatalf("trial %d: cyclic parent links accepted\n parent=%v", trial, bad.Parent)
+			}
+			continue
+		}
+		want := naiveVerify(bad)
+		if (gotErr == nil) != want {
+			t.Fatalf("trial %d: Verify=%v reference=%v\n h=%v\n parent=%v", trial, gotErr, want, h, bad.Parent)
+		}
+	}
+}
+
 func TestFullReducerShape(t *testing.T) {
 	h := gen.PathGraph(4) // edges AB, BC, CD
 	jt, ok := Build(h)

@@ -87,7 +87,7 @@ func (c *Certificate) Validate(h *hypergraph.Hypergraph) error {
 	if len(c.Spread) < 2 {
 		return fmt.Errorf("mcs: certificate spread %v too small to witness a violation", c.Spread)
 	}
-	e := h.Edge(c.Edge)
+	e := h.EdgeView(c.Edge)
 	hasWitness := false
 	for _, id := range c.Spread {
 		if !e.Contains(id) {
@@ -106,7 +106,7 @@ func (c *Certificate) Validate(h *hypergraph.Hypergraph) error {
 		}
 		all := true
 		for _, id := range c.Spread {
-			if !h.Edge(g).Contains(id) {
+			if !h.EdgeView(g).Contains(id) {
 				all = false
 				break
 			}
@@ -144,35 +144,46 @@ func Run(h *hypergraph.Hypergraph) *Result {
 		return res
 	}
 
-	// Dense universe bound: edges are bitsets over node ids; isolated nodes
-	// never enter the search.
-	maxID := -1
-	edges := h.Edges()
-	for _, e := range edges {
-		for _, id := range e.Elems() {
-			if id > maxID {
-				maxID = id
-			}
-		}
-	}
+	// Per-node state is indexed by the hypergraph's id universe. Edges are
+	// adaptive views (dense or sorted-id sparse), so nothing here charges
+	// universe-sized storage per edge — total memory is O(universe + Σ|e|).
+	n := h.Universe()
+	edges := h.EdgeViews()
 
-	// incidence[v] lists the edges containing v.
-	incidence := make([][]int32, maxID+1)
-	size := make([]int, m)
+	// Incidence index node -> edges containing it, in CSR layout: one counting
+	// pass, one prefix sum, one fill. A slice-of-slices would cost a slice
+	// header and a separate allocation per node — prohibitive at 10⁶ nodes.
+	size := make([]int32, m)
+	deg := make([]int32, n)
+	total := 0
 	for i, e := range edges {
-		size[i] = 0
 		e.ForEach(func(id int) {
-			incidence[id] = append(incidence[id], int32(i))
+			deg[id]++
 			size[i]++
 		})
+		total += int(size[i])
 	}
+	incOff := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		incOff[v+1] = incOff[v] + deg[v]
+	}
+	incData := make([]int32, total)
+	fill := make([]int32, n)
+	copy(fill, incOff[:n])
+	for i, e := range edges {
+		e.ForEach(func(id int) {
+			incData[fill[id]] = int32(i)
+			fill[id]++
+		})
+	}
+	incidence := func(v int) []int32 { return incData[incOff[v]:incOff[v+1]] }
 
 	var (
-		numbered = make([]bool, maxID+1) // vertex already numbered
-		timeOf   = make([]int, maxID+1)  // numbering sequence position
-		pivotOf  = make([]int32, maxID+1)
+		numbered = make([]bool, n)  // vertex already numbered
+		timeOf   = make([]int32, n) // numbering sequence position
+		pivotOf  = make([]int32, n)
 		selected = make([]bool, m)
-		count    = make([]int, m) // |edge ∩ U| for unselected edges
+		count    = make([]int32, m) // |edge ∩ U| for unselected edges
 		parent   = make([]int, m)
 	)
 
@@ -182,8 +193,8 @@ func Run(h *hypergraph.Hypergraph) *Result {
 	// queue adds O(Σ|e| + m) work overall.
 	maxSize := 0
 	for _, s := range size {
-		if s > maxSize {
-			maxSize = s
+		if int(s) > maxSize {
+			maxSize = int(s)
 		}
 	}
 	buckets := make([][]int32, maxSize+1)
@@ -201,13 +212,13 @@ func Run(h *hypergraph.Hypergraph) *Result {
 			b := buckets[curMax]
 			e := int(b[len(b)-1])
 			buckets[curMax] = b[:len(b)-1]
-			if !selected[e] && count[e] == curMax {
+			if !selected[e] && int(count[e]) == curMax {
 				return e
 			}
 		}
 	}
 
-	clock := 0
+	clock := int32(0)
 	spread := make([]int, 0, maxSize)
 	for range edges {
 		e := pop()
@@ -231,10 +242,10 @@ func Run(h *hypergraph.Hypergraph) *Result {
 		case len(spread) == 1:
 			parent[e] = int(pivotOf[w])
 		default:
-			p := findParent(h, e, spread, w, int(pivotOf[w]), incidence[w], selected)
+			p := findParent(edges, e, spread, int(pivotOf[w]), incidence(w), selected)
 			if p < 0 {
 				var cands []int
-				for _, g := range incidence[w] {
+				for _, g := range incidence(w) {
 					if selected[g] {
 						cands = append(cands, int(g))
 					}
@@ -258,11 +269,11 @@ func Run(h *hypergraph.Hypergraph) *Result {
 			clock++
 			pivotOf[id] = int32(e)
 			res.VertexOrder = append(res.VertexOrder, id)
-			for _, f := range incidence[id] {
+			for _, f := range incidence(id) {
 				if !selected[f] {
 					count[f]++
-					if count[f] > curMax {
-						curMax = count[f]
+					if int(count[f]) > curMax {
+						curMax = int(count[f])
 					}
 					buckets[count[f]] = append(buckets[count[f]], f)
 				}
@@ -277,8 +288,8 @@ func Run(h *hypergraph.Hypergraph) *Result {
 // pivot edge of w (the edge that numbered the most recent spread vertex) is
 // tried first as the near-certain hit; the fallback scans the selected edges
 // incident to w, which is exhaustive because any containing edge holds w.
-func findParent(h *hypergraph.Hypergraph, e int, spread []int, w, wPivot int, incident []int32, selected []bool) int {
-	if containsAll(h, wPivot, spread) {
+func findParent(edges []hypergraph.Edge, e int, spread []int, wPivot int, incident []int32, selected []bool) int {
+	if containsAll(edges[wPivot], spread) {
 		return wPivot
 	}
 	for _, g := range incident {
@@ -286,15 +297,14 @@ func findParent(h *hypergraph.Hypergraph, e int, spread []int, w, wPivot int, in
 		if gi == e || gi == wPivot || !selected[gi] {
 			continue
 		}
-		if containsAll(h, gi, spread) {
+		if containsAll(edges[gi], spread) {
 			return gi
 		}
 	}
 	return -1
 }
 
-func containsAll(h *hypergraph.Hypergraph, g int, spread []int) bool {
-	eg := h.Edge(g)
+func containsAll(eg hypergraph.Edge, spread []int) bool {
 	for _, id := range spread {
 		if !eg.Contains(id) {
 			return false

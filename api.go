@@ -65,9 +65,27 @@ type (
 	MCSResult = mcs.Result
 	// MCSCertificate is the rejection certificate of a cyclic MCS run.
 	MCSCertificate = mcs.Certificate
-	// Engine is the concurrent, memoizing batch-query layer.
+	// Engine is the concurrent, memoizing batch-query layer. Batch methods
+	// take a context.Context and observe cancellation between work items;
+	// Engine.Analyze is the memoized flavor of Analyze.
 	Engine = engine.Engine
+	// Builder unifies hypergraph construction — name edges, id edges over
+	// a declared universe, and parsed text — behind one chainable
+	// accumulator; NewHypergraph, NewHypergraphFromIDs, and ParseHypergraph
+	// are thin wrappers over it.
+	Builder = hypergraph.Builder
+	// Fingerprint128 is the streaming 128-bit identity that keys the
+	// engine memo, computed during construction.
+	Fingerprint128 = hypergraph.Fingerprint128
 )
+
+// NewBuilder returns an empty hypergraph Builder:
+//
+//	h, err := repro.NewBuilder().
+//		NamedEdge("R1", "A", "B", "C").
+//		Edge("C", "D", "E").
+//		Build()
+func NewBuilder() *Builder { return hypergraph.NewBuilder() }
 
 // NewHypergraph builds a hypergraph from edges given as node-name lists.
 func NewHypergraph(edges [][]string) *Hypergraph { return hypergraph.New(edges) }
@@ -81,7 +99,8 @@ func NewHypergraphFromIDs(n int, edges [][]int32) *Hypergraph { return hypergrap
 
 // ParseHypergraph reads the "one edge per line" text format; see
 // internal/hypergraph.Parse for the grammar. The second result holds
-// optional edge names.
+// optional edge names. Syntax errors are *ErrParse values carrying the
+// 1-based line and column.
 func ParseHypergraph(text string) (*Hypergraph, []string, error) { return hypergraph.Parse(text) }
 
 // Fig1 returns the paper's Figure 1 hypergraph
@@ -95,26 +114,41 @@ func Fig5() *Hypergraph { return hypergraph.Fig5() }
 // maximum cardinality search (Tarjan–Yannakakis). IsAcyclicGYO is the
 // Graham-reduction twin; the two agree on every input (differentially
 // tested), GYO additionally yields the reduction trace.
-func IsAcyclic(h *Hypergraph) bool { return mcs.IsAcyclic(h) }
+//
+// Deprecated: use Analyze(h).Verdict(), which shares the traversal with
+// the other facets of the session.
+func IsAcyclic(h *Hypergraph) bool { return Analyze(h).Verdict() }
 
 // IsAcyclicGYO reports α-acyclicity via Graham reduction.
+//
+// Deprecated: use Analyze(h).GrahamTrace().Vanished() — or Verdict() for
+// the linear-time answer.
 func IsAcyclicGYO(h *Hypergraph) bool { return gyo.IsAcyclic(h) }
 
 // MCS runs the full maximum cardinality search: verdict, edge/vertex
 // orders, join-tree parents on acceptance, certificate on rejection.
-func MCS(h *Hypergraph) *MCSResult { return mcs.Run(h) }
+//
+// Deprecated: use Analyze(h).MCS(), which caches the run for the session.
+func MCS(h *Hypergraph) *MCSResult { return Analyze(h).MCS() }
 
 // NewEngine returns the concurrent batch-query engine: a worker pool sized
 // by GOMAXPROCS (workers <= 0) or the given count, with per-hypergraph
-// memoization keyed by the canonical hash. See Engine.IsAcyclicBatch,
-// Engine.JoinTreeBatch, Engine.ClassifyBatch.
+// memoization keyed by the streaming 128-bit fingerprint. Batch methods
+// (Engine.IsAcyclicBatch, Engine.JoinTreeBatch, Engine.ClassifyBatch,
+// Engine.AnalyzeBatch) take a context.Context and observe cancellation
+// between work items; Engine.Analyze returns the memoized Analysis session
+// shared by all content-equal queries.
 func NewEngine(workers int) *Engine { return engine.New(engine.WithWorkers(workers)) }
 
 // Classify computes the position of h in the acyclicity hierarchy.
-func Classify(h *Hypergraph) Classification { return acyclic.Classify(h) }
+//
+// Deprecated: use Analyze(h).Classification(), which reuses the session's
+// MCS run for the α component.
+func Classify(h *Hypergraph) Classification { return Analyze(h).Classification() }
 
 // GrahamReduction computes GR(h, X) for sacred nodes given by name and
 // returns the surviving partial edges. Use GrahamReductionTrace for steps.
+// Unknown sacred names report *ErrUnknownNode carrying the offending name.
 func GrahamReduction(h *Hypergraph, sacred ...string) (*Hypergraph, error) {
 	r, err := GrahamReductionTrace(h, sacred...)
 	if err != nil {
@@ -124,7 +158,7 @@ func GrahamReduction(h *Hypergraph, sacred ...string) (*Hypergraph, error) {
 }
 
 // GrahamReductionTrace computes GR(h, X) and returns the full result with
-// the reduction trace.
+// the reduction trace. Unknown sacred names report *ErrUnknownNode.
 func GrahamReductionTrace(h *Hypergraph, sacred ...string) (*GrahamResult, error) {
 	x, err := h.Set(sacred...)
 	if err != nil {
@@ -165,13 +199,11 @@ func HasIndependentPath(h *Hypergraph) bool { return core.HasIndependentPath(h) 
 // IndependentPathWitness constructs an independent path for a cyclic h,
 // following the proof of Theorem 6.1. The path lives in the returned
 // node-generated core. found is false when h is acyclic.
+//
+// Deprecated: use Analyze(h).Witness(), which short-circuits the search on
+// the session's verdict and caches the result.
 func IndependentPathWitness(h *Hypergraph) (path *Path, coreGraph *Hypergraph, found bool, err error) {
-	p, found, err := core.IndependentPathWitness(h)
-	if err != nil || !found {
-		return nil, nil, found, err
-	}
-	f, _ := core.WitnessCore(h)
-	return p, f, true, nil
+	return Analyze(h).Witness()
 }
 
 // PathFromTree converts an independent tree into an independent path
@@ -199,11 +231,19 @@ func FindRing(h *Hypergraph) (*Ring, bool) { return core.FindRing(h, 0) }
 // BuildJoinTree constructs a join tree from the Graham reduction trace;
 // ok is false when h is cyclic. BuildJoinTreeMCS is the linear-time sibling
 // for large hypergraphs.
+//
+// Deprecated: use Analyze(h).JoinTree(), which reuses the session's MCS
+// run and reports ErrCyclic instead of a bare false.
 func BuildJoinTree(h *Hypergraph) (*JoinTree, bool) { return jointree.Build(h) }
 
 // BuildJoinTreeMCS constructs a join tree from the maximum-cardinality-
 // search ordering in O(total edge size); ok is false when h is cyclic.
-func BuildJoinTreeMCS(h *Hypergraph) (*JoinTree, bool) { return jointree.BuildMCS(h) }
+//
+// Deprecated: use Analyze(h).JoinTree().
+func BuildJoinTreeMCS(h *Hypergraph) (*JoinTree, bool) {
+	jt, err := Analyze(h).JoinTree()
+	return jt, err == nil
+}
 
 // NewRelation builds a relation over the given attributes.
 func NewRelation(attrs []string, rows ...[]string) (*Relation, error) {
@@ -237,18 +277,13 @@ func JDImplies(given []JoinDep, target JoinDep, universe []string, maxRows int) 
 }
 
 // JoinTreeMVDs derives the MVD basis of an acyclic schema from its join
-// tree (BFMY: equivalent to the schema's full join dependency).
+// tree (BFMY: equivalent to the schema's full join dependency). Cyclic
+// schemas report ErrCyclicSchema (which also matches ErrCyclic under
+// errors.Is).
 func JoinTreeMVDs(schema *Hypergraph) ([]JoinDep, error) {
 	jt, ok := jointree.Build(schema)
 	if !ok {
-		return nil, errCyclicSchema
+		return nil, ErrCyclicSchema
 	}
 	return chase.JoinTreeMVDs(schema, jt.Parent)
 }
-
-type schemaErr string
-
-func (e schemaErr) Error() string { return string(e) }
-
-// errCyclicSchema is returned by JoinTreeMVDs for cyclic schemas.
-const errCyclicSchema = schemaErr("repro: schema is cyclic; no join tree exists")

@@ -1,0 +1,163 @@
+package repro
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateExports = flag.Bool("update", false, "rewrite testdata/api_exports.golden")
+
+// TestPublicAPIExports pins the exported surface of the redesigned API — the
+// root facade plus the session (internal/analysis) and batch
+// (internal/engine) layers whose types reach users through aliases — against
+// a golden snapshot, so signature changes can't slip through a PR silently.
+// Regenerate intentionally with:
+//
+//	go test -run TestPublicAPIExports -update .
+func TestPublicAPIExports(t *testing.T) {
+	var b strings.Builder
+	for _, dir := range []string{".", "internal/analysis", "internal/engine"} {
+		decls := exportedDecls(t, dir)
+		sort.Strings(decls)
+		fmt.Fprintf(&b, "## %s\n\n", dir)
+		for _, d := range decls {
+			b.WriteString(d)
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "api_exports.golden")
+	if *updateExports {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden snapshot (%v); run: go test -run TestPublicAPIExports -update .", err)
+	}
+	if got != string(want) {
+		t.Fatalf("public API surface changed.\nIf intentional, regenerate with: go test -run TestPublicAPIExports -update .\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// exportedDecls parses the non-test Go files of dir and renders every
+// exported top-level declaration (functions, methods on exported receivers,
+// types, vars, consts) with doc comments and bodies stripped.
+func exportedDecls(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			out = append(out, renderExported(t, decl)...)
+		}
+	}
+	return out
+}
+
+func renderExported(t *testing.T, decl ast.Decl) []string {
+	t.Helper()
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !receiverExported(d) {
+			return nil
+		}
+		d.Doc, d.Body = nil, nil
+		return []string{render(t, d)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			if !specExported(spec) {
+				continue
+			}
+			stripSpecComments(spec)
+			one := &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{spec}}
+			out = append(out, render(t, one))
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch x := typ.(type) {
+		case *ast.StarExpr:
+			typ = x.X
+		case *ast.IndexExpr:
+			typ = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func specExported(spec ast.Spec) bool {
+	switch s := spec.(type) {
+	case *ast.TypeSpec:
+		return s.Name.IsExported()
+	case *ast.ValueSpec:
+		for _, n := range s.Names {
+			if n.IsExported() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func stripSpecComments(spec ast.Spec) {
+	switch s := spec.(type) {
+	case *ast.TypeSpec:
+		s.Doc, s.Comment = nil, nil
+	case *ast.ValueSpec:
+		s.Doc, s.Comment = nil, nil
+	}
+}
+
+// render prints a declaration on a fresh FileSet: positions and comments are
+// dropped, so the output depends only on the declaration's structure.
+func render(t *testing.T, node ast.Node) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), node); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 )
 
@@ -169,7 +170,10 @@ func TestFacadeMCSAndEngine(t *testing.T) {
 		t.Fatal("MCS join tree must exist and verify for Fig1")
 	}
 	e := NewEngine(0)
-	verdicts := e.IsAcyclicBatch([]*Hypergraph{Fig1(), tri, Fig5()})
+	verdicts, err := e.IsAcyclicBatch(context.Background(), []*Hypergraph{Fig1(), tri, Fig5()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !verdicts[0] || verdicts[1] || !verdicts[2] {
 		t.Fatalf("batch verdicts = %v", verdicts)
 	}

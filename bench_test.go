@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -329,20 +330,80 @@ func BenchmarkEngineBatch(b *testing.B) {
 			}
 		}
 	})
+	ctx := context.Background()
 	b.Run("engine-cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			e := engine.New() // fresh memo: measures the fan-out itself
 			b.StartTimer()
-			e.IsAcyclicBatch(hs)
+			e.IsAcyclicBatch(ctx, hs)
 		}
 	})
 	b.Run("engine-warm", func(b *testing.B) {
 		e := engine.New()
-		e.IsAcyclicBatch(hs)
+		e.IsAcyclicBatch(ctx, hs)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			e.IsAcyclicBatch(hs)
+			e.IsAcyclicBatch(ctx, hs)
+		}
+	})
+}
+
+// BenchmarkFingerprint — the streaming 128-bit memo key against the
+// canonical-string route it replaced. The warm engine path pays exactly one
+// fingerprint per query, so the "string" vs "streaming128" gap is the
+// warm-path win; "engine-warm-single" measures the end-to-end repeat query
+// (fingerprint + shard probe) on a 10⁵-edge schema. The streaming digest is
+// cached at construction, so "streaming128" on a constructed hypergraph is
+// a field read; "streaming128-cold" clones first to measure the digest
+// computation itself.
+func BenchmarkFingerprint(b *testing.B) {
+	h := gen.AcyclicChainIDs(100_000, 3, 1)
+	named := gen.AcyclicChain(10_000, 3, 1)
+	b.Run("string/ids-m=100000", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hypergraph.FingerprintHash(h.Fingerprint())
+		}
+	})
+	b.Run("streaming128-cold/ids-m=100000", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c := h.Clone() // fresh handle: digest not yet cached
+			b.StartTimer()
+			c.Fingerprint128()
+		}
+	})
+	b.Run("streaming128-warm/ids-m=100000", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Fingerprint128()
+		}
+	})
+	b.Run("string/names-m=10000", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hypergraph.FingerprintHash(named.Fingerprint())
+		}
+	})
+	b.Run("streaming128-cold/names-m=10000", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c := named.Clone()
+			b.StartTimer()
+			c.Fingerprint128()
+		}
+	})
+	e := engine.New()
+	e.IsAcyclic(h)
+	b.Run("engine-warm-single/ids-m=100000", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !e.IsAcyclic(h) {
+				b.Fatal("chain must be acyclic")
+			}
 		}
 	})
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -151,21 +152,23 @@ func engineTable(w io.Writer) {
 				hs[i] = gen.Random(r, gen.RandomSpec{Nodes: 150, Edges: 200, MinArity: 2, MaxArity: 4})
 			}
 		}
+		ctx := context.Background()
 		dSerial := timeIt(func() {
 			for _, h := range hs {
 				mcs.IsAcyclic(h)
 			}
 		})
-		dCold := timeIt(func() { engine.New().IsAcyclicBatch(hs) })
+		dCold := timeIt(func() { engine.New().IsAcyclicBatch(ctx, hs) })
 		warm := engine.New()
-		warm.IsAcyclicBatch(hs)
-		dWarm := timeIt(func() { warm.IsAcyclicBatch(hs) })
+		warm.IsAcyclicBatch(ctx, hs)
+		dWarm := timeIt(func() { warm.IsAcyclicBatch(ctx, hs) })
 		t.Add(n, 200, dSerial, dCold, dWarm,
 			float64(dSerial)/float64(dCold), float64(dSerial)/float64(dWarm))
 	}
 	t.Render(w)
-	fmt.Fprintln(w, "shape: cold speedup tracks GOMAXPROCS (minus the canonical-hash overhead); the warm memo")
-	fmt.Fprintln(w, "answers repeat traffic at fingerprint-plus-map-probe cost, independent of instance hardness")
+	fmt.Fprintln(w, "shape: cold speedup tracks GOMAXPROCS; the warm memo answers repeat traffic at")
+	fmt.Fprintln(w, "digest-read-plus-map-probe cost (the streaming 128-bit fingerprint is cached at")
+	fmt.Fprintln(w, "construction), independent of instance hardness")
 }
 
 // sparseTable: P-SPARSE — the representation layer at scale: unbounded-

@@ -1,6 +1,10 @@
 // Command hgtool analyzes hypergraphs given in the text format of
-// internal/hypergraph.Parse (one edge per line, '#' comments, optional
-// "name:" prefixes). It exposes the library's analyses on the command line.
+// repro.ParseHypergraph (one edge per line, '#' comments, optional
+// "name:" prefixes). It exposes the library's analyses on the command line
+// through the session-oriented API: each invocation opens one
+// repro.Analysis over the input, so commands that need several derived
+// artifacts (verdict, classification, join tree, full reducer, witness)
+// share a single traversal instead of recomputing per artifact.
 //
 // Usage:
 //
@@ -16,20 +20,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
-	"repro/internal/acyclic"
-	"repro/internal/bitset"
-	"repro/internal/core"
-	"repro/internal/gyo"
-	"repro/internal/hypergraph"
-	"repro/internal/jointree"
+	"repro"
 	"repro/internal/report"
-	"repro/internal/tableau"
 )
 
 func main() {
@@ -85,11 +84,21 @@ func usage() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "hgtool:", err)
+	// The structured taxonomy makes user errors distinguishable from bugs.
+	var unknown *repro.ErrUnknownNode
+	var parseErr *repro.ErrParse
+	switch {
+	case errors.As(err, &unknown):
+		fmt.Fprintf(os.Stderr, "hgtool: node %q does not occur in the hypergraph\n", unknown.Name)
+	case errors.As(err, &parseErr):
+		fmt.Fprintf(os.Stderr, "hgtool: input:%d:%d: %s\n", parseErr.Line, parseErr.Col, parseErr.Msg)
+	default:
+		fmt.Fprintln(os.Stderr, "hgtool:", err)
+	}
 	os.Exit(1)
 }
 
-func load(path string) (*hypergraph.Hypergraph, []string, error) {
+func load(path string) (*repro.Hypergraph, []string, error) {
 	var data []byte
 	var err error
 	if path == "" {
@@ -100,12 +109,13 @@ func load(path string) (*hypergraph.Hypergraph, []string, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return hypergraph.Parse(string(data))
+	return repro.ParseHypergraph(string(data))
 }
 
-func parseSacred(h *hypergraph.Hypergraph, s string) (bitset.Set, error) {
+// parseSacred splits the -x list and validates every name against h.
+func parseSacred(h *repro.Hypergraph, s string) ([]string, error) {
 	if s == "" {
-		return bitset.Set{}, nil
+		return nil, nil
 	}
 	var names []string
 	for _, n := range strings.Split(s, ",") {
@@ -113,35 +123,41 @@ func parseSacred(h *hypergraph.Hypergraph, s string) (bitset.Set, error) {
 			names = append(names, n)
 		}
 	}
-	return h.Set(names...)
+	if _, err := h.Set(names...); err != nil {
+		return nil, err
+	}
+	return names, nil
 }
 
-func analyze(w io.Writer, h *hypergraph.Hypergraph) error {
+func analyze(w io.Writer, h *repro.Hypergraph) error {
+	a := repro.Analyze(h)
 	fmt.Fprintf(w, "hypergraph: %v\n", h)
 	fmt.Fprintf(w, "nodes: %d, edges: %d, connected: %v, reduced: %v\n",
 		h.NumNodes(), h.NumEdges(), h.IsConnected(), h.IsReduced())
-	c := acyclic.Classify(h)
-	fmt.Fprintf(w, "acyclicity: %v\n", c)
+	fmt.Fprintf(w, "acyclicity: %v\n", a.Classification())
 	arts := h.ArticulationSets()
 	if len(arts) == 0 {
 		fmt.Fprintln(w, "articulation sets: none")
 	} else {
 		fmt.Fprint(w, "articulation sets:")
-		for _, a := range arts {
-			fmt.Fprintf(w, " {%s}", strings.Join(h.NodeNames(a), " "))
+		for _, art := range arts {
+			fmt.Fprintf(w, " {%s}", strings.Join(h.NodeNames(art), " "))
 		}
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintln(w, "blocks:")
-	for _, b := range core.Blocks(h) {
+	for _, b := range repro.Blocks(h) {
 		fmt.Fprintf(w, "  %v\n", b)
 	}
 	return nil
 }
 
-func reduce(w io.Writer, h *hypergraph.Hypergraph, x bitset.Set) error {
-	r := gyo.Reduce(h, x)
-	fmt.Fprintf(w, "GR(H, {%s}):\n", strings.Join(h.NodeNames(x), " "))
+func reduce(w io.Writer, h *repro.Hypergraph, sacred []string) error {
+	r, err := repro.GrahamReductionTrace(h, sacred...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "GR(H, {%s}):\n", strings.Join(sacred, " "))
 	fmt.Fprint(w, r.Trace())
 	fmt.Fprintf(w, "result: %v\n", r.Hypergraph)
 	if r.Vanished() {
@@ -150,8 +166,11 @@ func reduce(w io.Writer, h *hypergraph.Hypergraph, x bitset.Set) error {
 	return nil
 }
 
-func showTableau(w io.Writer, h *hypergraph.Hypergraph, x bitset.Set) error {
-	tab := tableau.New(h, x)
+func showTableau(w io.Writer, h *repro.Hypergraph, sacred []string) error {
+	tab, err := repro.NewTableau(h, sacred...)
+	if err != nil {
+		return err
+	}
 	fmt.Fprint(w, tab.String())
 	mn := tab.Minimize()
 	fmt.Fprintf(w, "minimal rows: %v\n", mn.Rows)
@@ -160,16 +179,23 @@ func showTableau(w io.Writer, h *hypergraph.Hypergraph, x bitset.Set) error {
 	return nil
 }
 
-func ccCmd(w io.Writer, h *hypergraph.Hypergraph, x bitset.Set) error {
-	cc := core.CC(h, x)
-	fmt.Fprintf(w, "CC({%s}) = %v\n", strings.Join(h.NodeNames(x), " "), cc)
+func ccCmd(w io.Writer, h *repro.Hypergraph, names []string) error {
+	cc, err := repro.CanonicalConnection(h, names...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "CC({%s}) = %v\n", strings.Join(names, " "), cc)
 	return nil
 }
 
-func jointreeCmd(w io.Writer, h *hypergraph.Hypergraph, names []string) error {
-	t, ok := jointree.Build(h)
-	if !ok {
+func jointreeCmd(w io.Writer, h *repro.Hypergraph, names []string) error {
+	a := repro.Analyze(h)
+	t, err := a.JoinTree()
+	if errors.Is(err, repro.ErrCyclic) {
 		return fmt.Errorf("the hypergraph is cyclic: no join tree exists")
+	}
+	if err != nil {
+		return err
 	}
 	label := func(i int) string {
 		if i < len(names) && names[i] != "" {
@@ -186,16 +212,21 @@ func jointreeCmd(w io.Writer, h *hypergraph.Hypergraph, names []string) error {
 		tab.Add(label(i), "{"+strings.Join(h.EdgeNodes(i), " ")+"}", parent)
 	}
 	tab.Render(w)
+	prog, err := a.FullReducer() // reuses the join tree the table just printed
+	if err != nil {
+		return err
+	}
 	fmt.Fprint(w, "full reducer:")
-	for _, s := range t.FullReducer() {
+	for _, s := range prog {
 		fmt.Fprintf(w, " %s ⋉= %s;", label(s.Target), label(s.Source))
 	}
 	fmt.Fprintln(w)
 	return nil
 }
 
-func witnessCmd(w io.Writer, h *hypergraph.Hypergraph) error {
-	p, found, err := core.IndependentPathWitness(h)
+func witnessCmd(w io.Writer, h *repro.Hypergraph) error {
+	a := repro.Analyze(h)
+	p, coreGraph, found, err := a.Witness()
 	if err != nil {
 		return err
 	}
@@ -203,11 +234,13 @@ func witnessCmd(w io.Writer, h *hypergraph.Hypergraph) error {
 		fmt.Fprintln(w, "the hypergraph is acyclic: by Theorem 6.1 no independent path exists")
 		return nil
 	}
-	f, _ := core.WitnessCore(h)
-	fmt.Fprintf(w, "cyclic core: %v\n", f)
-	fmt.Fprintf(w, "independent path: %s\n", p.String(f))
+	fmt.Fprintf(w, "cyclic core: %v\n", coreGraph)
+	fmt.Fprintf(w, "independent path: %s\n", p.String(coreGraph))
 	n, m := p.Endpoints()
-	cc := core.CC(f, n.Or(m))
+	cc, err := repro.CanonicalConnection(coreGraph, coreGraph.NodeNames(n.Or(m))...)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "canonical connection of its endpoints: %v\n", cc)
 	return nil
 }

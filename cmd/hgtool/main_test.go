@@ -4,11 +4,14 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/bitset"
-	"repro/internal/hypergraph"
+	"repro"
 )
 
-func fig1() *hypergraph.Hypergraph { return hypergraph.Fig1() }
+func fig1() *repro.Hypergraph { return repro.Fig1() }
+
+func triangle() *repro.Hypergraph {
+	return repro.NewHypergraph([][]string{{"A", "B"}, {"B", "C"}, {"C", "A"}})
+}
 
 func TestAnalyzeOutput(t *testing.T) {
 	var b strings.Builder
@@ -26,14 +29,14 @@ func TestAnalyzeOutput(t *testing.T) {
 func TestReduceOutput(t *testing.T) {
 	h := fig1()
 	var b strings.Builder
-	if err := reduce(&b, h, h.MustSet("A", "D")); err != nil {
+	if err := reduce(&b, h, []string{"A", "D"}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "remove node") {
 		t.Fatalf("missing trace:\n%s", b.String())
 	}
 	b.Reset()
-	if err := reduce(&b, h, bitset.Set{}); err != nil {
+	if err := reduce(&b, h, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "acyclic") {
@@ -44,7 +47,7 @@ func TestReduceOutput(t *testing.T) {
 func TestTableauOutput(t *testing.T) {
 	h := fig1()
 	var b strings.Builder
-	if err := showTableau(&b, h, h.MustSet("A", "D")); err != nil {
+	if err := showTableau(&b, h, []string{"A", "D"}); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"(summary)", "minimal rows: [1 3]", "TR(H, X)"} {
@@ -57,7 +60,7 @@ func TestTableauOutput(t *testing.T) {
 func TestCCOutput(t *testing.T) {
 	h := fig1()
 	var b strings.Builder
-	if err := ccCmd(&b, h, h.MustSet("A", "D")); err != nil {
+	if err := ccCmd(&b, h, []string{"A", "D"}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "CC({A D})") {
@@ -75,14 +78,14 @@ func TestJointreeOutput(t *testing.T) {
 		t.Fatalf("jointree output:\n%s", out)
 	}
 	// Cyclic input is a user error, not a panic.
-	if err := jointreeCmd(&b, hypergraph.Triangle(), nil); err == nil {
+	if err := jointreeCmd(&b, triangle(), nil); err == nil {
 		t.Fatal("cyclic input must error")
 	}
 }
 
 func TestWitnessOutput(t *testing.T) {
 	var b strings.Builder
-	if err := witnessCmd(&b, hypergraph.Triangle()); err != nil {
+	if err := witnessCmd(&b, triangle()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "independent path:") {
@@ -100,14 +103,14 @@ func TestWitnessOutput(t *testing.T) {
 func TestParseSacred(t *testing.T) {
 	h := fig1()
 	x, err := parseSacred(h, " A , D ")
-	if err != nil || x.Len() != 2 {
+	if err != nil || len(x) != 2 {
 		t.Fatalf("parseSacred: %v %v", x, err)
 	}
 	if _, err := parseSacred(h, "A,Z"); err == nil {
 		t.Fatal("unknown node must error")
 	}
 	empty, err := parseSacred(h, "")
-	if err != nil || !empty.IsEmpty() {
+	if err != nil || len(empty) != 0 {
 		t.Fatal("empty spec must give empty set")
 	}
 }

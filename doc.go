@@ -8,27 +8,69 @@
 // internal/: it re-exports the core types and offers name-based helpers so
 // applications can work with plain string node names.
 //
-// # Quick start
+// # Quick start: the session-oriented API
+//
+// The paper's artifacts — acyclicity verdict, join tree, classification,
+// reduction trace, full reducer, cyclicity witness — are all derived views
+// of one hypergraph, so the API hands them out through one session: Analyze
+// opens a concurrency-safe Analysis whose facets are computed lazily and
+// cached, each underlying traversal running at most once per handle (the
+// join tree reuses the MCS order the verdict computed, the witness search
+// short-circuits on the verdict, and so on).
 //
 //	h := repro.NewHypergraph([][]string{
 //		{"A", "B", "C"}, {"C", "D", "E"}, {"A", "E", "F"}, {"A", "C", "E"},
 //	})
-//	repro.IsAcyclic(h)                         // true — this is the paper's Fig. 1
+//	a := repro.Analyze(h)
+//	a.Verdict()                  // true — this is the paper's Fig. 1
+//	jt, _ := a.JoinTree()        // reuses the verdict's traversal
+//	prog, _ := a.FullReducer()   // semijoin program read off jt
+//	a.Classification()           // α✓ β✗ γ✗ Berge✗
+//
 //	gr, _ := repro.GrahamReduction(h, "A", "D") // {{A,C,E}, {C,D,E}}
 //	cc, _ := repro.CanonicalConnection(h, "A", "D")
-//	gr.EqualEdges(cc)                          // true — Theorem 3.5
+//	gr.EqualEdges(cc)                           // true — Theorem 3.5
+//
+// Construction goes through the Builder (NewHypergraph,
+// NewHypergraphFromIDs, and ParseHypergraph are thin wrappers over it):
+//
+//	h, err := repro.NewBuilder().
+//		NamedEdge("R1", "A", "B", "C").
+//		Edge("C", "D", "E").
+//		Build()
+//
+// # Migration from the stateless facade
+//
+// The pre-session free functions remain as deprecated one-line wrappers;
+// each maps to an Analysis facet:
+//
+//	old free function                  session method
+//	---------------------------------  -------------------------------
+//	repro.IsAcyclic(h)                 a.Verdict()
+//	repro.IsAcyclicGYO(h)              a.GrahamTrace().Vanished()
+//	repro.MCS(h)                       a.MCS()
+//	repro.BuildJoinTree(h)             a.JoinTree()
+//	repro.BuildJoinTreeMCS(h)          a.JoinTree()
+//	repro.Classify(h)                  a.Classification()
+//	repro.IndependentPathWitness(h)    a.Witness()
+//	jt.FullReducer()                   a.FullReducer()
+//
+// Operations report structured errors satisfying errors.Is / errors.As:
+// ErrCyclic (no join tree exists), ErrCyclicSchema (schema-level, wraps
+// ErrCyclic), *ErrUnknownNode (carries the offending name), and *ErrParse
+// (carries 1-based line and column).
 //
 // # Acyclicity engines
 //
-// Two independent deciders back IsAcyclic-style queries:
+// Two independent deciders back the verdict:
 //
 //   - internal/mcs — the Tarjan–Yannakakis maximum cardinality search, the
 //     default hot path. It repeatedly selects the edge sharing the most
 //     nodes with the already-selected region (a bucket queue keeps this
 //     O(total edge size)) and checks the running-intersection property as
-//     it goes. Acceptance doubles as a join-tree construction
-//     (BuildJoinTreeMCS); rejection carries a certificate cross-checkable
-//     against the Theorem 6.1 independent-path witness.
+//     it goes. Acceptance doubles as a join-tree construction; rejection
+//     carries a certificate cross-checkable against the Theorem 6.1
+//     independent-path witness.
 //   - internal/gyo — Graham (GYO) reduction, the paper's own machinery,
 //     retained for reduction traces, GR(H, X) with sacred nodes, and as
 //     the differential baseline: internal/mcs's test suite pins the two
@@ -63,15 +105,17 @@
 // # Batch engine
 //
 // internal/engine (facade: NewEngine) serves heavy query traffic: batches
-// fan out over a GOMAXPROCS-sized worker pool, and results are memoized
-// per hypergraph under the canonical hash (Hypergraph.Hash /
-// Hypergraph.Fingerprint), so repeated queries against a bounded schema
-// population cost a fingerprint and a map probe. The memo is partitioned
-// into fingerprint-keyed shards (at least GOMAXPROCS, rounded up to a power
-// of two), so warm repeat traffic scales across cores instead of
-// serializing behind one lock. Engine.IsAcyclicBatch, Engine.JoinTreeBatch
-// and Engine.ClassifyBatch are the batch mirrors of the single-shot facade
-// calls.
+// fan out over a GOMAXPROCS-sized worker pool, observing context
+// cancellation between work items, and every memo entry is a shared
+// Analysis session keyed by the streaming 128-bit fingerprint
+// (Hypergraph.Fingerprint128, folded incrementally during construction —
+// a warm repeat query costs a digest read and a sharded map probe, with no
+// canonical string ever built). Engine.Analyze returns the memoized
+// session; Engine.IsAcyclicBatch, Engine.JoinTreeBatch,
+// Engine.ClassifyBatch and Engine.AnalyzeBatch are the ctx-first batch
+// mirrors. The memo is partitioned into fingerprint-keyed shards (at least
+// GOMAXPROCS, rounded up to a power of two), so warm repeat traffic scales
+// across cores instead of serializing behind one lock.
 //
 // See the examples/ directory for runnable programs and DESIGN.md for the
 // paper-to-package map.

@@ -1,0 +1,33 @@
+package repro
+
+import "repro/internal/hypergraph"
+
+// The structured error taxonomy. Every operation that can fail reports one
+// of these values (possibly wrapped), so callers branch with errors.Is and
+// errors.As instead of matching message strings:
+//
+//	jt, err := repro.Analyze(h).JoinTree()
+//	if errors.Is(err, repro.ErrCyclic) { ... }
+//
+//	var unknown *repro.ErrUnknownNode
+//	if errors.As(err, &unknown) { ... unknown.Name ... }
+var (
+	// ErrCyclic is reported when an operation requires an acyclic
+	// hypergraph but the input is cyclic (join trees, full reducers).
+	ErrCyclic = hypergraph.ErrCyclic
+	// ErrCyclicSchema is the schema-level refinement reported by
+	// database-facing operations (JoinTreeMVDs, FullReducer). It wraps
+	// ErrCyclic: errors.Is(err, ErrCyclic) also holds.
+	ErrCyclicSchema = hypergraph.ErrCyclicSchema
+)
+
+type (
+	// ErrUnknownNode reports a node name that does not occur in the
+	// hypergraph; the Name field carries the offending name. Match with
+	// errors.As.
+	ErrUnknownNode = hypergraph.ErrUnknownNode
+	// ErrParse reports a syntax error in the ParseHypergraph text format,
+	// with 1-based Line and Col of the offending construct. Match with
+	// errors.As.
+	ErrParse = hypergraph.ErrParse
+)

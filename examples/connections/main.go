@@ -23,7 +23,7 @@ func run(w io.Writer) error {
 	// Figure 5 (reconstructed; see DESIGN.md): acyclic, yet there "appear"
 	// to be two distinct paths from A to F.
 	fig5 := repro.Fig5()
-	fmt.Fprintln(w, "Figure 5:", fig5, "— acyclic:", repro.IsAcyclic(fig5))
+	fmt.Fprintln(w, "Figure 5:", fig5, "— acyclic:", repro.Analyze(fig5).Verdict())
 
 	// Drop the second or third edge: A and F stay connected either way.
 	for _, skip := range []int{1, 2} {
@@ -50,7 +50,7 @@ func run(w io.Writer) error {
 	h := repro.NewHypergraph([][]string{
 		{"A", "B", "C"}, {"C", "D", "E"}, {"A", "E", "F"},
 	})
-	fmt.Fprintln(w, "\nExample 5.1 hypergraph:", h, "— acyclic:", repro.IsAcyclic(h))
+	fmt.Fprintln(w, "\nExample 5.1 hypergraph:", h, "— acyclic:", repro.Analyze(h).Verdict())
 	cc2, _ := repro.CanonicalConnection(h, "A", "C")
 	fmt.Fprintln(w, "CC({A,C}):", cc2)
 
@@ -73,17 +73,20 @@ func run(w io.Writer) error {
 	fmt.Fprintln(w, "derived independent path:", path.String(h))
 
 	// Theorem 6.1 ties it together: cyclic <=> independent path exists.
+	// One session per graph serves both the verdict and the hierarchy row
+	// below from a single traversal.
 	fmt.Fprintln(w, "\nTheorem 6.1 check:")
-	for _, g := range []*repro.Hypergraph{repro.Fig1(), fig5, h} {
+	sessions := []*repro.Analysis{repro.Analyze(repro.Fig1()), repro.Analyze(fig5), repro.Analyze(h)}
+	for _, a := range sessions {
 		fmt.Fprintf(w, "  %v: acyclic=%v hasIndependentPath=%v\n",
-			g, repro.IsAcyclic(g), repro.HasIndependentPath(g))
+			a.Hypergraph(), a.Verdict(), repro.HasIndependentPath(a.Hypergraph()))
 	}
 
 	// The acyclicity hierarchy on the same graphs (the paper's §1 remark
 	// that its notion is weaker than Berge's).
 	fmt.Fprintln(w, "\nacyclicity hierarchy (α ⊇ β ⊇ γ ⊇ Berge):")
-	for _, g := range []*repro.Hypergraph{repro.Fig1(), fig5, h} {
-		fmt.Fprintf(w, "  %v: %v\n", g, repro.Classify(g))
+	for _, a := range sessions {
+		fmt.Fprintf(w, "  %v: %v\n", a.Hypergraph(), a.Classification())
 	}
 	return nil
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -26,7 +27,7 @@ func run(w io.Writer) error {
 		{"Order", "Item", "Qty"},
 		{"Item", "Price"},
 	})
-	fmt.Fprintln(w, "schema:", schema, "— acyclic:", repro.IsAcyclic(schema))
+	fmt.Fprintln(w, "schema:", schema, "— acyclic:", repro.Analyze(schema).Verdict())
 
 	// Its join dependency and join-tree MVD basis.
 	jd := repro.JoinDependency(schema)
@@ -61,8 +62,8 @@ func run(w io.Writer) error {
 	// The cyclic triangle: one direction survives, the other fails.
 	tri := repro.NewHypergraph([][]string{{"A", "B"}, {"B", "C"}, {"C", "A"}})
 	triJD := repro.JoinDependency(tri)
-	if _, err := repro.JoinTreeMVDs(tri); err == nil {
-		return fmt.Errorf("cyclic schema must have no join tree")
+	if _, err := repro.JoinTreeMVDs(tri); !errors.Is(err, repro.ErrCyclicSchema) {
+		return fmt.Errorf("cyclic schema must report ErrCyclicSchema, got %v", err)
 	} else {
 		fmt.Fprintln(w, "\ntriangle:", err)
 	}

@@ -1,9 +1,12 @@
-// Quickstart: the paper's Figure 1 walked through the public API —
-// acyclicity, Graham reduction with sacred nodes, tableau reduction, and
-// their equality (Theorem 3.5).
+// Quickstart: the paper's Figure 1 walked through the session-oriented
+// public API — one repro.Analysis per hypergraph hands out acyclicity,
+// the join tree, the classification, and the Graham reduction trace from a
+// single cached traversal; Graham and tableau reduction with sacred nodes
+// demonstrate Theorem 3.5.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -19,15 +22,29 @@ func main() {
 }
 
 func run(w io.Writer) error {
-	// Figure 1 of the paper: nodes A..F, four edges.
-	h := repro.NewHypergraph([][]string{
-		{"A", "B", "C"},
-		{"C", "D", "E"},
-		{"A", "E", "F"},
-		{"A", "C", "E"},
-	})
-	fmt.Fprintln(w, "hypergraph:", h)
-	fmt.Fprintln(w, "acyclic:   ", repro.IsAcyclic(h))
+	// Figure 1 of the paper: nodes A..F, four edges, built with the Builder.
+	h, err := repro.NewBuilder().
+		NamedEdge("R1", "A", "B", "C").
+		NamedEdge("R2", "C", "D", "E").
+		NamedEdge("R3", "A", "E", "F").
+		NamedEdge("R4", "A", "C", "E").
+		Build()
+	if err != nil {
+		return err
+	}
+
+	// One session per hypergraph: every artifact below shares the single
+	// maximum-cardinality-search traversal the verdict runs.
+	a := repro.Analyze(h)
+	fmt.Fprintln(w, "hypergraph:    ", h)
+	fmt.Fprintln(w, "acyclic:       ", a.Verdict())
+	fmt.Fprintln(w, "classification:", a.Classification())
+	if jt, err := a.JoinTree(); err == nil {
+		fmt.Fprintln(w, "join tree:     ", jt)
+	}
+	if prog, err := a.FullReducer(); err == nil {
+		fmt.Fprintln(w, "full reducer:  ", prog)
+	}
 
 	// Graham reduction keeping A and D sacred (Example 2.2).
 	trace, err := repro.GrahamReductionTrace(h, "A", "D")
@@ -53,10 +70,17 @@ func run(w io.Writer) error {
 	}
 	fmt.Fprintln(w, "canonical connection CC({A,D}):", cc)
 
+	// Errors are structured: unknown nodes carry the offending name.
+	var unknown *repro.ErrUnknownNode
+	if _, err := repro.GrahamReduction(h, "Z"); errors.As(err, &unknown) {
+		fmt.Fprintf(w, "asking about %q fails cleanly: %v\n", unknown.Name, err)
+	}
+
 	// Cyclic hypergraphs break the equality: the paper's counterexample.
 	bad := repro.NewHypergraph([][]string{
 		{"A", "B"}, {"A", "C"}, {"B", "C"}, {"A", "D"},
 	})
+	ab := repro.Analyze(bad)
 	grBad, _ := repro.GrahamReduction(bad, "D")
 	trBad, _ := repro.TableauReduction(bad, "D")
 	fmt.Fprintln(w, "\ncyclic counterexample:", bad)
@@ -64,8 +88,12 @@ func run(w io.Writer) error {
 	fmt.Fprintln(w, "TR(H,{D}):", trBad, " — collapsed")
 	fmt.Fprintln(w, "equal:", grBad.EqualEdges(trBad), "(Theorem 3.5 needs acyclicity)")
 
-	// Theorem 6.1: cyclicity is witnessed by an independent path.
-	path, coreGraph, found, err := repro.IndependentPathWitness(bad)
+	// The cyclic side of the session: no join tree (a structured error),
+	// and a Theorem 6.1 independent-path witness.
+	if _, err := ab.JoinTree(); errors.Is(err, repro.ErrCyclic) {
+		fmt.Fprintln(w, "join tree:", err)
+	}
+	path, coreGraph, found, err := ab.Witness()
 	if err != nil {
 		return err
 	}

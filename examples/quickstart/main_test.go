@@ -14,7 +14,10 @@ func TestRunSucceeds(t *testing.T) {
 	}
 	out := b.String()
 	for _, want := range []string{
-		"acyclic:    true",
+		"acyclic:        true",
+		"classification: α✓",
+		"join tree:",
+		"full reducer:",
 		"GR == TR (Theorem 3.5): true",
 		"(Theorem 3.5 needs acyclicity)",
 		"independent path in the cyclic core",

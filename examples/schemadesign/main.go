@@ -21,13 +21,19 @@ func main() {
 	}
 }
 
+// audit opens one analysis session per candidate schema: the
+// classification's α component, the verdict, the join tree, and the witness
+// below all share a single traversal through the handle.
 func audit(w io.Writer, name string, h *repro.Hypergraph) (bool, error) {
+	a := repro.Analyze(h)
 	fmt.Fprintf(w, "--- %s ---\n", name)
 	fmt.Fprintln(w, "schema:", h)
-	c := repro.Classify(h)
-	fmt.Fprintln(w, "classification:", c)
-	if repro.IsAcyclic(h) {
-		jt, _ := repro.BuildJoinTree(h)
+	fmt.Fprintln(w, "classification:", a.Classification())
+	if a.Verdict() {
+		jt, err := a.JoinTree()
+		if err != nil {
+			return false, err
+		}
 		fmt.Fprintln(w, "join tree:", jt)
 		fmt.Fprintln(w, "verdict: SAFE — connections among attributes are uniquely defined (Theorem 6.1)")
 		fmt.Fprintln(w)
@@ -49,7 +55,7 @@ func audit(w io.Writer, name string, h *repro.Hypergraph) (bool, error) {
 		}
 		fmt.Fprintf(w, "    %v%s\n", b, tag)
 	}
-	path, coreGraph, found, err := repro.IndependentPathWitness(h)
+	path, coreGraph, found, err := a.Witness()
 	if err != nil {
 		return false, err
 	}

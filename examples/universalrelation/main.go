@@ -28,8 +28,11 @@ func run(w io.Writer) error {
 		{"Course", "Student", "Grade"},
 		{"Student", "Dept"},
 	})
+	// One session serves the verdict here and the join tree + full reducer
+	// below from a single traversal.
+	a := repro.Analyze(schema)
 	fmt.Fprintln(w, "schema:", schema)
-	fmt.Fprintln(w, "acyclic:", repro.IsAcyclic(schema))
+	fmt.Fprintln(w, "acyclic:", a.Verdict())
 
 	// A universal relation and its projections (a globally consistent DB).
 	u, err := repro.NewRelation(
@@ -73,14 +76,19 @@ func run(w io.Writer) error {
 	ans2, _ := d.QueryCC(query2)
 	fmt.Fprintln(w, ans2)
 
-	// The join tree and its semijoin full reducer (how Yannakakis runs).
-	jt, ok := repro.BuildJoinTree(schema)
-	if !ok {
-		return fmt.Errorf("schema unexpectedly cyclic")
+	// The join tree and its semijoin full reducer (how Yannakakis runs),
+	// from the session opened above.
+	jt, err := a.JoinTree()
+	if err != nil {
+		return fmt.Errorf("schema unexpectedly cyclic: %w", err)
 	}
 	fmt.Fprintln(w, "join tree:", jt)
+	prog, err := a.FullReducer()
+	if err != nil {
+		return err
+	}
 	fmt.Fprint(w, "full reducer:")
-	for _, s := range jt.FullReducer() {
+	for _, s := range prog {
 		fmt.Fprintf(w, " %v;", s)
 	}
 	fmt.Fprintln(w)

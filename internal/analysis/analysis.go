@@ -1,0 +1,241 @@
+// Package analysis provides the session-oriented query surface over one
+// hypergraph: an Analysis handle that lazily computes and caches every
+// derived artifact — acyclicity verdict, MCS run, join tree, acyclicity-
+// hierarchy classification, Graham reduction trace, semijoin full reducer,
+// and the Theorem 6.1 independent-path witness — each exactly once.
+//
+// The paper's artifacts are all facets of a single per-instance analysis:
+// the MCS run that decides the verdict already carries the join-tree parent
+// links, the join tree is what the full reducer is read off, and the
+// witness search is only meaningful on the cyclic side of the verdict. The
+// handle makes that sharing explicit: each facet is guarded by a sync.Once,
+// so the underlying traversals run at most once per handle no matter how
+// many facets are queried, in which order, or from how many goroutines.
+// Stats exposes the per-traversal run counters so tests (and monitoring)
+// can assert the caching contract.
+//
+// Analyses are safe for concurrent use. The engine package shares one
+// Analysis per hypergraph identity across its memo, which is the warm path
+// for repeated traffic; analysis.New is the standalone entry point.
+package analysis
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/acyclic"
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/gyo"
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+	"repro/internal/mcs"
+)
+
+// Analysis is a concurrency-safe session over one hypergraph. Construct
+// with New; the zero value is not usable. Every facet is computed on first
+// use and cached; repeated and concurrent calls coalesce on a sync.Once.
+type Analysis struct {
+	h      *hypergraph.Hypergraph
+	verify bool // cross-check the join tree's running-intersection invariant
+
+	// Per-facet once-guards. The mcs facet is the root of the sharing: the
+	// verdict, the join tree, the classification's α component, the full
+	// reducer, and the witness short-circuit all reuse its result.
+	mcsOnce sync.Once
+	mcsRes  *mcs.Result
+
+	jtOnce sync.Once
+	jt     *jointree.JoinTree
+	jtErr  error
+
+	clOnce sync.Once
+	cl     acyclic.Classification
+
+	grOnce sync.Once
+	gr     *gyo.Result
+
+	frOnce sync.Once
+	fr     []jointree.SemijoinStep
+	frErr  error
+
+	witOnce  sync.Once
+	witPath  *core.Path
+	witCore  *hypergraph.Hypergraph
+	witFound bool
+	witErr   error
+
+	stats statsCounters
+}
+
+// statsCounters counts how often each underlying traversal actually ran.
+type statsCounters struct {
+	mcs, graham, hierarchy, witness, verify atomic.Int32
+}
+
+// Stats reports how many times each underlying traversal has executed on
+// this handle — at most once each, by construction. Exposed so tests and
+// monitoring can assert the caching contract.
+type Stats struct {
+	// MCSRuns counts maximum-cardinality-search traversals (verdict, join
+	// tree, classification α, and witness short-circuit all share one).
+	MCSRuns int32
+	// GrahamRuns counts Graham reduction traces.
+	GrahamRuns int32
+	// HierarchyRuns counts β/γ/Berge classification passes.
+	HierarchyRuns int32
+	// WitnessRuns counts independent-path witness searches.
+	WitnessRuns int32
+	// VerifyRuns counts running-intersection cross-checks (WithVerify).
+	VerifyRuns int32
+}
+
+// Stats returns a snapshot of the traversal counters.
+func (a *Analysis) Stats() Stats {
+	return Stats{
+		MCSRuns:       a.stats.mcs.Load(),
+		GrahamRuns:    a.stats.graham.Load(),
+		HierarchyRuns: a.stats.hierarchy.Load(),
+		WitnessRuns:   a.stats.witness.Load(),
+		VerifyRuns:    a.stats.verify.Load(),
+	}
+}
+
+// Option configures an Analysis handle.
+type Option func(*Analysis)
+
+// WithVerify makes the JoinTree facet cross-check the running-intersection
+// invariant once when the tree is first built (an O(total edge size) sweep).
+// The MCS construction satisfies the invariant by theorem, so this is off
+// by default; enable it when the result feeds an external system that must
+// not trust the theorem.
+func WithVerify() Option {
+	return func(a *Analysis) { a.verify = true }
+}
+
+// New opens an analysis session over h. The handle is cheap until a facet
+// is queried; h must not be mutated afterwards (Hypergraph is immutable by
+// contract).
+func New(h *hypergraph.Hypergraph, opts ...Option) *Analysis {
+	a := &Analysis{h: h}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Hypergraph returns the hypergraph under analysis.
+func (a *Analysis) Hypergraph() *hypergraph.Hypergraph { return a.h }
+
+// mcsRun is the shared root traversal.
+func (a *Analysis) mcsRun() *mcs.Result {
+	a.mcsOnce.Do(func() {
+		a.stats.mcs.Add(1)
+		a.mcsRes = mcs.Run(a.h)
+	})
+	return a.mcsRes
+}
+
+// Verdict reports α-acyclicity — the paper's notion — via the linear-time
+// maximum cardinality search, computed once per handle.
+func (a *Analysis) Verdict() bool { return a.mcsRun().Acyclic }
+
+// MCS returns the full maximum-cardinality-search result: verdict, edge and
+// vertex orders, join-tree parents on acceptance, rejection certificate on
+// the cyclic side. The result is shared and must be treated as read-only.
+func (a *Analysis) MCS() *mcs.Result { return a.mcsRun() }
+
+// JoinTree returns the join tree read off the MCS ordering the verdict
+// already computed — no second traversal runs. It reports ErrCyclic when
+// the hypergraph is cyclic. The tree is shared across callers and must be
+// treated as read-only.
+func (a *Analysis) JoinTree() (*jointree.JoinTree, error) {
+	a.jtOnce.Do(func() {
+		r := a.mcsRun()
+		if !r.Acyclic {
+			a.jtErr = hypergraph.ErrCyclic
+			return
+		}
+		a.jt = &jointree.JoinTree{H: a.h, Parent: r.Parent}
+		if a.verify {
+			a.stats.verify.Add(1)
+			if err := a.jt.Verify(); err != nil {
+				// The MCS construction satisfies the invariant by theorem;
+				// reaching this is a bug in the engine, not an input error.
+				a.jt, a.jtErr = nil, err
+			}
+		}
+	})
+	return a.jt, a.jtErr
+}
+
+// Classification places the hypergraph in the acyclicity hierarchy
+// (α ⊇ β ⊇ γ ⊇ Berge). The α component reuses the verdict's MCS run; the
+// stricter notions run their own (γ is exponential — intended for small-to-
+// moderate schemas), all at most once per handle.
+func (a *Analysis) Classification() acyclic.Classification {
+	a.clOnce.Do(func() {
+		a.stats.hierarchy.Add(1)
+		a.cl = acyclic.Classification{
+			Alpha: a.Verdict(),
+			Beta:  acyclic.IsBetaAcyclic(a.h),
+			Gamma: acyclic.IsGammaAcyclic(a.h),
+			Berge: acyclic.IsBergeAcyclic(a.h),
+		}
+	})
+	return a.cl
+}
+
+// GrahamTrace returns the Graham (GYO) reduction of the hypergraph with no
+// sacred nodes, including the full step trace — the paper's own machinery,
+// retained alongside MCS for its trace. Computed once per handle; the
+// result is shared and must be treated as read-only.
+func (a *Analysis) GrahamTrace() *gyo.Result {
+	a.grOnce.Do(func() {
+		a.stats.graham.Add(1)
+		a.gr = gyo.Reduce(a.h, bitset.Set{})
+	})
+	return a.gr
+}
+
+// FullReducer derives the two-pass semijoin program from the join tree
+// (Bernstein–Goodman). It reports ErrCyclicSchema — which also matches
+// ErrCyclic under errors.Is — when no join tree exists; any other JoinTree
+// failure (a WithVerify invariant violation) propagates unchanged.
+func (a *Analysis) FullReducer() ([]jointree.SemijoinStep, error) {
+	a.frOnce.Do(func() {
+		jt, err := a.JoinTree()
+		switch {
+		case errors.Is(err, hypergraph.ErrCyclic):
+			a.frErr = hypergraph.ErrCyclicSchema
+		case err != nil:
+			a.frErr = err
+		default:
+			a.fr = jt.FullReducer()
+		}
+	})
+	return a.fr, a.frErr
+}
+
+// Witness returns the Theorem 6.1 independent-path witness for a cyclic
+// hypergraph: the path, the node-generated core it lives in, and found =
+// true. On the acyclic side it short-circuits on the verdict — no search
+// runs — and reports found = false. The results are shared and must be
+// treated as read-only.
+func (a *Analysis) Witness() (path *core.Path, coreGraph *hypergraph.Hypergraph, found bool, err error) {
+	a.witOnce.Do(func() {
+		if a.Verdict() {
+			return // acyclic: by Theorem 6.1 no independent path exists
+		}
+		a.stats.witness.Add(1)
+		p, found, err := core.IndependentPathWitness(a.h)
+		if err != nil || !found {
+			a.witFound, a.witErr = found, err
+			return
+		}
+		f, _ := core.WitnessCore(a.h)
+		a.witPath, a.witCore, a.witFound = p, f, true
+	})
+	return a.witPath, a.witCore, a.witFound, a.witErr
+}

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/acyclic"
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/gyo"
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+	"repro/internal/mcs"
+)
+
+// corpus returns the differential instances: the paper fixtures plus the
+// generator families the free functions are already pinned against.
+func corpus() []*hypergraph.Hypergraph {
+	hs := []*hypergraph.Hypergraph{
+		hypergraph.Fig1(),
+		hypergraph.Fig1MinusACE(),
+		hypergraph.Fig5(),
+		hypergraph.Triangle(),
+		hypergraph.CyclicCounterexample(),
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		hs = append(hs,
+			gen.RandomAcyclic(rng, gen.RandomSpec{Edges: 12, MinArity: 2, MaxArity: 4}),
+			gen.Random(rng, gen.RandomSpec{Nodes: 12, Edges: 10, MinArity: 2, MaxArity: 4}),
+		)
+	}
+	hs = append(hs,
+		gen.AcyclicChain(40, 3, 1),
+		gen.Star(9),
+		gen.CycleGraph(8),
+		gen.Grid(3, 3),
+		gen.HyperRing(6),
+	)
+	return hs
+}
+
+// TestFacetsMatchFreeFunctions: every Analysis facet must equal its direct
+// free-function twin on every corpus instance.
+func TestFacetsMatchFreeFunctions(t *testing.T) {
+	for i, h := range corpus() {
+		a := New(h)
+
+		want := mcs.Run(h)
+		if a.Verdict() != want.Acyclic {
+			t.Fatalf("instance %d: Verdict=%v, mcs.Run=%v", i, a.Verdict(), want.Acyclic)
+		}
+		got := a.MCS()
+		if got.Acyclic != want.Acyclic ||
+			!reflect.DeepEqual(got.EdgeOrder, want.EdgeOrder) ||
+			!reflect.DeepEqual(got.Parent, want.Parent) {
+			t.Fatalf("instance %d: MCS facet diverges from mcs.Run", i)
+		}
+
+		jt, err := a.JoinTree()
+		wantJT, ok := jointree.BuildMCS(h)
+		if ok != (err == nil) {
+			t.Fatalf("instance %d: JoinTree err=%v but BuildMCS ok=%v", i, err, ok)
+		}
+		if ok && !reflect.DeepEqual(jt.Parent, wantJT.Parent) {
+			t.Fatalf("instance %d: JoinTree parents %v != %v", i, jt.Parent, wantJT.Parent)
+		}
+		if !ok && !errors.Is(err, hypergraph.ErrCyclic) {
+			t.Fatalf("instance %d: JoinTree err=%v, want ErrCyclic", i, err)
+		}
+
+		if h.NumEdges() <= 14 { // the γ test is exponential
+			if cl, want := a.Classification(), acyclic.Classify(h); cl != want {
+				t.Fatalf("instance %d: Classification=%v, acyclic.Classify=%v", i, cl, want)
+			}
+		}
+
+		gr := a.GrahamTrace()
+		wantGR := gyo.Reduce(h, bitset.Set{})
+		if !gr.Hypergraph.EqualEdges(wantGR.Hypergraph) || len(gr.Steps) != len(wantGR.Steps) {
+			t.Fatalf("instance %d: GrahamTrace diverges from gyo.Reduce", i)
+		}
+		if gr.Vanished() != a.Verdict() {
+			t.Fatalf("instance %d: GYO and MCS verdicts disagree", i)
+		}
+
+		fr, err := a.FullReducer()
+		if a.Verdict() {
+			if err != nil {
+				t.Fatalf("instance %d: FullReducer err=%v on acyclic input", i, err)
+			}
+			if !reflect.DeepEqual(fr, wantJT.FullReducer()) {
+				t.Fatalf("instance %d: FullReducer diverges from JoinTree.FullReducer", i)
+			}
+		} else if !errors.Is(err, hypergraph.ErrCyclicSchema) || !errors.Is(err, hypergraph.ErrCyclic) {
+			t.Fatalf("instance %d: FullReducer err=%v, want ErrCyclicSchema", i, err)
+		}
+
+		path, coreGraph, found, err := a.Witness()
+		wantPath, wantFound, wantErr := core.IndependentPathWitness(h)
+		if found != wantFound || (err == nil) != (wantErr == nil) {
+			t.Fatalf("instance %d: Witness found=%v err=%v, want %v %v", i, found, err, wantFound, wantErr)
+		}
+		if found {
+			if coreGraph == nil || path == nil {
+				t.Fatalf("instance %d: Witness found but path/core nil", i)
+			}
+			if err := path.Validate(coreGraph); err != nil {
+				t.Fatalf("instance %d: witness path invalid: %v", i, err)
+			}
+			if len(path.Sets) != len(wantPath.Sets) {
+				t.Fatalf("instance %d: witness path length %d != %d", i, len(path.Sets), len(wantPath.Sets))
+			}
+		}
+		if found == a.Verdict() {
+			t.Fatalf("instance %d: witness found=%v must equal cyclicity", i, found)
+		}
+	}
+}
+
+// TestEachTraversalRunsAtMostOnce: hammering every facet repeatedly must
+// leave every underlying traversal counter at <= 1 — and the shared MCS
+// root at exactly 1 even though five facets depend on it.
+func TestEachTraversalRunsAtMostOnce(t *testing.T) {
+	for _, h := range []*hypergraph.Hypergraph{hypergraph.Fig1(), hypergraph.Triangle()} {
+		a := New(h, WithVerify())
+		for round := 0; round < 3; round++ {
+			a.Verdict()
+			a.MCS()
+			a.JoinTree()
+			a.Classification()
+			a.GrahamTrace()
+			a.FullReducer()
+			a.Witness()
+		}
+		st := a.Stats()
+		if st.MCSRuns != 1 {
+			t.Fatalf("%v: MCS ran %d times, want exactly 1", h, st.MCSRuns)
+		}
+		if st.GrahamRuns > 1 || st.HierarchyRuns > 1 || st.WitnessRuns > 1 || st.VerifyRuns > 1 {
+			t.Fatalf("%v: stats %+v exceed one run per traversal", h, st)
+		}
+	}
+}
+
+// TestConcurrentFacetAccess hammers one Analysis from GOMAXPROCS
+// goroutines touching every facet; run with -race in CI. Results must be
+// consistent and every traversal must still have run at most once.
+func TestConcurrentFacetAccess(t *testing.T) {
+	for _, h := range []*hypergraph.Hypergraph{
+		hypergraph.Fig1(),
+		hypergraph.Triangle(),
+		gen.RandomAcyclic(rand.New(rand.NewSource(7)), gen.RandomSpec{Edges: 14, MinArity: 2, MaxArity: 4}),
+	} {
+		a := New(h, WithVerify())
+		want := mcs.IsAcyclic(h)
+		workers := runtime.GOMAXPROCS(0)
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for round := 0; round < 20; round++ {
+					if a.Verdict() != want {
+						t.Error("verdict mismatch")
+						return
+					}
+					jt, err := a.JoinTree()
+					if (err == nil) != want || (want && jt == nil) {
+						t.Error("join tree mismatch")
+						return
+					}
+					if a.Classification().Alpha != want {
+						t.Error("classification mismatch")
+						return
+					}
+					if a.GrahamTrace().Vanished() != want {
+						t.Error("graham mismatch")
+						return
+					}
+					if _, _, found, _ := a.Witness(); found == want {
+						t.Error("witness mismatch")
+						return
+					}
+					if _, err := a.FullReducer(); (err == nil) != want {
+						t.Error("full reducer mismatch")
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		st := a.Stats()
+		if st.MCSRuns != 1 || st.GrahamRuns > 1 || st.HierarchyRuns > 1 || st.WitnessRuns > 1 || st.VerifyRuns > 1 {
+			t.Fatalf("concurrent stats %+v exceed one run per traversal", st)
+		}
+	}
+}
+
+// TestWitnessShortCircuitsOnAcyclic: the acyclic side must not run the
+// exponential witness search at all.
+func TestWitnessShortCircuitsOnAcyclic(t *testing.T) {
+	a := New(hypergraph.Fig1())
+	if _, _, found, err := a.Witness(); found || err != nil {
+		t.Fatalf("acyclic witness: found=%v err=%v", found, err)
+	}
+	if st := a.Stats(); st.WitnessRuns != 0 {
+		t.Fatalf("witness search ran %d times on acyclic input, want 0", st.WitnessRuns)
+	}
+}

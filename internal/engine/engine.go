@@ -1,22 +1,29 @@
 // Package engine provides the concurrent batch-query layer over the
 // acyclicity machinery: a worker pool sized by GOMAXPROCS fans batches of
 // hypergraphs out across cores, and per-hypergraph results are memoized
-// under the canonical hash of internal/hypergraph, so repeated queries for
-// the same schema — the dominant pattern when a service fields heavy query
-// traffic over a bounded schema population — cost one map probe after the
-// first computation.
+// under the streaming 128-bit fingerprint of internal/hypergraph, so
+// repeated queries for the same schema — the dominant pattern when a
+// service fields heavy query traffic over a bounded schema population —
+// cost one digest lookup after the first computation.
 //
 // The memo is partitioned into fingerprint-keyed shards (a power of two at
 // least GOMAXPROCS, rounded up), each guarded by its own mutex, so the
 // warm-memo path scales across cores instead of serializing every worker
 // behind one lock: a batch of repeat queries touches shards uniformly (the
-// canonical hash is the shard selector) and contention drops by the shard
+// fingerprint is the shard selector) and contention drops by the shard
 // count.
 //
-// Single-query methods (IsAcyclic, JoinTree, Classify) share the memo with
-// their batch counterparts (IsAcyclicBatch, JoinTreeBatch, ClassifyBatch).
-// Each memo entry computes each result kind at most once, guarded by a
-// sync.Once, so concurrent duplicate queries coalesce instead of racing.
+// Each memo entry is a shared analysis.Analysis session: single-query
+// methods (IsAcyclic, JoinTree, Classify), their batch counterparts
+// (IsAcyclicBatch, JoinTreeBatch, ClassifyBatch), and Analyze all coalesce
+// on the same per-facet sync.Once guards, so concurrent duplicate queries
+// compute each traversal at most once per identity — the memoized flavor of
+// the session-oriented API (analysis.New is the standalone one).
+//
+// Batch methods take a context.Context and observe cancellation between
+// work items: an already-cancelled context performs no work, and a
+// cancellation mid-batch stops workers at the next item boundary, returning
+// ctx.Err() alongside the partial results.
 //
 // Acyclicity and join trees run on the linear-time MCS engine
 // (internal/mcs); Classify delegates to internal/acyclic and inherits its
@@ -25,14 +32,15 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/acyclic"
+	"repro/internal/analysis"
 	"repro/internal/hypergraph"
 	"repro/internal/jointree"
-	"repro/internal/mcs"
 )
 
 // Engine is a concurrent, memoizing façade over the acyclicity algorithms.
@@ -53,25 +61,17 @@ type Engine struct {
 // neighboring shards do not false-share.
 type shard struct {
 	mu   sync.Mutex
-	memo map[uint64][]*entry // canonical hash -> entries (collision chain)
+	memo map[uint64][]*entry // fingerprint key -> entries (collision chain)
 	_    [48]byte
 }
 
-// entry memoizes the results for one hypergraph identity (fingerprint).
-// Each result kind is computed at most once.
+// entry interns one hypergraph identity: the full 128-bit fingerprint
+// disambiguates key collisions, and the shared Analysis session carries
+// every memoized facet (each computed at most once under its own
+// sync.Once).
 type entry struct {
-	fp string
-	h  *hypergraph.Hypergraph // first hypergraph seen with this fingerprint
-
-	acyOnce sync.Once
-	acyclic bool
-
-	jtOnce sync.Once
-	jt     *jointree.JoinTree
-	jtOK   bool
-
-	clOnce sync.Once
-	cl     acyclic.Classification
+	fp hypergraph.Fingerprint128
+	an *analysis.Analysis
 }
 
 // Option configures an Engine.
@@ -150,12 +150,16 @@ func (e *Engine) Stats() Stats {
 	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load(), Entries: n}
 }
 
-// entryFor interns h's identity: the canonical hash keys the memo and picks
-// the shard, and the full fingerprint disambiguates hash collisions. The
-// fingerprint is built once and hashed directly (h.Hash() would rebuild it).
+// entryFor interns h's identity under the streaming 128-bit fingerprint
+// (computed during construction, so the warm path costs a shard lock and a
+// map probe — no canonical string is ever built). The folded 64-bit key
+// selects the shard and buckets the map; the full fingerprint disambiguates
+// the chain. Equal digests are treated as equal content: accidental
+// FNV-128 collisions are negligible, but the digest is not a defense
+// against adversarially crafted schemas (see Fingerprint128).
 func (e *Engine) entryFor(h *hypergraph.Hypergraph) *entry {
-	fp := h.Fingerprint()
-	key := hypergraph.FingerprintHash(fp)
+	fp := h.Fingerprint128()
+	key := fp.Hi ^ fp.Lo
 	s := &e.shards[key&e.mask]
 	s.mu.Lock()
 	for _, en := range s.memo[key] {
@@ -165,19 +169,26 @@ func (e *Engine) entryFor(h *hypergraph.Hypergraph) *entry {
 			return en
 		}
 	}
-	en := &entry{fp: fp, h: h}
+	en := &entry{fp: fp, an: analysis.New(h)}
 	s.memo[key] = append(s.memo[key], en)
 	s.mu.Unlock()
 	e.misses.Add(1)
 	return en
 }
 
+// Analyze returns the memoized Analysis session for h: every caller passing
+// a content-equal hypergraph shares one handle, so each derived artifact —
+// Verdict, MCS, JoinTree, Classification, GrahamTrace, FullReducer, Witness
+// — is computed at most once per identity across the whole engine. The
+// handle is safe for concurrent use and must be treated as read-only.
+func (e *Engine) Analyze(h *hypergraph.Hypergraph) *analysis.Analysis {
+	return e.entryFor(h).an
+}
+
 // IsAcyclic reports α-acyclicity of h via the linear-time MCS engine,
 // memoized.
 func (e *Engine) IsAcyclic(h *hypergraph.Hypergraph) bool {
-	en := e.entryFor(h)
-	en.acyOnce.Do(func() { en.acyclic = mcs.IsAcyclic(en.h) })
-	return en.acyclic
+	return e.entryFor(h).an.Verdict()
 }
 
 // JoinTree returns a join tree of h built from the MCS ordering, memoized;
@@ -185,57 +196,75 @@ func (e *Engine) IsAcyclic(h *hypergraph.Hypergraph) bool {
 // and must be treated as read-only; its H field is the first hypergraph
 // interned under this identity (contentually identical to h).
 func (e *Engine) JoinTree(h *hypergraph.Hypergraph) (*jointree.JoinTree, bool) {
-	en := e.entryFor(h)
-	en.jtOnce.Do(func() { en.jt, en.jtOK = jointree.BuildMCS(en.h) })
-	return en.jt, en.jtOK
+	jt, err := e.entryFor(h).an.JoinTree()
+	return jt, err == nil
 }
 
 // Classify places h in the acyclicity hierarchy (α ⊇ β ⊇ γ ⊇ Berge),
 // memoized. The γ test is exponential; intended for small-to-moderate
 // schemas.
 func (e *Engine) Classify(h *hypergraph.Hypergraph) acyclic.Classification {
-	en := e.entryFor(h)
-	en.clOnce.Do(func() { en.cl = acyclic.Classify(en.h) })
-	return en.cl
+	return e.entryFor(h).an.Classification()
 }
 
 // IsAcyclicBatch answers one verdict per input, fanned out across the
 // worker pool. Duplicate inputs (by canonical identity) are computed once.
-func (e *Engine) IsAcyclicBatch(hs []*hypergraph.Hypergraph) []bool {
+// Cancellation is observed between work items: on a cancelled context the
+// partial results are returned alongside ctx.Err(), with unprocessed slots
+// left at their zero value.
+func (e *Engine) IsAcyclicBatch(ctx context.Context, hs []*hypergraph.Hypergraph) ([]bool, error) {
 	out := make([]bool, len(hs))
-	e.fanOut(len(hs), func(i int) { out[i] = e.IsAcyclic(hs[i]) })
-	return out
+	err := e.fanOut(ctx, len(hs), func(i int) { out[i] = e.IsAcyclic(hs[i]) })
+	return out, err
 }
 
 // JoinTreeBatch builds one join tree per input (nil where cyclic), with the
-// ok verdicts in the second result.
-func (e *Engine) JoinTreeBatch(hs []*hypergraph.Hypergraph) ([]*jointree.JoinTree, []bool) {
+// ok verdicts in the second result. Cancellation semantics match
+// IsAcyclicBatch.
+func (e *Engine) JoinTreeBatch(ctx context.Context, hs []*hypergraph.Hypergraph) ([]*jointree.JoinTree, []bool, error) {
 	trees := make([]*jointree.JoinTree, len(hs))
 	oks := make([]bool, len(hs))
-	e.fanOut(len(hs), func(i int) { trees[i], oks[i] = e.JoinTree(hs[i]) })
-	return trees, oks
+	err := e.fanOut(ctx, len(hs), func(i int) { trees[i], oks[i] = e.JoinTree(hs[i]) })
+	return trees, oks, err
 }
 
-// ClassifyBatch computes one classification per input.
-func (e *Engine) ClassifyBatch(hs []*hypergraph.Hypergraph) []acyclic.Classification {
+// ClassifyBatch computes one classification per input. Cancellation
+// semantics match IsAcyclicBatch.
+func (e *Engine) ClassifyBatch(ctx context.Context, hs []*hypergraph.Hypergraph) ([]acyclic.Classification, error) {
 	out := make([]acyclic.Classification, len(hs))
-	e.fanOut(len(hs), func(i int) { out[i] = e.Classify(hs[i]) })
-	return out
+	err := e.fanOut(ctx, len(hs), func(i int) { out[i] = e.Classify(hs[i]) })
+	return out, err
 }
 
-// fanOut runs f(0..n-1) over the worker pool. Work is handed out via an
-// atomic cursor, so uneven per-item cost (cyclic rejects are cheap, big
-// acyclic instances are not) balances automatically.
-func (e *Engine) fanOut(n int, f func(i int)) {
+// AnalyzeBatch interns one memoized Analysis session per input. The
+// sessions are cheap until a facet is queried, so this is the entry point
+// for callers that want to fan facet queries out themselves. Cancellation
+// semantics match IsAcyclicBatch (unprocessed slots are nil).
+func (e *Engine) AnalyzeBatch(ctx context.Context, hs []*hypergraph.Hypergraph) ([]*analysis.Analysis, error) {
+	out := make([]*analysis.Analysis, len(hs))
+	err := e.fanOut(ctx, len(hs), func(i int) { out[i] = e.Analyze(hs[i]) })
+	return out, err
+}
+
+// fanOut runs f(0..n-1) over the worker pool, checking ctx between work
+// items (an in-flight item is never interrupted — work items are the
+// cancellation granularity). Work is handed out via an atomic cursor, so
+// uneven per-item cost (cyclic rejects are cheap, big acyclic instances are
+// not) balances automatically. Returns ctx.Err() if cancellation was
+// observed.
+func (e *Engine) fanOut(ctx context.Context, n int, f func(i int)) error {
 	workers := e.workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			f(i)
 		}
-		return
+		return nil
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
@@ -243,7 +272,7 @@ func (e *Engine) fanOut(n int, f func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
 					return
@@ -253,4 +282,5 @@ func (e *Engine) fanOut(n int, f func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -26,7 +27,10 @@ func workload(n int) []*hypergraph.Hypergraph {
 func TestBatchMatchesSerialGYO(t *testing.T) {
 	hs := workload(200)
 	e := New(WithWorkers(4))
-	got := e.IsAcyclicBatch(hs)
+	got, err := e.IsAcyclicBatch(context.Background(), hs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, h := range hs {
 		if want := gyo.IsAcyclic(h); got[i] != want {
 			t.Fatalf("instance %d: engine=%v gyo=%v", i, got[i], want)
@@ -37,8 +41,15 @@ func TestBatchMatchesSerialGYO(t *testing.T) {
 func TestJoinTreeBatch(t *testing.T) {
 	hs := workload(120)
 	e := New(WithWorkers(4))
-	trees, oks := e.JoinTreeBatch(hs)
-	acy := e.IsAcyclicBatch(hs)
+	ctx := context.Background()
+	trees, oks, err := e.JoinTreeBatch(ctx, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acy, err := e.IsAcyclicBatch(ctx, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range hs {
 		if oks[i] != acy[i] {
 			t.Fatalf("instance %d: tree ok=%v but acyclic=%v", i, oks[i], acy[i])
@@ -59,11 +70,85 @@ func TestJoinTreeBatch(t *testing.T) {
 func TestClassifyBatchAlphaAgreesWithIsAcyclic(t *testing.T) {
 	hs := workload(60)
 	e := New(WithWorkers(4))
-	cls := e.ClassifyBatch(hs)
+	cls, err := e.ClassifyBatch(context.Background(), hs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, h := range hs {
 		if cls[i].Alpha != e.IsAcyclic(h) {
 			t.Fatalf("instance %d: classify alpha=%v engine=%v", i, cls[i].Alpha, e.IsAcyclic(h))
 		}
+	}
+}
+
+// TestCancelledContextDoesNoWork: batch calls must honor an already-
+// cancelled context — ctx.Err() comes back and no memo entry is created.
+func TestCancelledContextDoesNoWork(t *testing.T) {
+	e := New(WithWorkers(4))
+	hs := workload(50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.IsAcyclicBatch(ctx, hs); err != context.Canceled {
+		t.Fatalf("IsAcyclicBatch err = %v, want context.Canceled", err)
+	}
+	if _, _, err := e.JoinTreeBatch(ctx, hs); err != context.Canceled {
+		t.Fatalf("JoinTreeBatch err = %v, want context.Canceled", err)
+	}
+	if _, err := e.ClassifyBatch(ctx, hs); err != context.Canceled {
+		t.Fatalf("ClassifyBatch err = %v, want context.Canceled", err)
+	}
+	if _, err := e.AnalyzeBatch(ctx, hs); err != context.Canceled {
+		t.Fatalf("AnalyzeBatch err = %v, want context.Canceled", err)
+	}
+	if st := e.Stats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("cancelled batches touched the memo: %+v", st)
+	}
+	// The serial path (single worker) must observe cancellation too.
+	if _, err := New(WithWorkers(1)).IsAcyclicBatch(ctx, hs); err != context.Canceled {
+		t.Fatalf("serial IsAcyclicBatch err = %v, want context.Canceled", err)
+	}
+}
+
+// TestMidBatchCancellation: cancelling from inside a work item stops the
+// batch at the next item boundary with partial results.
+func TestMidBatchCancellation(t *testing.T) {
+	e := New(WithWorkers(1)) // serial: deterministic item order
+	hs := workload(40)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := 0
+	err := e.fanOut(ctx, len(hs), func(i int) {
+		done++
+		if done == 5 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("fanOut err = %v, want context.Canceled", err)
+	}
+	if done != 5 {
+		t.Fatalf("processed %d items after cancellation, want 5", done)
+	}
+}
+
+// TestAnalyzeSharesOneSessionPerIdentity: Analyze on content-equal inputs
+// returns the same handle, and its facets run each traversal once across
+// engine methods and direct facet calls.
+func TestAnalyzeSharesOneSessionPerIdentity(t *testing.T) {
+	e := New()
+	a1 := e.Analyze(hypergraph.Fig1())
+	a2 := e.Analyze(hypergraph.Fig1()) // distinct object, same identity
+	if a1 != a2 {
+		t.Fatal("Analyze must return the shared session for equal content")
+	}
+	if !e.IsAcyclic(hypergraph.Fig1()) {
+		t.Fatal("fig1 is acyclic")
+	}
+	if _, ok := e.JoinTree(hypergraph.Fig1()); !ok {
+		t.Fatal("fig1 must have a join tree")
+	}
+	a1.MCS()
+	if st := a1.Stats(); st.MCSRuns != 1 {
+		t.Fatalf("MCS ran %d times across engine+session calls, want 1", st.MCSRuns)
 	}
 }
 
@@ -75,7 +160,10 @@ func TestMemoization(t *testing.T) {
 	a2 := hypergraph.Fig1() // distinct object, same identity
 	b := hypergraph.Triangle()
 	batch := []*hypergraph.Hypergraph{a1, a2, b, a1, b, a2}
-	got := e.IsAcyclicBatch(batch)
+	got, err := e.IsAcyclicBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []bool{true, true, false, true, false, true}
 	for i := range want {
 		if got[i] != want[i] {
@@ -150,7 +238,9 @@ func TestShardConfiguration(t *testing.T) {
 		e := New(WithShards(shards), WithWorkers(4))
 		hs := workload(100)
 		batch := append(append([]*hypergraph.Hypergraph{}, hs...), hs...) // every identity twice
-		e.IsAcyclicBatch(batch)
+		if _, err := e.IsAcyclicBatch(context.Background(), batch); err != nil {
+			t.Fatal(err)
+		}
 		st := e.Stats()
 		if st.Entries != len(hs) {
 			t.Fatalf("shards=%d: entries = %d, want %d", shards, st.Entries, len(hs))
@@ -166,7 +256,9 @@ func TestShardConfiguration(t *testing.T) {
 func TestShardedMemoConcurrentWarm(t *testing.T) {
 	e := New(WithShards(8))
 	hs := workload(30)
-	e.IsAcyclicBatch(hs) // warm every identity
+	if _, err := e.IsAcyclicBatch(context.Background(), hs); err != nil { // warm every identity
+		t.Fatal(err)
+	}
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -196,10 +288,11 @@ func TestWorkerConfiguration(t *testing.T) {
 	}
 	// Empty and single-element batches take the serial path.
 	e := New(WithWorkers(8))
-	if out := e.IsAcyclicBatch(nil); len(out) != 0 {
+	ctx := context.Background()
+	if out, err := e.IsAcyclicBatch(ctx, nil); err != nil || len(out) != 0 {
 		t.Fatal("empty batch")
 	}
-	if out := e.IsAcyclicBatch([]*hypergraph.Hypergraph{hypergraph.Fig1()}); !out[0] {
+	if out, err := e.IsAcyclicBatch(ctx, []*hypergraph.Hypergraph{hypergraph.Fig1()}); err != nil || !out[0] {
 		t.Fatal("single batch")
 	}
 }

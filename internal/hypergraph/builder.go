@@ -1,0 +1,237 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+
+	"repro/internal/bitset"
+)
+
+// Builder unifies every hypergraph construction route — node-name edges,
+// raw id edges over a declared universe, and the Parse text format — behind
+// one accumulator. New, FromIDs, and Parse are thin wrappers over it.
+//
+// A builder is either in name mode (Edge, NamedEdge, Text) or in id mode
+// (UniverseSize, EdgeIDs); mixing the two is reported by Build. Methods
+// chain and record the first error, so construction code reads linearly:
+//
+//	h, err := hypergraph.NewBuilder().
+//		NamedEdge("R1", "A", "B", "C").
+//		Edge("C", "D", "E").
+//		Build()
+//
+// Builders are not safe for concurrent use; the built Hypergraph is.
+type Builder struct {
+	universe  int        // declared id universe; < 0 when undeclared
+	nameEdges [][]string // name-mode edge list
+	idEdges   [][]int32  // id-mode edge list
+	edgeNames []string   // optional per-edge names, aligned with edges
+	named     bool       // some edge carries a nonempty name
+	err       error      // first recorded error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{universe: -1}
+}
+
+// fail records the first error and keeps the chain usable.
+func (b *Builder) fail(err error) *Builder {
+	if b.err == nil {
+		b.err = err
+	}
+	return b
+}
+
+// UniverseSize declares the id universe {0, ..., n-1} for EdgeIDs edges and
+// switches the builder to id mode.
+func (b *Builder) UniverseSize(n int) *Builder {
+	if len(b.nameEdges) > 0 {
+		return b.fail(fmt.Errorf("hypergraph: Builder: cannot mix id universe with name edges"))
+	}
+	if n < 0 {
+		return b.fail(fmt.Errorf("hypergraph: Builder: negative universe size %d", n))
+	}
+	b.universe = n
+	return b
+}
+
+// Edge appends an unnamed edge given as node names.
+func (b *Builder) Edge(nodes ...string) *Builder {
+	return b.NamedEdge("", nodes...)
+}
+
+// NamedEdge appends an edge given as node names, recording an optional edge
+// name ("" for unnamed) retrievable from EdgeNames after Build.
+func (b *Builder) NamedEdge(name string, nodes ...string) *Builder {
+	if len(b.idEdges) > 0 || b.universe >= 0 {
+		return b.fail(fmt.Errorf("hypergraph: Builder: cannot mix name edges with id edges"))
+	}
+	b.nameEdges = append(b.nameEdges, nodes)
+	b.edgeNames = append(b.edgeNames, name)
+	if name != "" {
+		b.named = true
+	}
+	return b
+}
+
+// EdgeIDs appends an edge given as node ids over the declared universe and
+// switches the builder to id mode. Already-sorted slices are adopted without
+// copying (the FromIDs contract), so callers must not reuse them.
+func (b *Builder) EdgeIDs(ids ...int32) *Builder {
+	if len(b.nameEdges) > 0 {
+		return b.fail(fmt.Errorf("hypergraph: Builder: cannot mix id edges with name edges"))
+	}
+	b.idEdges = append(b.idEdges, ids)
+	b.edgeNames = append(b.edgeNames, "")
+	return b
+}
+
+// Text appends every edge of the Parse text format: one edge per line,
+// nodes separated by whitespace or commas, optional "name:" prefixes, '#'
+// comments. Syntax errors are reported by Build as *ErrParse with 1-based
+// line and column.
+func (b *Builder) Text(text string) *Builder {
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		col := 1 + len(raw) - len(strings.TrimLeft(raw, " \t"))
+		name := ""
+		if i := strings.Index(line, ":"); i >= 0 {
+			name = strings.TrimSpace(line[:i])
+			line = line[i+1:]
+			if name == "" {
+				return b.fail(&ErrParse{Line: lineNo + 1, Col: col, Msg: "empty edge name"})
+			}
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool {
+			return unicode.IsSpace(r) || r == ','
+		})
+		if len(fields) == 0 {
+			return b.fail(&ErrParse{Line: lineNo + 1, Col: col, Msg: "edge with no nodes"})
+		}
+		b.NamedEdge(name, fields...)
+	}
+	return b
+}
+
+// EdgeNames returns the recorded per-edge names, aligned with edge order
+// ("" for unnamed edges), or nil when no edge was named.
+func (b *Builder) EdgeNames() []string {
+	if !b.named {
+		return nil
+	}
+	return append([]string(nil), b.edgeNames...)
+}
+
+// Build assembles the hypergraph. Name-mode universes are the sorted union
+// of all names; id-mode universes are UniverseSize (or 1 + the largest id
+// seen when undeclared). The first recorded error — mode mixing, parse
+// errors, ids out of universe — is returned instead.
+func (b *Builder) Build() (*Hypergraph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.idEdges) > 0 || b.universe >= 0 {
+		return b.buildIDs()
+	}
+	return b.buildNames(), nil
+}
+
+// MustBuild is Build panicking on error, for wrappers whose inputs are
+// structurally valid by construction.
+func (b *Builder) MustBuild() *Hypergraph {
+	h, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// buildNames interns the sorted union of all names to dense ids and
+// assembles adaptive edges; the streaming fingerprint folds in as edges are
+// laid down (finish128 seals it).
+func (b *Builder) buildNames() *Hypergraph {
+	seen := map[string]bool{}
+	for _, e := range b.nameEdges {
+		for _, n := range e {
+			seen[n] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := &Hypergraph{
+		names:   names,
+		index:   make(map[string]int, len(names)),
+		n:       len(names),
+		nodeSet: bitset.Full(len(names)),
+	}
+	for i, n := range names {
+		h.index[n] = i
+	}
+	fp := newFingerprintState(modeNames, len(b.nameEdges))
+	for _, e := range b.nameEdges {
+		ids := make([]int32, 0, len(e))
+		for _, n := range e {
+			ids = append(ids, int32(h.index[n]))
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		ids = bitset.DedupSorted(ids)
+		edge := edgeFromSortedIDs(ids, h.n)
+		fp.writeEdge(h, edge)
+		h.edges = append(h.edges, edge)
+	}
+	h.finish128(fp)
+	return h
+}
+
+// buildIDs assembles an id-universe hypergraph (synthetic "N<id>" names),
+// sorting and deduplicating unsorted inputs and adopting sorted ones.
+func (b *Builder) buildIDs() (*Hypergraph, error) {
+	n := b.universe
+	if n < 0 {
+		n = 0
+		for _, ids := range b.idEdges {
+			for _, id := range ids {
+				if int(id) >= n {
+					n = int(id) + 1
+				}
+			}
+		}
+	}
+	h := &Hypergraph{
+		n:       n,
+		nodeSet: bitset.Full(n),
+	}
+	fp := newFingerprintState(modeIDs, len(b.idEdges))
+	h.edges = make([]Edge, 0, len(b.idEdges))
+	for _, ids := range b.idEdges {
+		sorted := true
+		for i, id := range ids {
+			if id < 0 || int(id) >= n {
+				return nil, fmt.Errorf("hypergraph: Builder: id %d out of universe [0, %d)", id, n)
+			}
+			if i > 0 && ids[i-1] >= id {
+				sorted = false
+			}
+		}
+		if !sorted {
+			cp := make([]int32, len(ids))
+			copy(cp, ids)
+			sort.Slice(cp, func(a, b int) bool { return cp[a] < cp[b] })
+			ids = bitset.DedupSorted(cp)
+		}
+		edge := edgeFromSortedIDs(ids, n)
+		fp.writeEdge(h, edge)
+		h.edges = append(h.edges, edge)
+	}
+	h.finish128(fp)
+	return h, nil
+}

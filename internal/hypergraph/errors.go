@@ -1,0 +1,54 @@
+package hypergraph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The structured error taxonomy shared by every layer of the library.
+// Callers branch with errors.Is / errors.As instead of matching message
+// strings; the root repro package re-exports these values unchanged.
+
+// ErrCyclic is the sentinel reported when an operation requires an acyclic
+// hypergraph but the input is cyclic: join-tree construction, full-reducer
+// derivation, and every facet derived from them.
+var ErrCyclic = errors.New("repro: hypergraph is cyclic")
+
+// ErrCyclicSchema is the schema-level refinement of ErrCyclic, reported by
+// operations that read a database schema off the hypergraph (join-tree MVD
+// bases, full reducers). It wraps ErrCyclic, so both
+// errors.Is(err, ErrCyclicSchema) and errors.Is(err, ErrCyclic) hold,
+// while the rendered message stays a single clean sentence.
+var ErrCyclicSchema error = cyclicSchemaError{}
+
+// cyclicSchemaError is a comparable sentinel whose Unwrap chains to
+// ErrCyclic without concatenating the two messages.
+type cyclicSchemaError struct{}
+
+func (cyclicSchemaError) Error() string { return "repro: schema is cyclic; no join tree exists" }
+func (cyclicSchemaError) Unwrap() error { return ErrCyclic }
+
+// ErrUnknownNode reports a node name that does not occur in the hypergraph.
+// Match with errors.As to recover the offending name:
+//
+//	var unknown *hypergraph.ErrUnknownNode
+//	if errors.As(err, &unknown) { ... unknown.Name ... }
+type ErrUnknownNode struct {
+	// Name is the unresolved node name.
+	Name string
+}
+
+func (e *ErrUnknownNode) Error() string {
+	return fmt.Sprintf("repro: unknown node %q", e.Name)
+}
+
+// ErrParse reports a syntax error in the Parse text format, with 1-based
+// line and column of the offending construct.
+type ErrParse struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ErrParse) Error() string {
+	return fmt.Sprintf("repro: parse error at line %d, column %d: %s", e.Line, e.Col, e.Msg)
+}

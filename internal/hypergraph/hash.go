@@ -2,19 +2,146 @@ package hypergraph
 
 import (
 	"hash/fnv"
+	"math/bits"
 	"strconv"
 	"strings"
 
 	"repro/internal/bitset"
 )
 
+// Fingerprint128 is the 128-bit streaming identity of a hypergraph: an
+// FNV-128a digest of an injective encoding of the edge sequence (plus any
+// isolated nodes). It keys the engine memo — equal digests are treated as
+// equal identities without a canonical-string comparison. For the random
+// and structured workloads this library targets, a 128-bit accidental
+// collision is negligible; FNV is not collision-resistant against
+// adversarially crafted inputs, though, so a service memoizing verdicts
+// for untrusted schemas should not rely on the digest as a security
+// boundary (a keyed, collision-resistant identity is a ROADMAP item).
+// Unlike Fingerprint it is computed during
+// construction without materializing the O(total name length) canonical
+// string: constructors fold edges into the digest as they are laid down,
+// and FromIDs-built hypergraphs hash raw node ids instead of synthesizing
+// "N<k>" names. The two construction modes are domain-separated by a
+// leading mode byte, so a name-built and an id-built hypergraph never
+// collide by accident (the same content built both ways may already
+// fingerprint differently — see Fingerprint).
+type Fingerprint128 struct {
+	Hi, Lo uint64
+}
+
+// FNV-128a constants (offset basis and prime), per the FNV specification.
+const (
+	fnvOffset128Hi = 0x6c62272e07bb0142
+	fnvOffset128Lo = 0x62b821756295c58d
+	fnvPrime128Hi  = 1 << 24 // the 128-bit FNV prime is 2^88 + 2^8 + 0x3b
+	fnvPrime128Lo  = 0x13b
+)
+
+// Construction-mode domain separators for the streaming digest.
+const (
+	modeNames byte = 1 // interned node names (New / name-mode Builder)
+	modeIDs   byte = 2 // raw ids with synthetic names (FromIDs / id mode)
+)
+
+// fpState streams FNV-128a over the hypergraph encoding: a mode byte, the
+// edge count, then per edge a node-count prefix followed by length-prefixed
+// names (name mode) or varint ids (id mode), then the isolated-node section.
+// Every token is prefix-free and the counts delimit the sections, so the
+// digest input is injective in (mode, edge sequence, isolated nodes).
+type fpState struct {
+	hi, lo uint64
+}
+
+func newFingerprintState(mode byte, numEdges int) *fpState {
+	s := &fpState{hi: fnvOffset128Hi, lo: fnvOffset128Lo}
+	s.writeByte(mode)
+	s.writeUvarint(uint64(numEdges))
+	return s
+}
+
+// writeByte folds one byte: XOR into the low word, then multiply the
+// 128-bit state by the FNV prime (hi·2⁶⁴+lo)·(P_hi·2⁶⁴+P_lo) mod 2¹²⁸.
+func (s *fpState) writeByte(b byte) {
+	lo := s.lo ^ uint64(b)
+	carry, newLo := bits.Mul64(lo, fnvPrime128Lo)
+	s.hi = carry + s.hi*fnvPrime128Lo + lo*fnvPrime128Hi
+	s.lo = newLo
+}
+
+func (s *fpState) writeUvarint(v uint64) {
+	for v >= 0x80 {
+		s.writeByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	s.writeByte(byte(v))
+}
+
+func (s *fpState) writeString(x string) {
+	s.writeUvarint(uint64(len(x)))
+	for i := 0; i < len(x); i++ {
+		s.writeByte(x[i])
+	}
+}
+
+// writeEdge folds one edge into the digest under h's construction mode.
+func (s *fpState) writeEdge(h *Hypergraph, e Edge) {
+	s.writeUvarint(uint64(e.Len()))
+	if h.names == nil {
+		e.ForEach(func(id int) { s.writeUvarint(uint64(id)) })
+	} else {
+		e.ForEach(func(id int) { s.writeString(h.names[id]) })
+	}
+}
+
+// seal folds the isolated-node section (count, then members in id order)
+// and returns the digest.
+func (s *fpState) seal(h *Hypergraph) Fingerprint128 {
+	covered := bitset.New(h.n)
+	for i := range h.edges {
+		h.edges[i].OrInto(&covered)
+	}
+	iso := h.nodeSet.AndNot(covered)
+	s.writeUvarint(uint64(iso.Len()))
+	if h.names == nil {
+		iso.ForEach(func(id int) { s.writeUvarint(uint64(id)) })
+	} else {
+		iso.ForEach(func(id int) { s.writeString(h.names[id]) })
+	}
+	return Fingerprint128{Hi: s.hi, Lo: s.lo}
+}
+
+// finish128 seals the streamed digest into the constructor's hypergraph.
+func (h *Hypergraph) finish128(s *fpState) {
+	h.fpOnce.Do(func() { h.fp128 = s.seal(h) })
+}
+
+// Fingerprint128 returns the cached streaming identity, computing it on
+// first use for hypergraphs built by derivation (Derive, Reduce, Clone)
+// rather than by a constructor. Safe for concurrent use.
+func (h *Hypergraph) Fingerprint128() Fingerprint128 {
+	h.fpOnce.Do(func() {
+		mode := modeIDs
+		if h.names != nil {
+			mode = modeNames
+		}
+		s := newFingerprintState(mode, len(h.edges))
+		for i := range h.edges {
+			s.writeEdge(h, h.edges[i])
+		}
+		h.fp128 = s.seal(h)
+	})
+	return h.fp128
+}
+
 // Fingerprint renders the hypergraph's order-sensitive canonical form: each
 // edge as its node names in id order, edges in stored order, plus any
 // isolated nodes. Equal fingerprints imply the same node set and identical
 // edge sequences (as sets of names) — exactly the identity under which
 // acyclicity verdicts, classifications, and join trees (whose parent arrays
-// are indexed by edge position) are interchangeable — so the engine memo is
-// always sound. The converse holds within one construction route but not
+// are indexed by edge position) are interchangeable. The engine memo keys
+// on the streaming Fingerprint128 digest of the same encoding instead of
+// this string. The converse holds within one construction route but not
 // across routes: New assigns ids in sorted-name order while FromIDs keeps
 // the caller's numeric order, so the same content built both ways may
 // fingerprint differently (costing a duplicate memo entry, never a wrong

@@ -16,10 +16,10 @@
 package hypergraph
 
 import (
-	"fmt"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/bitset"
 )
@@ -33,42 +33,24 @@ type Hypergraph struct {
 	n       int            // universe size: node ids live in [0, n)
 	nodeSet bitset.Set     // the hypergraph's node set N (may include isolated nodes)
 	edges   []Edge         // edge id -> node set (adaptive representation)
+
+	// fp128 caches the streaming 128-bit identity (see Fingerprint128):
+	// constructors seal it while laying edges down; derived hypergraphs
+	// compute it on first use.
+	fpOnce sync.Once
+	fp128  Fingerprint128
 }
 
 // New builds a hypergraph from edges given as lists of node names.
 // The node universe is the sorted union of all names; duplicate names inside
 // an edge are collapsed; duplicate edges are kept (call Reduce to drop them).
+// It is a thin wrapper over Builder.
 func New(edges [][]string) *Hypergraph {
-	seen := map[string]bool{}
+	b := NewBuilder()
 	for _, e := range edges {
-		for _, n := range e {
-			seen[n] = true
-		}
+		b.Edge(e...)
 	}
-	names := make([]string, 0, len(seen))
-	for n := range seen {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	h := &Hypergraph{
-		names:   names,
-		index:   make(map[string]int, len(names)),
-		n:       len(names),
-		nodeSet: bitset.Full(len(names)),
-	}
-	for i, n := range names {
-		h.index[n] = i
-	}
-	for _, e := range edges {
-		ids := make([]int32, 0, len(e))
-		for _, n := range e {
-			ids = append(ids, int32(h.index[n]))
-		}
-		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-		ids = bitset.DedupSorted(ids)
-		h.edges = append(h.edges, edgeFromSortedIDs(ids, h.n))
-	}
-	return h
+	return b.MustBuild()
 }
 
 // FromIDs builds a hypergraph directly over the node universe {0, ..., n-1}
@@ -77,31 +59,13 @@ func New(edges [][]string) *Hypergraph {
 // O(total edge size)). Node id k is named "N<k>"; ids out of [0, n) panic.
 // Unsorted or duplicated ids within an edge are sorted and collapsed; sorted
 // id slices are adopted without copying, so callers must not reuse them.
+// It is a thin wrapper over Builder.
 func FromIDs(n int, edges [][]int32) *Hypergraph {
-	h := &Hypergraph{
-		n:       n,
-		nodeSet: bitset.Full(n),
-	}
-	h.edges = make([]Edge, 0, len(edges))
+	b := NewBuilder().UniverseSize(n)
 	for _, ids := range edges {
-		sorted := true
-		for i, id := range ids {
-			if id < 0 || int(id) >= n {
-				panic(fmt.Sprintf("hypergraph: FromIDs id %d out of universe [0, %d)", id, n))
-			}
-			if i > 0 && ids[i-1] >= id {
-				sorted = false
-			}
-		}
-		if !sorted {
-			cp := make([]int32, len(ids))
-			copy(cp, ids)
-			sort.Slice(cp, func(a, b int) bool { return cp[a] < cp[b] })
-			ids = bitset.DedupSorted(cp)
-		}
-		h.edges = append(h.edges, edgeFromSortedIDs(ids, n))
+		b.EdgeIDs(ids...)
 	}
-	return h
+	return b.MustBuild()
 }
 
 // fromParts assembles a hypergraph that shares the universe of an existing
@@ -212,13 +176,14 @@ func (h *Hypergraph) MustSet(names ...string) bitset.Set {
 	return s
 }
 
-// Set builds a bitset from node names.
+// Set builds a bitset from node names. Unknown names report *ErrUnknownNode
+// carrying the offending name.
 func (h *Hypergraph) Set(names ...string) (bitset.Set, error) {
 	var s bitset.Set
 	for _, n := range names {
 		id, ok := h.NodeID(n)
 		if !ok {
-			return bitset.Set{}, fmt.Errorf("hypergraph: unknown node %q", n)
+			return bitset.Set{}, &ErrUnknownNode{Name: n}
 		}
 		s.Add(id)
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"unicode"
 )
 
 // Parse reads a hypergraph from a simple text format: one edge per line,
@@ -18,35 +17,22 @@ import (
 //	A, C, E
 //
 // Edge names are returned in edge order; unnamed edges get "" entries.
+// Syntax errors are reported as *ErrParse with 1-based line and column.
+// It is a thin wrapper over Builder.
 func Parse(text string) (*Hypergraph, []string, error) {
-	var edges [][]string
-	var names []string
-	for lineNo, raw := range strings.Split(text, "\n") {
-		line := strings.TrimSpace(raw)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		name := ""
-		if i := strings.Index(line, ":"); i >= 0 {
-			name = strings.TrimSpace(line[:i])
-			line = line[i+1:]
-			if name == "" {
-				return nil, nil, fmt.Errorf("hypergraph: line %d: empty edge name", lineNo+1)
-			}
-		}
-		fields := strings.FieldsFunc(line, func(r rune) bool {
-			return unicode.IsSpace(r) || r == ','
-		})
-		if len(fields) == 0 {
-			return nil, nil, fmt.Errorf("hypergraph: line %d: edge with no nodes", lineNo+1)
-		}
-		edges = append(edges, fields)
-		names = append(names, name)
+	b := NewBuilder().Text(text)
+	h, err := b.Build()
+	if err != nil {
+		return nil, nil, err
 	}
-	if len(edges) == 0 {
-		return nil, nil, fmt.Errorf("hypergraph: no edges in input")
+	if h.NumEdges() == 0 {
+		return nil, nil, &ErrParse{Line: 1, Col: 1, Msg: "no edges in input"}
 	}
-	return New(edges), names, nil
+	names := b.EdgeNames()
+	if names == nil {
+		names = make([]string, h.NumEdges())
+	}
+	return h, names, nil
 }
 
 // MustParse is Parse that panics on error, for tests and examples.

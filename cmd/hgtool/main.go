@@ -15,16 +15,25 @@
 //	hgtool jointree [-f file]             join tree and semijoin full reducer
 //	hgtool witness  [-f file]             independent-path witness for cyclic inputs
 //	hgtool dot      [-f file]             Graphviz rendering of the incidence graph
+//	hgtool eval     [-f file] -d dir -x A,B   Yannakakis evaluation over CSV data
 //
 // Without -f, the hypergraph is read from standard input.
+//
+// eval runs the full columnar pipeline: it loads one CSV table per edge
+// from -d (named "<edge name>.csv" when the schema names the edge, else
+// "R<i>.csv"), applies the schema's two-pass semijoin full reducer with
+// per-step statistics, joins bottom-up along the join tree, and prints
+// π_x(⋈ all objects) for the -x attribute list.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro"
@@ -39,7 +48,8 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	file := fs.String("f", "", "input file (default: stdin)")
-	sacred := fs.String("x", "", "comma-separated sacred nodes")
+	sacred := fs.String("x", "", "comma-separated sacred nodes (eval: output attributes)")
+	dataDir := fs.String("d", "", "directory of per-object CSV files (eval)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -70,6 +80,15 @@ func main() {
 		err = witnessCmd(os.Stdout, h)
 	case "dot":
 		fmt.Print(h.DOT("H"))
+	case "eval":
+		switch {
+		case *sacred == "":
+			err = fmt.Errorf("eval requires -x (output attributes)")
+		case *dataDir == "":
+			err = fmt.Errorf("eval requires -d (CSV data directory)")
+		default:
+			err = evalCmd(os.Stdout, h, names, *dataDir, x)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -80,7 +99,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hgtool {analyze|reduce|tableau|cc|jointree|witness|dot} [-f file] [-x A,B]")
+	fmt.Fprintln(os.Stderr, "usage: hgtool {analyze|reduce|tableau|cc|jointree|witness|dot|eval} [-f file] [-x A,B] [-d dir]")
 }
 
 func fatal(err error) {
@@ -197,12 +216,7 @@ func jointreeCmd(w io.Writer, h *repro.Hypergraph, names []string) error {
 	if err != nil {
 		return err
 	}
-	label := func(i int) string {
-		if i < len(names) && names[i] != "" {
-			return names[i]
-		}
-		return fmt.Sprintf("R%d", i)
-	}
+	label := func(i int) string { return objectLabel(names, i) }
 	tab := report.NewTable("edge", "object", "parent")
 	for i, p := range t.Parent {
 		parent := "(root)"
@@ -221,6 +235,75 @@ func jointreeCmd(w io.Writer, h *repro.Hypergraph, names []string) error {
 		fmt.Fprintf(w, " %s ⋉= %s;", label(s.Target), label(s.Source))
 	}
 	fmt.Fprintln(w)
+	return nil
+}
+
+// objectLabel names object i for display and CSV lookup: the schema file's
+// edge name when present, else "R<i>".
+func objectLabel(names []string, i int) string {
+	if i < len(names) && names[i] != "" {
+		return names[i]
+	}
+	return fmt.Sprintf("R%d", i)
+}
+
+func evalCmd(w io.Writer, h *repro.Hypergraph, names []string, dir string, attrs []string) error {
+	dict := repro.NewDict()
+	tables := make([]*repro.ExecTable, h.NumEdges())
+	for i := range tables {
+		path := filepath.Join(dir, objectLabel(names, i)+".csv")
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("object %s: %w", objectLabel(names, i), err)
+		}
+		t, err := repro.LoadTableCSV(dict, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("object %s: %w", objectLabel(names, i), err)
+		}
+		tables[i] = t
+	}
+	db, err := repro.NewExecDatabase(h, tables)
+	if err != nil {
+		return err
+	}
+	a := repro.Analyze(h)
+	res, err := a.Eval(context.Background(), db, attrs)
+	if err != nil {
+		if errors.Is(err, repro.ErrCyclic) {
+			return fmt.Errorf("the schema is cyclic: Yannakakis evaluation needs an acyclic schema")
+		}
+		return err
+	}
+	fmt.Fprintf(w, "loaded %d objects, %d rows total\n\n", len(tables), db.NumRows())
+	tab := report.NewTable("step", "rows in", "rows out", "time")
+	for _, s := range res.Reduce.Steps {
+		tab.Add(fmt.Sprintf("%s ⋉= %s", objectLabel(names, s.Step.Target), objectLabel(names, s.Step.Source)),
+			s.RowsIn, s.RowsOut, s.Elapsed)
+	}
+	tab.Render(w)
+	fmt.Fprintf(w, "full reduction: %d -> %d rows in %v\n", res.Reduce.RowsIn, res.Reduce.RowsOut, res.Reduce.Elapsed)
+	fmt.Fprintf(w, "join phase:     %d intermediate rows\n\n", res.JoinRows)
+	fmt.Fprintf(w, "π{%s}(⋈ all objects): %d rows\n", strings.Join(attrs, " "), res.Out.NumRows())
+	// Print straight off the columnar table: the result can be large, and
+	// only a bounded prefix is shown — no reason to decode every row.
+	const maxShow = 20
+	out := res.Out
+	if out.NumRows() > maxShow {
+		fmt.Fprintf(w, "(first %d)\n", maxShow)
+	}
+	header := make([]string, out.NumAttrs())
+	for c := range header {
+		header[c] = out.Attr(c)
+	}
+	fmt.Fprintln(w, strings.Join(header, " | "))
+	row := make([]string, out.NumAttrs())
+	for r := 0; r < out.NumRows() && r < maxShow; r++ {
+		for c := range row {
+			row[c] = out.Value(r, c)
+		}
+		fmt.Fprintln(w, strings.Join(row, " | "))
+	}
 	return nil
 }
 

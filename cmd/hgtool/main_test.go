@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -112,5 +114,54 @@ func TestParseSacred(t *testing.T) {
 	empty, err := parseSacred(h, "")
 	if err != nil || len(empty) != 0 {
 		t.Fatal("empty spec must give empty set")
+	}
+}
+
+func TestEvalOutput(t *testing.T) {
+	// Chain schema R0={A,B}, R1={B,C} with CSV data carrying one dangling
+	// tuple per object.
+	h := repro.NewHypergraph([][]string{{"A", "B"}, {"B", "C"}})
+	dir := t.TempDir()
+	files := map[string]string{
+		"R0.csv": "A,B\na1,b1\na2,b2\na3,bX\n",
+		"R1.csv": "B,C\nb1,c1\nb2,c2\nbY,c3\n",
+	}
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b strings.Builder
+	if err := evalCmd(&b, h, nil, dir, []string{"A", "C"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"loaded 2 objects, 6 rows total",
+		"full reduction: 6 -> 4 rows",
+		"π{A C}(⋈ all objects): 2 rows",
+		"a1 | c1",
+		"a2 | c2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("eval output missing %q:\n%s", want, out)
+		}
+	}
+	// A missing CSV file is a user error.
+	if err := evalCmd(&b, h, []string{"R0", "missing"}, dir, []string{"A"}); err == nil {
+		t.Fatal("missing object file must error")
+	}
+	// Cyclic schemas report cleanly.
+	tdir := t.TempDir()
+	for name, data := range map[string]string{
+		"R0.csv": "A,B\n1,2\n", "R1.csv": "B,C\n2,3\n", "R2.csv": "A,C\n1,3\n",
+	} {
+		if err := os.WriteFile(filepath.Join(tdir, name), []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := evalCmd(&b, triangle(), nil, tdir, []string{"A"}); err == nil ||
+		!strings.Contains(err.Error(), "cyclic") {
+		t.Fatalf("cyclic eval: err = %v", err)
 	}
 }

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSucceeds smoke-tests the example: it must complete without error
+// and print the golden headlines.
+func TestRunSucceeds(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"acyclic: true",
+		"full reducer:",
+		"reduction: 9 -> 6 rows",
+		"101 | alice",
+		"matches naive full-join evaluation: true",
+		"synthetic chain (6 objects × 5000 rows):",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

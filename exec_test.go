@@ -1,0 +1,87 @@
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestExecFacadeEndToEnd drives the execution layer entirely through the
+// public facade: CSV and row loaders, database construction, and the
+// session Reduce/Eval facet pair.
+func TestExecFacadeEndToEnd(t *testing.T) {
+	h := repro.NewHypergraph([][]string{{"A", "B"}, {"B", "C"}})
+	dict := repro.NewDict()
+	ab, err := repro.NewExecTable(dict, []string{"A", "B"},
+		[][]string{{"a1", "b1"}, {"a2", "bX"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := repro.LoadTableCSV(dict, strings.NewReader("B,C\nb1,c1\nbY,c2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := repro.NewExecDatabase(h, []*repro.ExecTable{ab, bc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := repro.Analyze(h)
+	ctx := context.Background()
+	red, err := a.Reduce(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.RowsIn != 4 || red.RowsOut != 2 {
+		t.Fatalf("reduction %d -> %d, want 4 -> 2", red.RowsIn, red.RowsOut)
+	}
+	res, err := a.Eval(ctx, db, []string{"A", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := repro.NewRelation([]string{"A", "C"}, []string{"a1", "c1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Out.ToRelation().Equal(want) {
+		t.Fatalf("eval output:\n%v\nwant:\n%v", res.Out, want)
+	}
+
+	// ExecDatabaseFromRelations bridges the paper-scale layer.
+	db2, err := repro.ExecDatabaseFromRelations(h, []*repro.Relation{
+		ab.ToRelation(), bc.ToRelation(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := a.Eval(ctx, db2, []string{"A", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Out.ToRelation().Equal(want) {
+		t.Fatal("relation-bridged database evaluates differently")
+	}
+
+	// Cyclic schemas surface the structured error at the facade.
+	tri := repro.NewHypergraph([][]string{{"A", "B"}, {"B", "C"}, {"C", "A"}})
+	tdb, err := repro.ExecDatabaseFromRelations(tri, []*repro.Relation{
+		mustRel(t, []string{"A", "B"}), mustRel(t, []string{"B", "C"}), mustRel(t, []string{"A", "C"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.Analyze(tri).Eval(ctx, tdb, []string{"A"}); !errors.Is(err, repro.ErrCyclicSchema) {
+		t.Fatalf("cyclic Eval err = %v, want ErrCyclicSchema", err)
+	}
+}
+
+func mustRel(t *testing.T, attrs []string, rows ...[]string) *repro.Relation {
+	t.Helper()
+	r, err := repro.NewRelation(attrs, rows...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

@@ -17,16 +17,24 @@
 // Analyses are safe for concurrent use. The engine package shares one
 // Analysis per hypergraph identity across its memo, which is the warm path
 // for repeated traffic; analysis.New is the standalone entry point.
+//
+// The execution facets Reduce and Eval bridge to internal/exec: they run
+// the session's cached full-reducer program and join tree over a columnar
+// database. Only the program derivation is cached — the data-dependent
+// work runs per call.
 package analysis
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/acyclic"
 	"repro/internal/bitset"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/gyo"
 	"repro/internal/hypergraph"
 	"repro/internal/jointree"
@@ -216,6 +224,60 @@ func (a *Analysis) FullReducer() ([]jointree.SemijoinStep, error) {
 		}
 	})
 	return a.fr, a.frErr
+}
+
+// checkSchema verifies that d's schema is (contentually) the session's
+// hypergraph, so a program derived from this session's join tree is valid
+// for d's objects.
+func (a *Analysis) checkSchema(d *exec.Database) error {
+	if d.Schema != a.h && d.Schema.Fingerprint128() != a.h.Fingerprint128() {
+		return fmt.Errorf("analysis: database schema differs from the session's hypergraph")
+	}
+	return nil
+}
+
+// Reduce applies the session's full-reducer program to the columnar
+// database d as a streaming two-pass reduction, returning the reduced
+// database with per-step statistics. The program derivation (join tree,
+// reducer) is cached on the handle; the reduction itself runs per call —
+// it depends on d, not on the hypergraph alone. d's schema must be the
+// session's hypergraph (content-equal); cyclic schemas report
+// ErrCyclicSchema. Cancellation is observed inside the semijoin kernels
+// every ~4096 rows.
+func (a *Analysis) Reduce(ctx context.Context, d *exec.Database) (*exec.ReduceResult, error) {
+	if err := a.checkSchema(d); err != nil {
+		return nil, err
+	}
+	prog, err := a.FullReducer()
+	if err != nil {
+		return nil, err
+	}
+	return exec.Reduce(ctx, d, prog)
+}
+
+// Eval answers π_attrs(⋈ all objects) over the columnar database d with the
+// full Yannakakis strategy: the session's full reducer makes every object
+// globally consistent, then the objects are joined bottom-up along the
+// session's join tree with projection pushdown, so the join phase is
+// output-sensitive. d's schema must be the session's hypergraph
+// (content-equal); cyclic schemas report ErrCyclicSchema. Cancellation is
+// observed inside the kernels every ~4096 rows.
+func (a *Analysis) Eval(ctx context.Context, d *exec.Database, attrs []string) (*exec.EvalResult, error) {
+	if err := a.checkSchema(d); err != nil {
+		return nil, err
+	}
+	// FullReducer reuses the session's join tree and maps ErrCyclic to
+	// ErrCyclicSchema; both artifacts are cached, so a warm handle derives
+	// nothing per call.
+	prog, err := a.FullReducer()
+	if err != nil {
+		return nil, err
+	}
+	jt, err := a.JoinTree()
+	if err != nil {
+		return nil, err
+	}
+	return exec.EvalWithProgram(ctx, d, jt, prog, attrs)
 }
 
 // Witness returns the Theorem 6.1 independent-path witness for a cyclic

@@ -36,13 +36,12 @@ func New(schema *hypergraph.Hypergraph, objects []*relation.Relation) (*Database
 	}
 	for i, o := range objects {
 		want := schema.EdgeNodes(i)
-		got := o.Attrs()
-		if len(want) != len(got) {
-			return nil, fmt.Errorf("db: object %d has attributes %v, want %v", i, got, want)
+		if len(want) != o.NumAttrs() {
+			return nil, fmt.Errorf("db: object %d has attributes %v, want %v", i, o.Attrs(), want)
 		}
 		for j := range want {
-			if want[j] != got[j] {
-				return nil, fmt.Errorf("db: object %d has attributes %v, want %v", i, got, want)
+			if want[j] != o.Attr(j) {
+				return nil, fmt.Errorf("db: object %d has attributes %v, want %v", i, o.Attrs(), want)
 			}
 		}
 	}
@@ -141,9 +140,11 @@ func (d *Database) QueryYannakakis(attrs []string) (*relation.Relation, error) {
 			acc = acc.Join(sub)
 		}
 		// Early projection: keep query attributes plus the connection to the
-		// parent (its shared attributes).
-		keep := []string{}
-		for _, a := range acc.Attrs() {
+		// parent (its shared attributes). Indexed attribute access avoids
+		// re-copying the attribute list at every tree node.
+		keep := make([]string, 0, acc.NumAttrs())
+		for i := 0; i < acc.NumAttrs(); i++ {
+			a := acc.Attr(i)
 			if want[a] {
 				keep = append(keep, a)
 				continue

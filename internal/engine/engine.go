@@ -47,22 +47,27 @@ import (
 // The zero value is not usable; construct with New. Engines are safe for
 // concurrent use by multiple goroutines.
 type Engine struct {
-	workers int
+	workers     int
+	maxEntries  int // memo entry bound across all shards; 0 = unbounded
+	maxPerShard int // derived per-shard cap (maxEntries / shards, at least 1)
 
 	shards []shard // fingerprint-keyed memo shards, len is a power of two
 	mask   uint64
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 // shard is one memo partition. The padding rounds the struct up to a full
 // 64-byte cache line (mutex 8 + map header 8 + 48), so uncontended locks on
 // neighboring shards do not false-share.
 type shard struct {
-	mu   sync.Mutex
-	memo map[uint64][]*entry // fingerprint key -> entries (collision chain)
-	_    [48]byte
+	mu    sync.Mutex
+	memo  map[uint64][]*entry // fingerprint key -> entries (collision chain)
+	n     int                 // entries across all chains
+	clock uint64              // shard-local recency counter (see entry.seq)
+	_     [32]byte
 }
 
 // entry interns one hypergraph identity: the full 128-bit fingerprint
@@ -70,8 +75,10 @@ type shard struct {
 // every memoized facet (each computed at most once under its own
 // sync.Once).
 type entry struct {
-	fp hypergraph.Fingerprint128
-	an *analysis.Analysis
+	fp  hypergraph.Fingerprint128
+	an  *analysis.Analysis
+	key uint64 // folded fingerprint: the entry's chain in shard.memo
+	seq uint64 // shard clock at last touch; the eviction victim has the minimum
 }
 
 // Option configures an Engine.
@@ -98,6 +105,24 @@ func WithShards(n int) Option {
 	}
 }
 
+// WithMaxEntries bounds the memo: the bound is distributed evenly across
+// shards (each holds at most ⌊n/shards⌋, minimum one), so at most n entries
+// stay resident whenever n >= the shard count, and at most one per shard —
+// the floor sharding needs — otherwise. When a shard is full, inserting a
+// new identity evicts its least-recently-touched entry — LRU-ish: recency
+// is exact per shard, but shards evict independently, so the globally
+// oldest entry survives if a different shard fills first. Values < 1 mean
+// unbounded, the default. The bound is what makes the engine safe under
+// adversarial schema churn: without it every distinct schema ever queried
+// stays resident.
+func WithMaxEntries(n int) Option {
+	return func(e *Engine) {
+		if n >= 1 {
+			e.maxEntries = n
+		}
+	}
+}
+
 // New returns an Engine with an empty sharded memo and a worker pool sized
 // by GOMAXPROCS unless overridden by WithWorkers/WithShards.
 func New(opts ...Option) *Engine {
@@ -107,6 +132,12 @@ func New(opts ...Option) *Engine {
 	e.initShards(e.workers)
 	for _, o := range opts {
 		o(e)
+	}
+	if e.maxEntries > 0 {
+		e.maxPerShard = e.maxEntries / len(e.shards)
+		if e.maxPerShard < 1 {
+			e.maxPerShard = 1
+		}
 	}
 	return e
 }
@@ -131,9 +162,10 @@ func (e *Engine) Shards() int { return len(e.shards) }
 
 // Stats reports memo effectiveness.
 type Stats struct {
-	Hits    int64 // queries answered by an existing memo entry
-	Misses  int64 // queries that created a new memo entry
-	Entries int   // distinct hypergraph identities seen
+	Hits      int64 // queries answered by an existing memo entry
+	Misses    int64 // queries that created a new memo entry
+	Evictions int64 // entries dropped by the WithMaxEntries bound
+	Entries   int   // distinct hypergraph identities currently resident
 }
 
 // Stats returns a snapshot of the memo counters, aggregated across shards.
@@ -142,12 +174,10 @@ func (e *Engine) Stats() Stats {
 	for i := range e.shards {
 		s := &e.shards[i]
 		s.mu.Lock()
-		for _, chain := range s.memo {
-			n += len(chain)
-		}
+		n += s.n
 		s.mu.Unlock()
 	}
-	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load(), Entries: n}
+	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load(), Evictions: e.evictions.Load(), Entries: n}
 }
 
 // entryFor interns h's identity under the streaming 128-bit fingerprint
@@ -164,16 +194,55 @@ func (e *Engine) entryFor(h *hypergraph.Hypergraph) *entry {
 	s.mu.Lock()
 	for _, en := range s.memo[key] {
 		if en.fp == fp {
+			en.seq = s.clock
+			s.clock++
 			s.mu.Unlock()
 			e.hits.Add(1)
 			return en
 		}
 	}
-	en := &entry{fp: fp, an: analysis.New(h)}
+	if e.maxPerShard > 0 && s.n >= e.maxPerShard {
+		s.evictOldest()
+		e.evictions.Add(1)
+	}
+	en := &entry{fp: fp, an: analysis.New(h), key: key, seq: s.clock}
+	s.clock++
 	s.memo[key] = append(s.memo[key], en)
+	s.n++
 	s.mu.Unlock()
 	e.misses.Add(1)
 	return en
+}
+
+// evictOldest removes the entry with the smallest recency stamp. The victim
+// scan is linear in the shard's population, which the WithMaxEntries cap
+// bounds — the price of not threading a linked list through the chains.
+// Callers hold the shard lock.
+func (s *shard) evictOldest() {
+	var victim *entry
+	for _, chain := range s.memo {
+		for _, en := range chain {
+			if victim == nil || en.seq < victim.seq {
+				victim = en
+			}
+		}
+	}
+	if victim == nil {
+		return
+	}
+	chain := s.memo[victim.key]
+	for i, en := range chain {
+		if en == victim {
+			chain = append(chain[:i], chain[i+1:]...)
+			break
+		}
+	}
+	if len(chain) == 0 {
+		delete(s.memo, victim.key)
+	} else {
+		s.memo[victim.key] = chain
+	}
+	s.n--
 }
 
 // Analyze returns the memoized Analysis session for h: every caller passing

@@ -296,3 +296,99 @@ func TestWorkerConfiguration(t *testing.T) {
 		t.Fatal("single batch")
 	}
 }
+
+// distinctChains returns n contentually distinct hypergraphs (chain lengths
+// differ, so fingerprints differ).
+func distinctChains(n int) []*hypergraph.Hypergraph {
+	hs := make([]*hypergraph.Hypergraph, n)
+	for i := range hs {
+		hs[i] = gen.AcyclicChain(2+i, 2, 1)
+	}
+	return hs
+}
+
+// TestMaxEntriesBoundsMemo: under WithMaxEntries the resident entry count
+// never exceeds the cap, however many distinct schemas stream through.
+func TestMaxEntriesBoundsMemo(t *testing.T) {
+	e := New(WithShards(1), WithMaxEntries(4))
+	for _, h := range distinctChains(32) {
+		e.IsAcyclic(h)
+	}
+	st := e.Stats()
+	if st.Entries > 4 {
+		t.Fatalf("entries = %d, want <= 4", st.Entries)
+	}
+	if st.Evictions != 32-4 {
+		t.Fatalf("evictions = %d, want %d", st.Evictions, 32-4)
+	}
+	if st.Misses != 32 {
+		t.Fatalf("misses = %d, want 32", st.Misses)
+	}
+}
+
+// TestMaxEntriesEvictsLeastRecentlyUsed: a re-touched entry survives the
+// next eviction; the stalest one goes.
+func TestMaxEntriesEvictsLeastRecentlyUsed(t *testing.T) {
+	hs := distinctChains(3)
+	a, b, c := hs[0], hs[1], hs[2]
+	e := New(WithShards(1), WithMaxEntries(2))
+	e.IsAcyclic(a) // miss: {a}
+	e.IsAcyclic(b) // miss: {a, b}
+	e.IsAcyclic(a) // hit: refreshes a, so b is now the eviction victim
+	e.IsAcyclic(c) // miss: evicts b -> {a, c}
+	base := e.Stats()
+	if base.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", base.Evictions)
+	}
+	e.IsAcyclic(a)
+	if got := e.Stats(); got.Hits != base.Hits+1 || got.Evictions != 1 {
+		t.Fatalf("a was evicted: stats %+v -> %+v", base, got)
+	}
+	e.IsAcyclic(b) // b was evicted: this must be a fresh miss (and evict again)
+	if got := e.Stats(); got.Misses != base.Misses+1 {
+		t.Fatalf("b survived eviction: stats %+v -> %+v", base, got)
+	}
+}
+
+// TestMaxEntriesConcurrent hammers a tightly bounded memo from many
+// goroutines: the bound must hold at every observation and results stay
+// correct (the race detector guards the bookkeeping).
+func TestMaxEntriesConcurrent(t *testing.T) {
+	e := New(WithShards(2), WithMaxEntries(4))
+	hs := distinctChains(16)
+	want := make([]bool, len(hs))
+	for i, h := range hs {
+		want[i] = gyo.IsAcyclic(h)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				k := rng.Intn(len(hs))
+				if e.IsAcyclic(hs[k]) != want[k] {
+					t.Error("wrong verdict under eviction churn")
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	// Per-shard cap is 4/2 = 2, so at most 4 entries total.
+	if st := e.Stats(); st.Entries > 4 {
+		t.Fatalf("entries = %d, want <= 4", st.Entries)
+	}
+}
+
+// TestUnboundedByDefault: without WithMaxEntries nothing is ever evicted.
+func TestUnboundedByDefault(t *testing.T) {
+	e := New(WithShards(1))
+	for _, h := range distinctChains(64) {
+		e.IsAcyclic(h)
+	}
+	if st := e.Stats(); st.Entries != 64 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 64 resident entries and no evictions", st)
+	}
+}

@@ -1,0 +1,127 @@
+package exec_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/gen"
+	"repro/internal/gendb"
+	"repro/internal/jointree"
+)
+
+// benchChain builds the standard benchmark pairing: a binary acyclic chain
+// of m edges with rows tuples per object over a domain of rows ids per
+// attribute (dense enough that most tuples survive a semijoin, sparse
+// enough that reduction does real work).
+func benchChain(m, rows int) (*exec.Database, *jointree.JoinTree) {
+	rng := rand.New(rand.NewSource(int64(31*m + rows)))
+	schema, db := gendb.Chain(rng, m, 2, 1, gen.InstanceSpec{Rows: rows, DomainSize: rows})
+	jt, ok := jointree.BuildMCS(schema)
+	if !ok {
+		panic("chain schema must be acyclic")
+	}
+	return db, jt
+}
+
+// BenchmarkExecReduce runs the two-pass full-reducer program over chain
+// databases of growing size; results are recorded in BENCH_exec.json.
+func BenchmarkExecReduce(b *testing.B) {
+	ctx := context.Background()
+	for _, cfg := range []struct{ edges, rows int }{
+		{8, 10_000},
+		{8, 100_000},
+		{64, 10_000},
+	} {
+		db, jt := benchChain(cfg.edges, cfg.rows)
+		prog := jt.FullReducer()
+		b.Run(fmt.Sprintf("edges=%d/rows=%d", cfg.edges, cfg.rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := exec.Reduce(ctx, db, prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.RowsOut == 0 {
+					b.Fatal("reduction emptied the database")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExecEval runs the full Yannakakis pipeline (reduce, then
+// bottom-up join with projection pushdown) projecting onto the chain's two
+// endpoint attributes — the query whose naive plan materializes the whole
+// chain join.
+func BenchmarkExecEval(b *testing.B) {
+	ctx := context.Background()
+	for _, cfg := range []struct{ edges, rows int }{
+		{8, 10_000},
+		{8, 100_000},
+		{64, 10_000},
+	} {
+		db, jt := benchChain(cfg.edges, cfg.rows)
+		nodes := db.Schema.Nodes()
+		attrs := []string{nodes[0], nodes[len(nodes)-1]}
+		b.Run(fmt.Sprintf("edges=%d/rows=%d", cfg.edges, cfg.rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := exec.Eval(ctx, db, jt, attrs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res.Out
+			}
+		})
+	}
+}
+
+// TestExecChain100k is the at-scale acceptance pin: a 10⁵-row acyclic-chain
+// database is fully reduced (the result is the semijoin fixpoint: no
+// further semijoin between overlapping objects removes anything) and
+// evaluated end to end by the columnar engine.
+func TestExecChain100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10⁵-row instance")
+	}
+	ctx := context.Background()
+	db, jt := benchChain(8, 12_500) // 8 objects × 12.5k rows = 10⁵ rows
+	if db.NumRows() < 99_000 {
+		t.Fatalf("instance smaller than intended: %d rows", db.NumRows())
+	}
+	res, err := exec.Reduce(ctx, db, jt.FullReducer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsOut == 0 || res.RowsOut >= res.RowsIn {
+		t.Fatalf("implausible reduction: %d -> %d rows", res.RowsIn, res.RowsOut)
+	}
+	// Full reduction = semijoin fixpoint: re-semijoining any pair of
+	// overlapping objects must remove nothing.
+	for i, ti := range res.DB.Tables {
+		for j, tj := range res.DB.Tables {
+			if i == j || !db.Schema.EdgeView(i).Intersects(db.Schema.EdgeView(j)) {
+				continue
+			}
+			again, err := exec.Semijoin(ctx, ti, tj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.NumRows() != ti.NumRows() {
+				t.Fatalf("object %d not fully reduced against %d: %d -> %d rows",
+					i, j, ti.NumRows(), again.NumRows())
+			}
+		}
+	}
+	nodes := db.Schema.Nodes()
+	ev, err := exec.Eval(ctx, db, jt, []string{nodes[0], nodes[len(nodes)-1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Out.NumRows() == 0 {
+		t.Fatal("evaluation produced no rows")
+	}
+}

@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// LoadCSV reads a table from CSV: the first record is the header naming the
+// attributes (any order; columns are normalized to sorted attribute order),
+// every following record is one row. Values are interned into dict and
+// duplicate rows collapse (set semantics). Ragged records, empty or
+// duplicate attribute names, and an empty input are errors.
+//
+// Fields are canonicalized to "\n" line endings (encoding/csv already
+// rewrites quoted "\r\n" to "\n"; collapsing any remainder makes the loaded
+// table a fixed point of WriteCSV∘LoadCSV, which the fuzz harness pins).
+func LoadCSV(dict *Dict, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("exec: empty CSV input: missing header")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("exec: reading CSV header: %w", err)
+	}
+	attrs := make([]string, len(header))
+	for i, a := range header {
+		attrs[i] = strings.Clone(normalizeCRLF(a))
+	}
+	t, err := NewTable(dict, attrs)
+	if err != nil {
+		return nil, err
+	}
+	perm := make([]int, len(t.attrs))
+	for i, a := range t.attrs {
+		for j, b := range attrs {
+			if a == b {
+				perm[i] = j
+				break
+			}
+		}
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("exec: reading CSV row: %w", err)
+		}
+		for i := range t.cols {
+			t.cols[i] = append(t.cols[i], internField(dict, normalizeCRLF(rec[perm[i]])))
+		}
+		t.rows++
+	}
+	return t.dedup(), nil
+}
+
+// internField interns a csv.Reader field, cloning it on first sight:
+// encoding/csv materializes all fields of a record as substrings of one
+// backing string, so interning the substring directly would pin the whole
+// line in the dictionary for its lifetime. Hits (the common case under
+// dictionary encoding) pay one map probe and no copy.
+func internField(dict *Dict, s string) int32 {
+	if id, ok := dict.Lookup(s); ok {
+		return id
+	}
+	return dict.Intern(strings.Clone(s))
+}
+
+func normalizeCRLF(s string) string {
+	if strings.Contains(s, "\r\n") {
+		return strings.ReplaceAll(s, "\r\n", "\n")
+	}
+	return s
+}
+
+// WriteCSV writes the table as CSV — a sorted-attribute header followed by
+// one record per row — the inverse of LoadCSV up to row order. The writer
+// is hand-rolled rather than encoding/csv because a row whose only field is
+// empty must be emitted as `""`: csv.Writer prints it as a blank line,
+// which readers skip as a non-record.
+func (t *Table) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	writeRecord := func(rec []string) {
+		for i, f := range rec {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			if strings.ContainsAny(f, ",\"\r\n") || (f == "" && len(rec) == 1) {
+				bw.WriteByte('"')
+				bw.WriteString(strings.ReplaceAll(f, `"`, `""`))
+				bw.WriteByte('"')
+			} else {
+				bw.WriteString(f)
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	writeRecord(t.attrs)
+	rec := make([]string, len(t.attrs))
+	for r := 0; r < t.rows; r++ {
+		for c := range t.cols {
+			rec[c] = t.dict.Value(t.cols[c][r])
+		}
+		writeRecord(rec)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,312 @@
+package exec
+
+import (
+	"bytes"
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+	"repro/internal/relation"
+)
+
+func mustTable(t *testing.T, dict *Dict, attrs []string, rows ...[]string) *Table {
+	t.Helper()
+	tab, err := FromRows(dict, attrs, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestTableBasics(t *testing.T) {
+	d := NewDict()
+	tab := mustTable(t, d, []string{"B", "A"},
+		[]string{"1", "x"},
+		[]string{"2", "y"},
+		[]string{"1", "x"}, // duplicate collapses
+	)
+	if got := tab.Attrs(); got[0] != "A" || got[1] != "B" {
+		t.Fatalf("attrs not sorted: %v", got)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2 (dedup)", tab.NumRows())
+	}
+	// Columns were permuted: A holds x/y, B holds 1/2.
+	r := tab.ToRelation()
+	want := relation.MustNew([]string{"A", "B"}, []string{"x", "1"}, []string{"y", "2"})
+	if !r.Equal(want) {
+		t.Fatalf("round trip mismatch:\n%v\nwant\n%v", r, want)
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	d := NewDict()
+	if _, err := FromRows(d, []string{"A", "A"}, nil); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := FromRows(d, []string{""}, nil); err == nil {
+		t.Error("empty attribute accepted")
+	}
+	if _, err := FromRows(d, []string{"A", "B"}, [][]string{{"1"}}); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestFromRelationRoundTrip(t *testing.T) {
+	r := relation.MustNew([]string{"A", "B", "C"},
+		[]string{"1", "2", "3"},
+		[]string{"4", "5", "6"},
+		[]string{"1", "5", "3"},
+	)
+	tab := FromRelation(NewDict(), r)
+	if !tab.ToRelation().Equal(r) {
+		t.Fatalf("FromRelation/ToRelation not inverse:\n%v\nwant\n%v", tab.ToRelation(), r)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := "B,A\n1,x\n2,\"y,z\"\n1,x\n"
+	tab, err := LoadCSV(NewDict(), strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", tab.NumRows())
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(NewDict(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.ToRelation().Equal(tab.ToRelation()) {
+		t.Fatalf("CSV round trip mismatch:\n%v\nwant\n%v", back, tab)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	for _, in := range []string{
+		"",             // no header
+		"A,A\n1,2\n",   // duplicate attribute
+		"A,\n1,2\n",    // empty attribute
+		"A,B\n1\n",     // ragged row
+		"A,B\n1,2,3\n", // ragged row (too wide)
+	} {
+		if _, err := LoadCSV(NewDict(), strings.NewReader(in)); err == nil {
+			t.Errorf("LoadCSV(%q) accepted bad input", in)
+		}
+	}
+}
+
+func TestSemijoinMatchesRelation(t *testing.T) {
+	ctx := context.Background()
+	d := NewDict()
+	r := mustTable(t, d, []string{"A", "B"}, []string{"1", "1"}, []string{"2", "2"}, []string{"3", "3"})
+	s := mustTable(t, d, []string{"B", "C"}, []string{"1", "x"}, []string{"3", "y"})
+	got, err := Semijoin(ctx, r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.ToRelation().Semijoin(s.ToRelation())
+	if !got.ToRelation().Equal(want) {
+		t.Fatalf("semijoin mismatch:\n%v\nwant\n%v", got, want)
+	}
+
+	// No shared attributes: r survives iff s is nonempty.
+	u := mustTable(t, d, []string{"Z"}, []string{"q"})
+	full, err := Semijoin(ctx, r, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumRows() != r.NumRows() {
+		t.Fatalf("disjoint semijoin with nonempty rhs dropped rows: %d", full.NumRows())
+	}
+	empty := mustTable(t, d, []string{"Z"})
+	none, err := Semijoin(ctx, r, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.NumRows() != 0 {
+		t.Fatalf("disjoint semijoin with empty rhs kept %d rows", none.NumRows())
+	}
+}
+
+func TestJoinMatchesRelation(t *testing.T) {
+	ctx := context.Background()
+	d := NewDict()
+	r := mustTable(t, d, []string{"A", "B"}, []string{"1", "1"}, []string{"2", "2"})
+	s := mustTable(t, d, []string{"B", "C"}, []string{"1", "x"}, []string{"1", "y"}, []string{"3", "z"})
+	got, err := Join(ctx, r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.ToRelation().Join(s.ToRelation())
+	if !got.ToRelation().Equal(want) {
+		t.Fatalf("join mismatch:\n%v\nwant\n%v", got, want)
+	}
+
+	// Cross product when no attributes are shared.
+	u := mustTable(t, d, []string{"Z"}, []string{"p"}, []string{"q"})
+	cross, err := Join(ctx, r, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross.NumRows() != 4 {
+		t.Fatalf("cross product rows = %d, want 4", cross.NumRows())
+	}
+}
+
+func TestProjectMatchesRelation(t *testing.T) {
+	ctx := context.Background()
+	d := NewDict()
+	r := mustTable(t, d, []string{"A", "B", "C"},
+		[]string{"1", "1", "x"}, []string{"1", "2", "x"}, []string{"2", "2", "y"})
+	got, err := Project(ctx, r, []string{"C", "A", "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := r.ToRelation().Project([]string{"A", "C"})
+	if !got.ToRelation().Equal(want) {
+		t.Fatalf("project mismatch:\n%v\nwant\n%v", got, want)
+	}
+	if _, err := Project(ctx, r, []string{"Q"}); err == nil {
+		t.Error("projection on unknown attribute accepted")
+	}
+}
+
+func TestKernelsRejectForeignDict(t *testing.T) {
+	ctx := context.Background()
+	r := mustTable(t, NewDict(), []string{"A"}, []string{"1"})
+	s := mustTable(t, NewDict(), []string{"A"}, []string{"1"})
+	if _, err := Semijoin(ctx, r, s); err == nil {
+		t.Error("semijoin across dictionaries accepted")
+	}
+	if _, err := Join(ctx, r, s); err == nil {
+		t.Error("join across dictionaries accepted")
+	}
+}
+
+// chainDB builds the schema {A,B},{B,C},{C,D} with small tables carrying
+// one dangling tuple per end, the classic full-reduction fixture.
+func chainDB(t *testing.T) (*hypergraph.Hypergraph, *Database, *jointree.JoinTree) {
+	t.Helper()
+	h := hypergraph.New([][]string{{"A", "B"}, {"B", "C"}, {"C", "D"}})
+	d := NewDict()
+	tables := []*Table{
+		mustTable(t, d, []string{"A", "B"}, []string{"a1", "b1"}, []string{"a2", "b2"}, []string{"a3", "bX"}),
+		mustTable(t, d, []string{"B", "C"}, []string{"b1", "c1"}, []string{"b2", "c2"}, []string{"bY", "c3"}),
+		mustTable(t, d, []string{"C", "D"}, []string{"c1", "d1"}, []string{"c2", "d2"}, []string{"cZ", "d3"}),
+	}
+	db, err := NewDatabase(h, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jt, ok := jointree.BuildMCS(h)
+	if !ok {
+		t.Fatal("chain schema must be acyclic")
+	}
+	return h, db, jt
+}
+
+func TestReduceChain(t *testing.T) {
+	_, db, jt := chainDB(t)
+	res, err := Reduce(context.Background(), db, jt.FullReducer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsIn != 9 {
+		t.Fatalf("RowsIn = %d, want 9", res.RowsIn)
+	}
+	if res.RowsOut != 6 {
+		t.Fatalf("RowsOut = %d, want 6 (each object loses its dangling tuple)", res.RowsOut)
+	}
+	if len(res.Steps) != 4 { // two up, two down
+		t.Fatalf("steps = %d, want 4", len(res.Steps))
+	}
+	for _, s := range res.Steps {
+		if s.RowsOut > s.RowsIn {
+			t.Fatalf("step %v grew: %d -> %d", s.Step, s.RowsIn, s.RowsOut)
+		}
+	}
+	// The input database is untouched.
+	if db.NumRows() != 9 {
+		t.Fatalf("input mutated: %d rows", db.NumRows())
+	}
+}
+
+func TestReduceRejectsBadProgram(t *testing.T) {
+	_, db, _ := chainDB(t)
+	_, err := Reduce(context.Background(), db, []jointree.SemijoinStep{{Target: 0, Source: 99}})
+	if err == nil {
+		t.Fatal("out-of-range step accepted")
+	}
+}
+
+func TestEvalChain(t *testing.T) {
+	_, db, jt := chainDB(t)
+	res, err := Eval(context.Background(), db, jt, []string{"A", "D"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.MustNew([]string{"A", "D"}, []string{"a1", "d1"}, []string{"a2", "d2"})
+	if !res.Out.ToRelation().Equal(want) {
+		t.Fatalf("eval mismatch:\n%v\nwant\n%v", res.Out, want)
+	}
+	if res.Reduce == nil || res.Reduce.RowsOut != 6 {
+		t.Fatalf("embedded reduction missing or wrong: %+v", res.Reduce)
+	}
+}
+
+func TestEvalValidation(t *testing.T) {
+	h, db, jt := chainDB(t)
+	ctx := context.Background()
+	if _, err := Eval(ctx, db, jt, []string{"Q"}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	other, ok := jointree.BuildMCS(hypergraph.New([][]string{{"A", "B"}, {"B", "C"}}))
+	if !ok {
+		t.Fatal("setup")
+	}
+	if _, err := Eval(ctx, db, other, []string{"A"}); err == nil {
+		t.Error("foreign join tree accepted")
+	}
+	_ = h
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := NewDict()
+	// Large enough that the stride check fires.
+	rows := make([][]string, 3*cancelStride)
+	for i := range rows {
+		rows[i] = []string{strconv.Itoa(i), strconv.Itoa(i + 1)}
+	}
+	r := mustTable(t, d, []string{"A", "B"}, rows...)
+	if _, err := Semijoin(ctx, r, r); err != context.Canceled {
+		t.Errorf("Semijoin on cancelled ctx: err = %v", err)
+	}
+	if _, err := Join(ctx, r, r); err != context.Canceled {
+		t.Errorf("Join on cancelled ctx: err = %v", err)
+	}
+	if _, err := Project(ctx, r, []string{"A"}); err != context.Canceled {
+		t.Errorf("Project on cancelled ctx: err = %v", err)
+	}
+}
+
+func TestReduceCancellation(t *testing.T) {
+	_, db, jt := chainDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Reduce(ctx, db, jt.FullReducer()); err != context.Canceled {
+		t.Errorf("Reduce on cancelled ctx: err = %v", err)
+	}
+	if _, err := Eval(ctx, db, jt, []string{"A"}); err != context.Canceled {
+		t.Errorf("Eval on cancelled ctx: err = %v", err)
+	}
+}

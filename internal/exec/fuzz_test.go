@@ -1,0 +1,68 @@
+package exec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTableLoad hammers the CSV loader with arbitrary bytes: it must never
+// panic, and whenever it accepts an input the resulting table must satisfy
+// the Table invariants (sorted unique attributes, rectangular columns,
+// distinct rows) and survive a WriteCSV/LoadCSV round trip unchanged.
+func FuzzTableLoad(f *testing.F) {
+	f.Add([]byte("A,B\n1,2\n3,4\n"))
+	f.Add([]byte("B,A\n1,x\n1,x\n2,\"y,z\"\n"))
+	f.Add([]byte("A\n\"multi\nline\"\n"))
+	f.Add([]byte("A,B\n1\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("A,A\n1,2\n"))
+	f.Add([]byte(",\n1,2\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := LoadCSV(NewDict(), bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < tab.NumAttrs(); i++ {
+			if tab.Attr(i) == "" {
+				t.Fatal("accepted empty attribute name")
+			}
+			if i > 0 && tab.Attr(i-1) >= tab.Attr(i) {
+				t.Fatalf("attributes not sorted-unique: %v", tab.Attrs())
+			}
+		}
+		for c := range tab.cols {
+			if len(tab.cols[c]) != tab.rows {
+				t.Fatalf("ragged column %d: %d cells for %d rows", c, len(tab.cols[c]), tab.rows)
+			}
+		}
+		// Row distinctness: rebuilding through the deduplicating FromRows
+		// must not shrink the table. (Calling tab.dedup() here would mutate
+		// tab in place and compare it against itself.)
+		rows := make([][]string, tab.NumRows())
+		for r := range rows {
+			row := make([]string, tab.NumAttrs())
+			for c := range row {
+				row[c] = tab.Value(r, c)
+			}
+			rows[r] = row
+		}
+		rebuilt, err := FromRows(NewDict(), tab.Attrs(), rows)
+		if err != nil {
+			t.Fatalf("rebuilding accepted table: %v", err)
+		}
+		if rebuilt.NumRows() != tab.NumRows() {
+			t.Fatalf("loader left duplicate rows: %d distinct of %d", rebuilt.NumRows(), tab.NumRows())
+		}
+		var buf bytes.Buffer
+		if err := tab.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV on accepted table: %v", err)
+		}
+		back, err := LoadCSV(NewDict(), &buf)
+		if err != nil {
+			t.Fatalf("reloading written CSV: %v", err)
+		}
+		if !back.ToRelation().Equal(tab.ToRelation()) {
+			t.Fatalf("round trip changed the table:\n%v\nvs\n%v", tab, back)
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/jointree"
+)
+
+// StepStats records one semijoin statement of a reduction run.
+type StepStats struct {
+	Step    jointree.SemijoinStep
+	RowsIn  int // target rows before the semijoin
+	RowsOut int // target rows after
+	Elapsed time.Duration
+}
+
+// ReduceResult is the outcome of running a full-reducer program: the
+// reduced database (untouched tables are shared with the input, shrunk ones
+// are fresh), per-step statistics, and totals.
+type ReduceResult struct {
+	DB      *Database
+	Steps   []StepStats
+	RowsIn  int // total rows across objects before reduction
+	RowsOut int // total rows across objects after
+	Elapsed time.Duration
+}
+
+// Reduce applies a semijoin program — typically jointree.FullReducer output
+// — to d as a streaming two-pass reduction: objects are replaced by their
+// semijoin with the step source, in program order, without ever
+// materializing a join. For acyclic schemas the full-reducer program leaves
+// every object globally consistent (Bernstein–Goodman), which is the
+// precondition Eval's output-sensitivity rests on. d is not mutated.
+// Cancellation is observed inside the kernels every ~4096 rows; on
+// cancellation the partial work is discarded and ctx.Err() returned.
+func Reduce(ctx context.Context, d *Database, prog []jointree.SemijoinStep) (*ReduceResult, error) {
+	start := time.Now()
+	work := make([]*Table, len(d.Tables))
+	copy(work, d.Tables)
+	res := &ReduceResult{Steps: make([]StepStats, 0, len(prog)), RowsIn: d.NumRows()}
+	for _, s := range prog {
+		if s.Target < 0 || s.Target >= len(work) || s.Source < 0 || s.Source >= len(work) {
+			return nil, fmt.Errorf("exec: semijoin step %v out of range for %d objects", s, len(work))
+		}
+		stepStart := time.Now()
+		in := work[s.Target].rows
+		next, err := Semijoin(ctx, work[s.Target], work[s.Source])
+		if err != nil {
+			return nil, err
+		}
+		work[s.Target] = next
+		res.Steps = append(res.Steps, StepStats{
+			Step:    s,
+			RowsIn:  in,
+			RowsOut: next.rows,
+			Elapsed: time.Since(stepStart),
+		})
+	}
+	// Direct construction: d was validated when built, and Semijoin
+	// preserves each table's attributes and dictionary, so re-running
+	// NewDatabase's per-edge validation here would be pure overhead.
+	res.DB = &Database{Schema: d.Schema, Tables: work}
+	res.RowsOut = res.DB.NumRows()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// EvalResult is the outcome of a full Yannakakis evaluation.
+type EvalResult struct {
+	// Out is π_attrs(⋈ all objects).
+	Out *Table
+	// Reduce is the embedded reduction phase with its per-step stats.
+	Reduce *ReduceResult
+	// JoinRows counts the rows materialized by the bottom-up join phase
+	// across all intermediates — the output-sensitivity metric: after full
+	// reduction it is bounded by rows that contribute to the output, not by
+	// the largest intermediate a naive plan would build.
+	JoinRows int
+	Elapsed  time.Duration
+}
+
+// Eval answers π_attrs(⋈ all objects) with the classic Yannakakis strategy
+// over a join tree of the schema: run the tree's two-pass full reducer
+// (Reduce), then join bottom-up along the tree, projecting every
+// intermediate onto the query attributes plus the connection to its parent.
+// The tree must belong to d's schema (same content; fingerprints are
+// compared). Disconnected schemas cross-join their component results, and
+// every requested attribute must appear in some edge.
+func Eval(ctx context.Context, d *Database, tree *jointree.JoinTree, attrs []string) (*EvalResult, error) {
+	return EvalWithProgram(ctx, d, tree, tree.FullReducer(), attrs)
+}
+
+// EvalWithProgram is Eval with a caller-supplied reduction program — for
+// callers that already hold the tree's full reducer (the session API caches
+// it per Analysis handle), so repeated evaluations skip re-deriving it.
+// The program must be a full reducer for tree (Eval derives exactly that);
+// a weaker program silently breaks the output-sensitivity guarantee, and
+// one for a different tree can leave danglers that surface as wrong join
+// results.
+func EvalWithProgram(ctx context.Context, d *Database, tree *jointree.JoinTree, prog []jointree.SemijoinStep, attrs []string) (*EvalResult, error) {
+	start := time.Now()
+	if len(d.Tables) == 0 {
+		return nil, fmt.Errorf("exec: empty schema")
+	}
+	if tree.H.Fingerprint128() != d.Schema.Fingerprint128() {
+		return nil, fmt.Errorf("exec: join tree belongs to a different schema")
+	}
+	want := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		id, ok := d.Schema.NodeID(a)
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown query attribute %q", a)
+		}
+		covered := false
+		for i := 0; i < d.Schema.NumEdges() && !covered; i++ {
+			covered = d.Schema.EdgeView(i).Contains(id)
+		}
+		if !covered {
+			return nil, fmt.Errorf("exec: query attribute %q occurs in no object", a)
+		}
+		want[a] = true
+	}
+	red, err := Reduce(ctx, d, prog)
+	if err != nil {
+		return nil, err
+	}
+	res := &EvalResult{Reduce: red}
+	reduced := red.DB.Tables
+
+	// Bottom-up join with projection pushdown: each subtree result keeps
+	// only the query attributes and the attributes shared with its parent.
+	ch := tree.Children()
+	var build func(v int) (*Table, error)
+	build = func(v int) (*Table, error) {
+		acc := reduced[v]
+		for _, c := range ch[v] {
+			sub, err := build(c)
+			if err != nil {
+				return nil, err
+			}
+			if acc, err = Join(ctx, acc, sub); err != nil {
+				return nil, err
+			}
+			res.JoinRows += acc.rows
+		}
+		keep := make([]string, 0, acc.NumAttrs())
+		p := tree.Parent[v]
+		for i := 0; i < acc.NumAttrs(); i++ {
+			a := acc.Attr(i)
+			if want[a] {
+				keep = append(keep, a)
+				continue
+			}
+			if p >= 0 {
+				if id, ok := d.Schema.NodeID(a); ok && d.Schema.EdgeView(p).Contains(id) {
+					keep = append(keep, a)
+				}
+			}
+		}
+		return Project(ctx, acc, keep)
+	}
+	var acc *Table
+	for _, root := range tree.Roots() {
+		sub, err := build(root)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = sub
+			continue
+		}
+		if acc, err = Join(ctx, acc, sub); err != nil {
+			return nil, err
+		}
+		res.JoinRows += acc.rows
+	}
+	out, err := Project(ctx, acc, attrs)
+	if err != nil {
+		return nil, err
+	}
+	res.Out = out
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

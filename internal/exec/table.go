@@ -1,0 +1,257 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Table is a set-semantics relation stored columnar: one int32 column per
+// attribute, values dictionary-encoded through a shared Dict. Attribute
+// order is normalized to sorted order at construction and rows are
+// deduplicated, matching internal/relation, so the two layers agree on what
+// a relation is. Tables are immutable: kernels return new tables.
+type Table struct {
+	dict  *Dict
+	attrs []string // sorted
+	cols  [][]int32
+	rows  int
+}
+
+// NewTable returns an empty table over the given attributes (sorted,
+// deduplicated names are an error, as are empty names).
+func NewTable(dict *Dict, attrs []string) (*Table, error) {
+	sorted, err := checkAttrs(attrs)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{dict: dict, attrs: sorted, cols: make([][]int32, len(sorted))}, nil
+}
+
+func checkAttrs(attrs []string) ([]string, error) {
+	sorted := append([]string{}, attrs...)
+	sort.Strings(sorted)
+	for i, a := range sorted {
+		if a == "" {
+			return nil, fmt.Errorf("exec: empty attribute name")
+		}
+		if i > 0 && a == sorted[i-1] {
+			return nil, fmt.Errorf("exec: duplicate attribute %q", a)
+		}
+	}
+	return sorted, nil
+}
+
+// FromRows builds a table from string rows given in the order of attrs
+// (any order; columns are permuted into sorted attribute order). Rows are
+// interned into dict and deduplicated.
+func FromRows(dict *Dict, attrs []string, rows [][]string) (*Table, error) {
+	t, err := NewTable(dict, attrs)
+	if err != nil {
+		return nil, err
+	}
+	// perm[i] = position in the caller's attr order feeding sorted column i.
+	perm := make([]int, len(t.attrs))
+	orig := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		orig[a] = i
+	}
+	for i, a := range t.attrs {
+		perm[i] = orig[a]
+	}
+	for _, row := range rows {
+		if len(row) != len(attrs) {
+			return nil, fmt.Errorf("exec: row width %d != %d attributes", len(row), len(attrs))
+		}
+		for i := range t.cols {
+			t.cols[i] = append(t.cols[i], dict.Intern(row[perm[i]]))
+		}
+		t.rows++
+	}
+	return t.dedup(), nil
+}
+
+// FromRelation converts an internal/relation relation, interning its values
+// into dict. Relation attributes are already sorted and rows already
+// distinct, so the conversion is a single allocation-free sweep over the
+// relation's internal row storage (ForEachRow).
+func FromRelation(dict *Dict, r *relation.Relation) *Table {
+	attrs := make([]string, r.NumAttrs())
+	for i := range attrs {
+		attrs[i] = r.Attr(i)
+	}
+	t := &Table{dict: dict, attrs: attrs, cols: make([][]int32, len(attrs))}
+	for i := range t.cols {
+		t.cols[i] = make([]int32, 0, r.Card())
+	}
+	r.ForEachRow(func(row []string) {
+		for i := range t.cols {
+			t.cols[i] = append(t.cols[i], dict.Intern(row[i]))
+		}
+	})
+	t.rows = r.Card()
+	return t
+}
+
+// ToRelation materializes the table as an internal/relation relation, the
+// bridge the differential suite compares through.
+func (t *Table) ToRelation() *relation.Relation {
+	rows := make([][]string, t.rows)
+	for r := 0; r < t.rows; r++ {
+		row := make([]string, len(t.attrs))
+		for c := range t.cols {
+			row[c] = t.dict.Value(t.cols[c][r])
+		}
+		rows[r] = row
+	}
+	return relation.MustNew(append([]string{}, t.attrs...), rows...)
+}
+
+// Dict returns the shared value dictionary.
+func (t *Table) Dict() *Dict { return t.dict }
+
+// NumRows returns the number of (distinct) rows.
+func (t *Table) NumRows() int { return t.rows }
+
+// NumAttrs returns the number of attributes.
+func (t *Table) NumAttrs() int { return len(t.attrs) }
+
+// Attr returns the i-th attribute name (attributes are sorted).
+func (t *Table) Attr(i int) string { return t.attrs[i] }
+
+// Attrs returns a copy of the attribute names in sorted order.
+func (t *Table) Attrs() []string { return append([]string{}, t.attrs...) }
+
+// colIndex returns the column position of attribute a, or -1.
+func (t *Table) colIndex(a string) int {
+	lo, hi := 0, len(t.attrs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.attrs[mid] < a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(t.attrs) && t.attrs[lo] == a {
+		return lo
+	}
+	return -1
+}
+
+// Value returns the string value at (row, attribute-index).
+func (t *Table) Value(row, col int) string { return t.dict.Value(t.cols[col][row]) }
+
+// FNV-1a over the int32 cells of selected columns; the kernels' row and key
+// hash. Collisions are resolved by cell comparison, never trusted.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func hashCells(cols [][]int32, idx []int, row int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range idx {
+		v := uint32(cols[c][row])
+		h ^= uint64(v & 0xff)
+		h *= fnvPrime64
+		h ^= uint64(v >> 8)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func equalCells(aCols [][]int32, aIdx []int, aRow int, bCols [][]int32, bIdx []int, bRow int) bool {
+	for k := range aIdx {
+		if aCols[aIdx[k]][aRow] != bCols[bIdx[k]][bRow] {
+			return false
+		}
+	}
+	return true
+}
+
+// allCols returns [0, 1, ..., n).
+func allCols(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// dedup removes duplicate rows in place (first occurrence wins) and returns
+// the receiver. Only constructors call it: the kernels preserve row
+// distinctness (semijoin filters, join of distinct inputs is distinct,
+// projection dedups its own output).
+func (t *Table) dedup() *Table {
+	if t.rows < 2 {
+		return t
+	}
+	idx := allCols(len(t.cols))
+	seen := make(map[uint64][]int32, t.rows)
+	out := 0
+	for r := 0; r < t.rows; r++ {
+		h := hashCells(t.cols, idx, r)
+		dup := false
+		for _, p := range seen[h] {
+			if equalCells(t.cols, idx, int(p), t.cols, idx, r) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if out != r {
+			for c := range t.cols {
+				t.cols[c][out] = t.cols[c][r]
+			}
+		}
+		seen[h] = append(seen[h], int32(out))
+		out++
+	}
+	for c := range t.cols {
+		t.cols[c] = t.cols[c][:out]
+	}
+	t.rows = out
+	return t
+}
+
+// Equal reports set equality of rows over identical schemas and a shared
+// dictionary.
+func (t *Table) Equal(s *Table) bool {
+	if t.dict != s.dict || t.rows != s.rows || len(t.attrs) != len(s.attrs) {
+		return false
+	}
+	for i := range t.attrs {
+		if t.attrs[i] != s.attrs[i] {
+			return false
+		}
+	}
+	idx := allCols(len(t.cols))
+	seen := make(map[uint64][]int32, t.rows)
+	for r := 0; r < t.rows; r++ {
+		h := hashCells(t.cols, idx, r)
+		seen[h] = append(seen[h], int32(r))
+	}
+	for r := 0; r < s.rows; r++ {
+		h := hashCells(s.cols, idx, r)
+		found := false
+		for _, p := range seen[h] {
+			if equalCells(t.cols, idx, int(p), s.cols, idx, r) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a small header-plus-rows view, decoding the dictionary.
+func (t *Table) String() string {
+	return t.ToRelation().String()
+}

@@ -1,0 +1,89 @@
+// Package gendb generates columnar databases (internal/exec) over the
+// hypergraph families of internal/gen, for tests, benchmarks, and demos.
+//
+// It is a separate package from gen so the execution layer can depend on
+// the structural packages (jointree, hypergraph) without pulling them into
+// gen's import graph: gen is imported by the test suites of those very
+// packages, and a gen → exec → jointree edge would close an import cycle.
+package gendb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/exec"
+	"repro/internal/gen"
+	"repro/internal/hypergraph"
+)
+
+// domainValues pre-renders "v0".."v{n-1}" so bulk generation does not pay a
+// fmt.Sprintf per cell.
+func domainValues(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("v%d", i)
+	}
+	return out
+}
+
+// Random returns a columnar database over schema with one independently
+// random table per edge: spec.Rows tuples per object (before
+// deduplication), uniform values over spec.DomainSize. Independent draws
+// leave plenty of dangling tuples, so these instances exercise the
+// reduction path; for a guaranteed-consistent instance use Consistent.
+func Random(rng *rand.Rand, schema *hypergraph.Hypergraph, spec gen.InstanceSpec) *exec.Database {
+	vals := domainValues(spec.DomainSize)
+	dict := exec.NewDict()
+	tables := make([]*exec.Table, schema.NumEdges())
+	for i := range tables {
+		attrs := schema.EdgeNodes(i)
+		rows := make([][]string, spec.Rows)
+		for r := range rows {
+			t := make([]string, len(attrs))
+			for j := range t {
+				t[j] = vals[rng.Intn(spec.DomainSize)]
+			}
+			rows[r] = t
+		}
+		t, err := exec.FromRows(dict, attrs, rows)
+		if err != nil {
+			panic(err) // schema edge names are valid attribute names
+		}
+		tables[i] = t
+	}
+	d, err := exec.NewDatabase(schema, tables)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Consistent projects one random universal relation onto every edge of the
+// schema, producing a globally consistent columnar instance (every object
+// already equals the projection of the full join): the regime where a full
+// reducer removes nothing and Eval's cost is purely output-bound.
+func Consistent(rng *rand.Rand, schema *hypergraph.Hypergraph, spec gen.InstanceSpec) *exec.Database {
+	u := gen.UniversalRelation(rng, schema, spec)
+	dict := exec.NewDict()
+	tables := make([]*exec.Table, schema.NumEdges())
+	for i := range tables {
+		p, err := u.Project(schema.EdgeNodes(i))
+		if err != nil {
+			panic(err)
+		}
+		tables[i] = exec.FromRelation(dict, p)
+	}
+	d, err := exec.NewDatabase(schema, tables)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Chain returns an acyclic-chain schema (gen.AcyclicChain(m, arity,
+// overlap)) together with a random columnar database over it — the standard
+// large-instance benchmark pairing.
+func Chain(rng *rand.Rand, m, arity, overlap int, spec gen.InstanceSpec) (*hypergraph.Hypergraph, *exec.Database) {
+	schema := gen.AcyclicChain(m, arity, overlap)
+	return schema, Random(rng, schema, spec)
+}

@@ -32,6 +32,7 @@
 package mcs
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/hypergraph"
@@ -135,13 +136,37 @@ func IsAcyclic(h *hypergraph.Hypergraph) bool {
 }
 
 // Run performs the full search: verdict, edge and vertex orders, join-tree
-// parents on acceptance, certificate on rejection.
+// parents on acceptance, certificate on rejection. It is RunCtx without
+// cancellation.
 func Run(h *hypergraph.Hypergraph) *Result {
+	r, err := RunCtx(context.Background(), h)
+	if err != nil {
+		// Background contexts are never cancelled; RunCtx has no other
+		// error path.
+		panic(err)
+	}
+	return r
+}
+
+// cancelStride is how much traversal work (edge selections plus incidence
+// updates, roughly proportional to visited total edge size) runs between
+// context checks: coarse enough that the check is free, fine enough that a
+// single 10⁶-edge traversal stops within ~4096 work units of cancellation
+// instead of running to completion (the batch layer only observes ctx
+// between work items).
+const cancelStride = 4096
+
+// RunCtx is Run with coarse-grained cooperative cancellation: the search
+// polls ctx every ~cancelStride units of work and returns (nil, ctx.Err())
+// when cancelled, discarding partial state. The check granularity is the
+// edge-selection loop, so the worst-case latency is one stride plus the
+// processing of a single edge.
+func RunCtx(ctx context.Context, h *hypergraph.Hypergraph) (*Result, error) {
 	m := h.NumEdges()
 	res := &Result{H: h, Acyclic: true}
 	if m == 0 {
 		res.Parent = []int{}
-		return res
+		return res, nil
 	}
 
 	// Per-node state is indexed by the hypergraph's id universe. Edges are
@@ -220,7 +245,14 @@ func Run(h *hypergraph.Hypergraph) *Result {
 
 	clock := int32(0)
 	spread := make([]int, 0, maxSize)
+	work := 0
 	for range edges {
+		if work >= cancelStride {
+			work = 0
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		e := pop()
 
 		// Collect the numbered part S = e ∩ U and find its most recently
@@ -253,13 +285,14 @@ func Run(h *hypergraph.Hypergraph) *Result {
 				res.Acyclic = false
 				res.Parent = nil
 				res.Cert = &Certificate{Edge: e, Spread: append([]int(nil), spread...), Witness: w, Candidates: cands}
-				return res
+				return res, nil
 			}
 			parent[e] = p
 		}
 
 		selected[e] = true
 		res.EdgeOrder = append(res.EdgeOrder, e)
+		work += len(spread) + 1
 		edges[e].ForEach(func(id int) {
 			if numbered[id] {
 				return
@@ -269,7 +302,9 @@ func Run(h *hypergraph.Hypergraph) *Result {
 			clock++
 			pivotOf[id] = int32(e)
 			res.VertexOrder = append(res.VertexOrder, id)
-			for _, f := range incidence(id) {
+			inc := incidence(id)
+			work += len(inc)
+			for _, f := range inc {
 				if !selected[f] {
 					count[f]++
 					if int(count[f]) > curMax {
@@ -281,7 +316,7 @@ func Run(h *hypergraph.Hypergraph) *Result {
 		})
 	}
 	res.Parent = parent
-	return res
+	return res, nil
 }
 
 // findParent returns a selected edge containing all of spread, or -1. The

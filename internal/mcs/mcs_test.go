@@ -1,7 +1,9 @@
 package mcs_test
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"repro/internal/gen"
 	"repro/internal/hypergraph"
@@ -115,5 +117,66 @@ func TestParentsFollowOrder(t *testing.T) {
 		if p >= 0 && pos[p] >= pos[e] {
 			t.Fatalf("parent %d of edge %d selected later", p, e)
 		}
+	}
+}
+
+// TestRunCtxMatchesRun: with a live context, RunCtx is exactly Run.
+func TestRunCtxMatchesRun(t *testing.T) {
+	for _, h := range []*hypergraph.Hypergraph{
+		hypergraph.Fig1(),
+		hypergraph.Triangle(),
+		gen.AcyclicChain(200, 3, 1),
+		gen.CycleGraph(9),
+	} {
+		r1 := mcs.Run(h)
+		r2, err := mcs.RunCtx(context.Background(), h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Acyclic != r2.Acyclic || len(r1.EdgeOrder) != len(r2.EdgeOrder) {
+			t.Fatalf("RunCtx diverged from Run on %v", h)
+		}
+	}
+}
+
+// TestRunCtxCancelledStopsMidTraversal: a context cancelled before the call
+// stops a single large traversal at the first stride boundary instead of
+// running it to completion — the in-traversal latency bound the batch
+// layer's between-items check cannot give.
+func TestRunCtxCancelledStopsMidTraversal(t *testing.T) {
+	h := gen.AcyclicChainIDs(200_000, 3, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	r, err := mcs.RunCtx(ctx, h)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if r != nil {
+		t.Fatal("cancelled run returned a result")
+	}
+	// Generous bound: a full traversal takes tens of milliseconds; the
+	// cancelled one must abort after at most ~one stride of work.
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled traversal ran %v", d)
+	}
+}
+
+// TestRunCtxDeadlineMidRun: cancellation arriving while the traversal is in
+// flight is observed (the traversal either finishes first or reports the
+// context error, never both).
+func TestRunCtxDeadlineMidRun(t *testing.T) {
+	h := gen.AcyclicChainIDs(300_000, 3, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	r, err := mcs.RunCtx(ctx, h)
+	if err == nil {
+		if r == nil || !r.Acyclic {
+			t.Fatal("completed run must carry the verdict")
+		}
+	} else if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want deadline or success", err)
+	} else if r != nil {
+		t.Fatal("failed run returned a result")
 	}
 }

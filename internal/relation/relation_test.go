@@ -244,3 +244,56 @@ func TestProjectionJoinIdentityOnRandomData(t *testing.T) {
 		}
 	}
 }
+
+// TestIndexedAccessorsMatchFacade: NumAttrs/Attr/ForEachRow are the
+// allocation-free twins of Attrs/Rows — same attributes, same tuple set.
+func TestIndexedAccessorsMatchFacade(t *testing.T) {
+	r := MustNew([]string{"B", "A", "C"},
+		[]string{"2", "1", "3"},
+		[]string{"5", "4", "6"},
+	)
+	attrs := r.Attrs()
+	if r.NumAttrs() != len(attrs) {
+		t.Fatalf("NumAttrs = %d, want %d", r.NumAttrs(), len(attrs))
+	}
+	for i, a := range attrs {
+		if r.Attr(i) != a {
+			t.Fatalf("Attr(%d) = %q, want %q", i, r.Attr(i), a)
+		}
+	}
+	seen := map[string]bool{}
+	n := 0
+	r.ForEachRow(func(row []string) {
+		seen[rowKey(row)] = true
+		n++
+	})
+	if n != r.Card() {
+		t.Fatalf("ForEachRow visited %d rows, want %d", n, r.Card())
+	}
+	for _, row := range r.Rows() {
+		if !seen[rowKey(row)] {
+			t.Fatalf("ForEachRow missed row %v", row)
+		}
+	}
+}
+
+// TestForEachRowAllocates pins the point of the accessors: iterating all
+// rows must not allocate, while Rows copies every tuple.
+func TestForEachRowAllocates(t *testing.T) {
+	rows := make([][]string, 200)
+	for i := range rows {
+		rows[i] = []string{strconv.Itoa(i), strconv.Itoa(i * 2)}
+	}
+	r := MustNew([]string{"A", "B"}, rows...)
+	got := testing.AllocsPerRun(10, func() {
+		r.ForEachRow(func(row []string) {
+			if len(row) != 2 {
+				t.Fatal("bad row")
+			}
+		})
+	})
+	// One allocation for the closure is tolerated; per-row copies are not.
+	if got > 1 {
+		t.Fatalf("ForEachRow allocated %.0f times per run", got)
+	}
+}

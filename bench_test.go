@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"repro/internal/acyclic"
@@ -624,4 +625,59 @@ func BenchmarkRingSearch(b *testing.B) {
 			b.Fatal("cycle must contain a ring")
 		}
 	}
+}
+
+// BenchmarkWorkspaceEdit — the dynamic-layer headline: a component-local
+// edit on a 10⁶-edge multi-component schema (1000 disjoint chain components
+// of 1000 edges each). "edit+analyze" alternates adding and removing one
+// bridging edge on a single component and re-reads the incrementally
+// maintained verdict — only that component re-analyzes (~10³ of 10⁶ edges).
+// "scratch-analyze" is the from-scratch baseline the acceptance criterion
+// compares against: one full MCS traversal of the same 10⁶-edge snapshot
+// per op (not even counting the snapshot rebuild an immutable client would
+// also pay after every edit). Recorded in BENCH_dynamic.json.
+func BenchmarkWorkspaceEdit(b *testing.B) {
+	const comps, edgesPer = 1000, 1000
+	ws := NewWorkspace()
+	name := func(c, i int) string { return "c" + strconv.Itoa(c) + "n" + strconv.Itoa(i) }
+	for c := 0; c < comps; c++ {
+		for i := 0; i < edgesPer; i++ {
+			if _, err := ws.AddEdge(name(c, i), name(c, i+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if !ws.Analysis().Verdict() { // settle every component once
+		b.Fatal("chains must be acyclic")
+	}
+	b.Run("edit+analyze/m=1000000", func(b *testing.B) {
+		b.ReportAllocs()
+		extra := -1
+		for i := 0; i < b.N; i++ {
+			if extra < 0 {
+				id, err := ws.AddEdge(name(0, edgesPer), name(0, edgesPer+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				extra = id
+			} else {
+				if err := ws.RemoveEdge(extra); err != nil {
+					b.Fatal(err)
+				}
+				extra = -1
+			}
+			if !ws.Analysis().Verdict() {
+				b.Fatal("chains must stay acyclic")
+			}
+		}
+	})
+	snap := ws.Snapshot()
+	b.Run("scratch-analyze/m=1000000", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !Analyze(snap).Verdict() {
+				b.Fatal("snapshot must be acyclic")
+			}
+		}
+	})
 }

@@ -16,8 +16,22 @@
 //	hgtool witness  [-f file]             independent-path witness for cyclic inputs
 //	hgtool dot      [-f file]             Graphviz rendering of the incidence graph
 //	hgtool eval     [-f file] -d dir -x A,B   Yannakakis evaluation over CSV data
+//	hgtool edit     [-f file] [-s script] mutable-workspace session applying an edit script
 //
-// Without -f, the hypergraph is read from standard input.
+// Without -f, the hypergraph is read from standard input (except for edit,
+// where -f optionally seeds the workspace and the script comes from -s or
+// standard input).
+//
+// edit drives the mutable repro.Workspace: the optional -f schema seeds it,
+// then the script (one command per line, '#' comments) is applied with the
+// incremental verdict printed after every mutation:
+//
+//	add A B C        # add an edge; prints its stable id
+//	remove 2         # remove edge id 2
+//	rename A X       # rename node A to X
+//	analyze          # verdict, components, classification of the epoch
+//	jointree         # the epoch's join forest and full reducer
+//	snapshot         # the epoch's hypergraph in text form
 //
 // eval runs the full columnar pipeline: it loads one CSV table per edge
 // from -d (named "<edge name>.csv" when the schema names the edge, else
@@ -27,6 +41,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -34,6 +49,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro"
@@ -50,8 +66,17 @@ func main() {
 	file := fs.String("f", "", "input file (default: stdin)")
 	sacred := fs.String("x", "", "comma-separated sacred nodes (eval: output attributes)")
 	dataDir := fs.String("d", "", "directory of per-object CSV files (eval)")
+	script := fs.String("s", "", "edit script file (edit; default: stdin)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	if cmd == "edit" {
+		// edit reads its schema only from -f (stdin carries the script),
+		// so it bypasses the generic stdin load below.
+		if err := editCmd(os.Stdout, *file, *script); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	h, names, err := load(*file)
 	if err != nil {
@@ -99,7 +124,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hgtool {analyze|reduce|tableau|cc|jointree|witness|dot|eval} [-f file] [-x A,B] [-d dir]")
+	fmt.Fprintln(os.Stderr, "usage: hgtool {analyze|reduce|tableau|cc|jointree|witness|dot|eval|edit} [-f file] [-x A,B] [-d dir] [-s script]")
 }
 
 func fatal(err error) {
@@ -303,6 +328,129 @@ func evalCmd(w io.Writer, h *repro.Hypergraph, names []string, dir string, attrs
 			row[c] = out.Value(r, c)
 		}
 		fmt.Fprintln(w, strings.Join(row, " | "))
+	}
+	return nil
+}
+
+// editCmd runs a mutable-workspace session: the optional schema file seeds
+// the workspace, then the script (one command per line) is applied, with
+// the incrementally maintained verdict echoed after every mutation.
+func editCmd(w io.Writer, schemaPath, scriptPath string) error {
+	ws := repro.NewWorkspace()
+	if schemaPath != "" {
+		data, err := os.ReadFile(schemaPath)
+		if err != nil {
+			return err
+		}
+		h, _, err := repro.ParseHypergraph(string(data))
+		if err != nil {
+			return err
+		}
+		ws, err = repro.NewWorkspaceFrom(h)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "seeded %d edges over %d nodes\n", ws.NumEdges(), ws.NumNodes())
+	}
+	var src io.Reader = os.Stdin
+	if scriptPath != "" {
+		f, err := os.Open(scriptPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	sc := bufio.NewScanner(src)
+	// Generated scripts can carry very wide add commands; the default
+	// 64 KB token cap would abort the session mid-script.
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if err := editLine(w, ws, sc.Text()); err != nil {
+			return fmt.Errorf("script line %d: %w", line, err)
+		}
+	}
+	return sc.Err()
+}
+
+// editLine applies one script command to the workspace.
+func editLine(w io.Writer, ws *repro.Workspace, raw string) error {
+	fields := strings.Fields(strings.TrimSpace(raw))
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return nil
+	}
+	cmd, args := fields[0], fields[1:]
+	status := func() string {
+		a := ws.Analysis()
+		return fmt.Sprintf("epoch %d: %d edges, %d components, acyclic=%v",
+			ws.Epoch(), ws.NumEdges(), ws.NumComponents(), a.Verdict())
+	}
+	switch cmd {
+	case "add":
+		if len(args) == 0 {
+			return fmt.Errorf("add requires node names")
+		}
+		id, err := ws.AddEdge(args...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "added edge %d — %s\n", id, status())
+	case "remove":
+		if len(args) != 1 {
+			return fmt.Errorf("remove requires one edge id")
+		}
+		id, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("remove: bad edge id %q", args[0])
+		}
+		if err := ws.RemoveEdge(id); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "removed edge %d — %s\n", id, status())
+	case "rename":
+		if len(args) != 2 {
+			return fmt.Errorf("rename requires old and new name")
+		}
+		if err := ws.RenameNode(args[0], args[1]); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "renamed %s -> %s — %s\n", args[0], args[1], status())
+	case "analyze":
+		a := ws.Analysis()
+		cl, err := a.Classification()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\nclassification: %v\n", status(), cl)
+	case "jointree":
+		a := ws.Analysis()
+		jt, err := a.JoinTree()
+		if errors.Is(err, repro.ErrCyclic) {
+			fmt.Fprintln(w, "the epoch is cyclic: no join forest exists")
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "join forest: %v\n", jt)
+		prog, err := a.FullReducer()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, "full reducer:")
+		for _, s := range prog {
+			fmt.Fprintf(w, " %s;", s)
+		}
+		fmt.Fprintln(w)
+	case "snapshot":
+		snap := ws.Snapshot()
+		for _, e := range snap.EdgeLists() {
+			fmt.Fprintln(w, strings.Join(e, " "))
+		}
+	default:
+		return fmt.Errorf("unknown command %q (add|remove|rename|analyze|jointree|snapshot)", cmd)
 	}
 	return nil
 }

@@ -165,3 +165,49 @@ func TestEvalOutput(t *testing.T) {
 		t.Fatalf("cyclic eval: err = %v", err)
 	}
 }
+
+func TestEditOutput(t *testing.T) {
+	ws := repro.NewWorkspace()
+	var b strings.Builder
+	script := []string{
+		"# build figure 1 edge by edge",
+		"add A B C",
+		"add C D E",
+		"add A E F",
+		"analyze",
+		"add A C E",
+		"jointree",
+		"remove 3",
+		"rename A Z",
+		"snapshot",
+		"",
+	}
+	for i, line := range script {
+		if err := editLine(&b, ws, line); err != nil {
+			t.Fatalf("line %d (%q): %v", i, line, err)
+		}
+	}
+	out := b.String()
+	for _, want := range []string{
+		"added edge 0 — epoch 1: 1 edges, 1 components, acyclic=true",
+		"added edge 2 — epoch 3: 3 edges, 1 components, acyclic=false",
+		"classification: α✗",
+		"added edge 3 — epoch 4: 4 edges, 1 components, acyclic=true",
+		"join forest:",
+		"full reducer:",
+		"removed edge 3 — epoch 5: 3 edges, 1 components, acyclic=false",
+		"renamed A -> Z",
+		"B C Z",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("edit output missing %q:\n%s", want, out)
+		}
+	}
+	// Script errors surface with context.
+	if err := editLine(&b, ws, "remove notanumber"); err == nil {
+		t.Error("bad edge id must fail")
+	}
+	if err := editLine(&b, ws, "frobnicate"); err == nil {
+		t.Error("unknown command must fail")
+	}
+}

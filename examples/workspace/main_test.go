@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSucceeds smoke-tests the example: it must complete without error
+// and print the golden headlines.
+func TestRunSucceeds(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"epoch 3: added [A E F] -> acyclic=false",
+		"cyclic: independent path",
+		"epoch 4: added the center -> acyclic=true",
+		"join tree:",
+		"old handle refused: epoch 4 vs 5",
+		"rebound: acyclic=false",
+		"frozen verdict false",
+		"tenant 2 warm hits: 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -61,8 +61,12 @@ type Analysis struct {
 	clOnce sync.Once
 	cl     acyclic.Classification
 
-	grOnce sync.Once
-	gr     *gyo.Result
+	// The Graham facet latches on success rather than on first attempt
+	// (a mutex-guarded slot, not a sync.Once): a run cancelled through
+	// GrahamTraceCtx leaves the facet uncomputed, so a later caller with a
+	// live context retries instead of inheriting a permanently failed slot.
+	grMu sync.Mutex
+	gr   *gyo.Result
 
 	frOnce sync.Once
 	fr     []jointree.SemijoinStep
@@ -198,13 +202,37 @@ func (a *Analysis) Classification() acyclic.Classification {
 // GrahamTrace returns the Graham (GYO) reduction of the hypergraph with no
 // sacred nodes, including the full step trace — the paper's own machinery,
 // retained alongside MCS for its trace. Computed once per handle; the
-// result is shared and must be treated as read-only.
+// result is shared and must be treated as read-only. It is GrahamTraceCtx
+// without cancellation.
 func (a *Analysis) GrahamTrace() *gyo.Result {
-	a.grOnce.Do(func() {
+	r, err := a.GrahamTraceCtx(context.Background())
+	if err != nil {
+		// Background contexts are never cancelled; RunCtx has no other
+		// error path.
+		panic(err)
+	}
+	return r
+}
+
+// GrahamTraceCtx is GrahamTrace with cooperative cancellation: the
+// underlying reduction observes ctx every ~4096 work units (gyo.RunCtx).
+// A cancelled run reports ctx.Err() and leaves the facet uncomputed, so a
+// later call retries; a completed run is cached like every other facet.
+// While one caller's reduction is in flight, concurrent callers block on
+// it rather than observing their own deadlines — the shared-facet contract
+// trades per-caller deadlines for running the traversal at most once.
+func (a *Analysis) GrahamTraceCtx(ctx context.Context) (*gyo.Result, error) {
+	a.grMu.Lock()
+	defer a.grMu.Unlock()
+	if a.gr == nil {
 		a.stats.graham.Add(1)
-		a.gr = gyo.Reduce(a.h, bitset.Set{})
-	})
-	return a.gr
+		r, err := gyo.RunCtx(ctx, a.h, bitset.Set{})
+		if err != nil {
+			return nil, err
+		}
+		a.gr = r
+	}
+	return a.gr, nil
 }
 
 // FullReducer derives the two-pass semijoin program from the join tree

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"reflect"
@@ -211,5 +212,31 @@ func TestWitnessShortCircuitsOnAcyclic(t *testing.T) {
 	}
 	if st := a.Stats(); st.WitnessRuns != 0 {
 		t.Fatalf("witness search ran %d times on acyclic input, want 0", st.WitnessRuns)
+	}
+}
+
+// TestGrahamTraceCtx: a cancelled context leaves the facet uncomputed (a
+// later live call retries and succeeds), and the ctx-less wrapper agrees
+// with the free function.
+func TestGrahamTraceCtx(t *testing.T) {
+	h := gen.AcyclicChain(2000, 3, 1)
+	a := New(h)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.GrahamTraceCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled GrahamTraceCtx: err = %v, want context.Canceled", err)
+	}
+	r, err := a.GrahamTraceCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Vanished() {
+		t.Fatal("acyclic chain must vanish under Graham reduction")
+	}
+	if got := a.Stats().GrahamRuns; got != 2 {
+		t.Fatalf("GrahamRuns = %d, want 2 (one cancelled attempt, one success)", got)
+	}
+	if a.GrahamTrace() != r {
+		t.Fatal("GrahamTrace must return the cached successful run")
 	}
 }

@@ -1,0 +1,51 @@
+package dynamic
+
+import "fmt"
+
+// The dynamic layer's additions to the structured error taxonomy of
+// internal/hypergraph. Callers branch with errors.As instead of matching
+// message strings; the root repro package re-exports these types unchanged.
+
+// ErrStaleEpoch reports a facet call on an Analysis handle whose Workspace
+// has been edited since the handle was taken: the handle describes epoch
+// Handle, the workspace has moved on to epoch Current. Edits invalidate
+// downstream artifacts (join trees, full reducers, execution plans)
+// explicitly through this error rather than serving silently stale results;
+// recover by taking a fresh handle with Workspace.Analysis.
+//
+//	var stale *dynamic.ErrStaleEpoch
+//	if errors.As(err, &stale) { a = ws.Analysis() /* and retry */ }
+type ErrStaleEpoch struct {
+	// Handle is the epoch the Analysis handle was taken at.
+	Handle uint64
+	// Current is the workspace's epoch at the failed call.
+	Current uint64
+}
+
+func (e *ErrStaleEpoch) Error() string {
+	return fmt.Sprintf("repro: analysis of epoch %d is stale: workspace is at epoch %d", e.Handle, e.Current)
+}
+
+// ErrUnknownEdge reports an edge id that does not name an alive edge of the
+// workspace — never issued by AddEdge, or already removed. Match with
+// errors.As to recover the offending id.
+type ErrUnknownEdge struct {
+	// ID is the unresolved edge id.
+	ID int
+}
+
+func (e *ErrUnknownEdge) Error() string {
+	return fmt.Sprintf("repro: unknown edge id %d", e.ID)
+}
+
+// ErrNodeExists reports a RenameNode target that is already interned in the
+// workspace (as a current node, or as a reserved name of a departed one).
+// Match with errors.As to recover the conflicting name.
+type ErrNodeExists struct {
+	// Name is the already-taken node name.
+	Name string
+}
+
+func (e *ErrNodeExists) Error() string {
+	return fmt.Sprintf("repro: node %q already exists", e.Name)
+}

@@ -1,0 +1,672 @@
+// Package dynamic provides the mutable hypergraph surface: a Workspace
+// whose analyses are maintained under edits instead of recomputed from
+// scratch per query — the incremental-acyclicity layer of the library.
+//
+// The paper's structure theory is local: α-acyclicity and join trees
+// decompose over connected components (a hypergraph is acyclic iff every
+// component is, and a join forest is the union of per-component join
+// trees), so per-component state is the right unit of incremental reuse.
+// The workspace maintains exactly that: connected components under edits
+// (components union on insert; a bounded rebuild confined to the touched
+// component re-partitions on delete), a deletion-capable 128-bit content
+// fingerprint per component (the commutative sum of per-edge digests,
+// updated in O(1) per edit), and a lazily recomputed verdict plus join-tree
+// fragment per component. An edit dirties only the components it touches;
+// Analysis() settles the dirty ones and reads the global verdict off a
+// counter — on a multi-component schema, a component-local edit re-analyzes
+// orders of magnitude faster than a from-scratch traversal (see
+// BenchmarkWorkspaceEdit and BENCH_dynamic.json).
+//
+// When a Workspace is attached to an engine (WithEngine), component
+// recomputation goes through the engine's component-granular memo
+// (engine.InternComponent): the component key is content-determined (sums
+// of canonical per-edge digests), so unrelated tenants whose schemas share
+// a component hit the same warm entry and skip the search entirely.
+//
+// Consistency under edits is explicit, not silent: Analysis() returns a
+// handle bound to the workspace epoch at the call; downstream facets taken
+// from a handle after further edits report *ErrStaleEpoch instead of
+// serving artifacts of a hypergraph that no longer exists. Snapshot()
+// materializes the current epoch as an ordinary immutable Hypergraph
+// (copy-on-write: edge payloads are shared, the snapshot is cached until
+// the next edit), which is the bridge back to the frozen-hypergraph API.
+package dynamic
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/hypergraph"
+	"repro/internal/mcs"
+)
+
+// Workspace is a concurrency-safe mutable hypergraph. Construct with New or
+// NewFrom; the zero value is not usable. All methods are safe for
+// concurrent use; edits serialize on an internal mutex, and analyses are
+// maintained per connected component so each edit pays for the component it
+// touches, not for the whole hypergraph.
+type Workspace struct {
+	mu    sync.Mutex
+	epoch atomic.Uint64 // bumped on every successful edit
+
+	// Node interning. Ids are dense and stable; a node is *current* while
+	// at least one alive edge covers it (nodeComp >= 0). Names stay
+	// reserved after a node departs, so edge digests never alias.
+	names []string
+	index map[string]int
+	inc   [][]int32 // node id -> alive edge ids containing it (unordered)
+
+	edges   []wedge // edge id -> record; ids are stable and never reused
+	alive   int     // alive edge count
+	covered int     // current (covered) node count
+
+	comps    []*component // component id -> state; nil when destroyed
+	freeComp []int32      // destroyed component ids available for reuse
+	nodeComp []int32      // node id -> component id, -1 while uncovered
+
+	dirty  map[int32]struct{} // components whose analysis must be recomputed
+	cyclic int                // settled components that are cyclic
+
+	eng *engine.Engine // optional component-granular memo
+
+	// Per-epoch caches, reset by every edit.
+	cur     *Analysis
+	snap    *hypergraph.Hypergraph
+	snapIDs []int   // snapshot position -> edge id
+	snapPos []int32 // edge id -> snapshot position (alive edges only)
+}
+
+// wedge is one edge record. Dead edges keep their slot (ids are stable
+// handles) but drop their node payload.
+type wedge struct {
+	ids    []int32 // sorted node ids; nil once removed
+	comp   int32
+	alive  bool
+	digest hypergraph.Fingerprint128 // canonical content digest (sorted names)
+}
+
+// component is the per-component incremental state: membership, the
+// deletion-capable content fingerprint, and — once settled — the verdict
+// and canonical join-tree fragment.
+type component struct {
+	edges map[int]struct{} // alive edge ids
+	nodes map[int]struct{} // covered node ids
+	sum   hypergraph.Fingerprint128
+
+	settled bool
+	acyclic bool
+	order   []int // canonical position -> edge id (content-sorted)
+	parent  []int // canonical position -> parent position, -1 for the root
+}
+
+// Option configures a Workspace.
+type Option func(*Workspace)
+
+// WithEngine routes component recomputation through e's component-granular
+// memo (engine.InternComponent): workspaces sharing an engine — including
+// unrelated tenants whose schemas merely share a connected component — hit
+// each other's warm entries. Per-edge digests are taken from
+// engine.EdgeDigest, so a WithKeyedDigest engine hardens this workspace's
+// component identities too.
+func WithEngine(e *engine.Engine) Option {
+	return func(ws *Workspace) { ws.eng = e }
+}
+
+// New returns an empty workspace at epoch 0.
+func New(opts ...Option) *Workspace {
+	ws := &Workspace{
+		index: map[string]int{},
+		dirty: map[int32]struct{}{},
+	}
+	for _, o := range opts {
+		o(ws)
+	}
+	return ws
+}
+
+// NewFrom returns a workspace seeded with every edge of h, in h's edge
+// order (edge i of h gets workspace edge id i). Empty edges are rejected —
+// the workspace's components are defined by node coverage, which an empty
+// edge has none of.
+func NewFrom(h *hypergraph.Hypergraph, opts ...Option) (*Workspace, error) {
+	ws := New(opts...)
+	for i := 0; i < h.NumEdges(); i++ {
+		if _, err := ws.AddEdge(h.EdgeNodes(i)...); err != nil {
+			return nil, err
+		}
+	}
+	return ws, nil
+}
+
+// Epoch returns the workspace's edit epoch: 0 at creation, bumped by every
+// successful AddEdge, RemoveEdge, and RenameNode. Analysis handles and
+// snapshots are identified by the epoch they were taken at.
+func (ws *Workspace) Epoch() uint64 { return ws.epoch.Load() }
+
+// NumEdges returns the number of alive edges.
+func (ws *Workspace) NumEdges() int {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.alive
+}
+
+// NumNodes returns the number of current nodes (covered by an alive edge).
+func (ws *Workspace) NumNodes() int {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.covered
+}
+
+// NumComponents returns the number of connected components.
+func (ws *Workspace) NumComponents() int {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	n := 0
+	for _, c := range ws.comps {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// EdgeIDs returns the alive edge ids in ascending order.
+func (ws *Workspace) EdgeIDs() []int {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	out := make([]int, 0, ws.alive)
+	for id := range ws.edges {
+		if ws.edges[id].alive {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// EdgeNodes returns the node names of an alive edge, in name-sorted order.
+func (ws *Workspace) EdgeNodes(id int) ([]string, error) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if id < 0 || id >= len(ws.edges) || !ws.edges[id].alive {
+		return nil, &ErrUnknownEdge{ID: id}
+	}
+	return ws.sortedNames(ws.edges[id].ids), nil
+}
+
+// AddEdge adds an edge over the named nodes (duplicates collapse; at least
+// one node is required) and returns its stable edge id. New names are
+// interned; nodes spanning several components merge them (union on insert),
+// and only the receiving component is marked for re-analysis.
+func (ws *Workspace) AddEdge(nodes ...string) (int, error) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if len(nodes) == 0 {
+		return 0, errors.New("repro: AddEdge requires at least one node")
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	sorted = dedupStrings(sorted)
+	for _, n := range sorted {
+		if n == "" {
+			return 0, errors.New("repro: empty node name")
+		}
+	}
+	ids := make([]int32, len(sorted))
+	for i, n := range sorted {
+		ids[i] = int32(ws.intern(n))
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+
+	// Resolve the receiving component: none of the nodes covered -> a new
+	// component; one component touched -> that one; several -> merge.
+	var touched []int32
+	for _, nid := range ids {
+		if c := ws.nodeComp[nid]; c >= 0 && !containsComp(touched, c) {
+			touched = append(touched, c)
+		}
+	}
+	var cid int32
+	switch len(touched) {
+	case 0:
+		cid = ws.newComp()
+	case 1:
+		cid = touched[0]
+		ws.markDirty(cid)
+	default:
+		cid = ws.mergeComps(touched)
+	}
+
+	c := ws.comps[cid]
+	id := len(ws.edges)
+	digest := ws.edgeDigest(sorted)
+	ws.edges = append(ws.edges, wedge{ids: ids, comp: cid, alive: true, digest: digest})
+	ws.alive++
+	c.edges[id] = struct{}{}
+	c.sum = c.sum.Add(digest)
+	for _, nid := range ids {
+		ws.inc[nid] = append(ws.inc[nid], int32(id))
+		if ws.nodeComp[nid] < 0 {
+			ws.nodeComp[nid] = cid
+			ws.covered++
+			c.nodes[int(nid)] = struct{}{}
+		}
+	}
+	ws.bump()
+	return id, nil
+}
+
+// RemoveEdge removes the edge with the given id. Nodes left uncovered
+// depart; if the removal disconnects the edge's component, the component is
+// re-partitioned by a rebuild bounded by that component's size (the rest of
+// the workspace is untouched).
+func (ws *Workspace) RemoveEdge(id int) error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if id < 0 || id >= len(ws.edges) || !ws.edges[id].alive {
+		return &ErrUnknownEdge{ID: id}
+	}
+	w := &ws.edges[id]
+	cid := w.comp
+	c := ws.comps[cid]
+	delete(c.edges, id)
+	c.sum = c.sum.Sub(w.digest)
+	for _, nid := range w.ids {
+		ws.dropIncidence(nid, int32(id))
+		if len(ws.inc[nid]) == 0 {
+			ws.nodeComp[nid] = -1
+			ws.covered--
+			delete(c.nodes, int(nid))
+		}
+	}
+	w.alive, w.ids = false, nil
+	ws.alive--
+	if len(c.edges) == 0 {
+		ws.destroyComp(cid)
+	} else {
+		ws.splitOrDirty(cid)
+	}
+	ws.bump()
+	return nil
+}
+
+// RenameNode renames a current node. The new name must not be interned
+// (*ErrNodeExists otherwise — names stay reserved even after a node
+// departs, so digests never alias); an unknown or departed old name
+// reports *hypergraph.ErrUnknownNode. Renaming re-digests exactly the
+// incident edges and dirties only their component.
+func (ws *Workspace) RenameNode(oldName, newName string) error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if newName == "" {
+		return errors.New("repro: empty node name")
+	}
+	id, ok := ws.index[oldName]
+	if !ok || ws.nodeComp[id] < 0 {
+		return &hypergraph.ErrUnknownNode{Name: oldName}
+	}
+	if oldName == newName {
+		return nil
+	}
+	if _, taken := ws.index[newName]; taken {
+		return &ErrNodeExists{Name: newName}
+	}
+	ws.names[id] = newName
+	delete(ws.index, oldName)
+	ws.index[newName] = id
+
+	cid := ws.nodeComp[id]
+	c := ws.comps[cid]
+	for _, eid := range ws.inc[id] {
+		w := &ws.edges[eid]
+		c.sum = c.sum.Sub(w.digest)
+		w.digest = ws.edgeDigest(ws.sortedNames(w.ids))
+		c.sum = c.sum.Add(w.digest)
+	}
+	ws.markDirty(cid)
+	ws.bump()
+	return nil
+}
+
+// Snapshot materializes the current epoch as an immutable Hypergraph:
+// alive edges in edge-id order, nodes interned from their current names.
+// The snapshot is copy-on-write — it shares nothing mutable with the
+// workspace and is cached until the next edit, so repeated calls between
+// edits return the same value.
+func (ws *Workspace) Snapshot() *hypergraph.Hypergraph {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.snapshotLocked()
+}
+
+// Analysis returns the analysis handle for the current epoch, settling any
+// components an edit has dirtied (and only those — untouched components
+// keep their verdicts and join-tree fragments). Repeated calls between
+// edits return the same handle; after an edit a fresh handle is built for
+// the new epoch, and handles of older epochs start reporting
+// *ErrStaleEpoch from their derived facets.
+func (ws *Workspace) Analysis() *Analysis {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.cur == nil {
+		ws.settleLocked()
+		ws.cur = &Analysis{
+			ws:      ws,
+			epoch:   ws.epoch.Load(),
+			acyclic: ws.cyclic == 0,
+			edges:   ws.alive,
+		}
+	}
+	return ws.cur
+}
+
+// --- internals (callers hold ws.mu) ---
+
+// bump advances the epoch and invalidates the per-epoch caches.
+func (ws *Workspace) bump() {
+	ws.epoch.Add(1)
+	ws.cur = nil
+	ws.snap = nil
+	ws.snapIDs = nil
+	ws.snapPos = nil
+}
+
+// intern resolves a name to a node id, creating the id on first sight.
+func (ws *Workspace) intern(name string) int {
+	if id, ok := ws.index[name]; ok {
+		return id
+	}
+	id := len(ws.names)
+	ws.names = append(ws.names, name)
+	ws.index[name] = id
+	ws.inc = append(ws.inc, nil)
+	ws.nodeComp = append(ws.nodeComp, -1)
+	return id
+}
+
+// edgeDigest folds one edge's canonical (name-sorted) content, in the
+// attached engine's identity mode when there is one.
+func (ws *Workspace) edgeDigest(sortedNames []string) hypergraph.Fingerprint128 {
+	if ws.eng != nil {
+		return ws.eng.EdgeDigest(sortedNames)
+	}
+	return hypergraph.EdgeDigestNames(sortedNames)
+}
+
+// sortedNames maps sorted node ids to their names in sorted-name order.
+func (ws *Workspace) sortedNames(ids []int32) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = ws.names[id]
+	}
+	sort.Strings(out)
+	return out
+}
+
+// dropIncidence removes edge eid from node nid's incidence list
+// (swap-remove; the lists are unordered).
+func (ws *Workspace) dropIncidence(nid int32, eid int32) {
+	l := ws.inc[nid]
+	for i, f := range l {
+		if f == eid {
+			l[i] = l[len(l)-1]
+			ws.inc[nid] = l[:len(l)-1]
+			return
+		}
+	}
+}
+
+func containsComp(list []int32, c int32) bool {
+	for _, x := range list {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// newComp allocates a fresh (dirty, unsettled) component.
+func (ws *Workspace) newComp() int32 {
+	var cid int32
+	if n := len(ws.freeComp); n > 0 {
+		cid = ws.freeComp[n-1]
+		ws.freeComp = ws.freeComp[:n-1]
+	} else {
+		cid = int32(len(ws.comps))
+		ws.comps = append(ws.comps, nil)
+	}
+	ws.comps[cid] = &component{edges: map[int]struct{}{}, nodes: map[int]struct{}{}}
+	ws.dirty[cid] = struct{}{}
+	return cid
+}
+
+// markDirty unsettles a component, keeping the cyclic counter consistent.
+func (ws *Workspace) markDirty(cid int32) {
+	c := ws.comps[cid]
+	if c.settled {
+		if !c.acyclic {
+			ws.cyclic--
+		}
+		c.settled = false
+	}
+	ws.dirty[cid] = struct{}{}
+}
+
+// destroyComp retires a component id.
+func (ws *Workspace) destroyComp(cid int32) {
+	c := ws.comps[cid]
+	if c.settled && !c.acyclic {
+		ws.cyclic--
+	}
+	delete(ws.dirty, cid)
+	ws.comps[cid] = nil
+	ws.freeComp = append(ws.freeComp, cid)
+}
+
+// mergeComps folds the touched components into the most populous one
+// (union by size: relabeling charges the smaller sides) and returns it
+// dirty.
+func (ws *Workspace) mergeComps(touched []int32) int32 {
+	base := touched[0]
+	for _, cid := range touched[1:] {
+		if len(ws.comps[cid].edges) > len(ws.comps[base].edges) {
+			base = cid
+		}
+	}
+	bc := ws.comps[base]
+	for _, cid := range touched {
+		if cid == base {
+			continue
+		}
+		oc := ws.comps[cid]
+		for eid := range oc.edges {
+			bc.edges[eid] = struct{}{}
+			ws.edges[eid].comp = base
+		}
+		for nid := range oc.nodes {
+			bc.nodes[nid] = struct{}{}
+			ws.nodeComp[nid] = base
+		}
+		bc.sum = bc.sum.Add(oc.sum)
+		ws.destroyComp(cid)
+	}
+	ws.markDirty(base)
+	return base
+}
+
+// splitOrDirty re-partitions a component after an edge removal: a breadth-
+// first sweep over the component's own edges (linear in the component's
+// total edge size — the bounded rebuild) either confirms it is still
+// connected, in which case it is merely dirtied, or replaces it with one
+// fresh component per connected piece.
+func (ws *Workspace) splitOrDirty(cid int32) {
+	c := ws.comps[cid]
+	assigned := make(map[int]bool, len(c.edges))
+	seenNode := make(map[int32]bool)
+	var pieces [][]int
+	for eid := range c.edges {
+		if assigned[eid] {
+			continue
+		}
+		piece := []int{eid}
+		assigned[eid] = true
+		for i := 0; i < len(piece); i++ {
+			for _, nid := range ws.edges[piece[i]].ids {
+				if seenNode[nid] {
+					continue
+				}
+				seenNode[nid] = true
+				for _, f := range ws.inc[nid] {
+					if !assigned[int(f)] {
+						assigned[int(f)] = true
+						piece = append(piece, int(f))
+					}
+				}
+			}
+		}
+		pieces = append(pieces, piece)
+		if len(piece) == len(c.edges) {
+			break // the first sweep reached everything: still connected
+		}
+	}
+	if len(pieces) == 1 && len(pieces[0]) == len(c.edges) {
+		ws.markDirty(cid)
+		return
+	}
+	ws.destroyComp(cid)
+	for _, piece := range pieces {
+		pid := ws.newComp() // may reuse cid, so membership is the test below
+		nc := ws.comps[pid]
+		for _, eid := range piece {
+			w := &ws.edges[eid]
+			w.comp = pid
+			nc.edges[eid] = struct{}{}
+			nc.sum = nc.sum.Add(w.digest)
+			for _, node := range w.ids {
+				if _, ok := nc.nodes[int(node)]; !ok {
+					ws.nodeComp[node] = pid
+					nc.nodes[int(node)] = struct{}{}
+				}
+			}
+		}
+	}
+}
+
+// settleLocked recomputes every dirty component and re-establishes the
+// global verdict counter. The work is proportional to the total size of
+// the dirty components — the components edits actually touched — plus a
+// memo probe each when an engine is attached.
+func (ws *Workspace) settleLocked() {
+	for cid := range ws.dirty {
+		c := ws.comps[cid]
+		ws.recompute(c)
+		c.settled = true
+		if !c.acyclic {
+			ws.cyclic++
+		}
+		delete(ws.dirty, cid)
+	}
+}
+
+// recompute derives a component's verdict and canonical join-tree fragment,
+// through the engine's component-granular memo when one is attached. The
+// canonical edge order — members sorted by their name-sorted node lists —
+// is content-determined, so the memoized fragment is portable across
+// workspaces holding the same component.
+func (ws *Workspace) recompute(c *component) {
+	members := make([]int, 0, len(c.edges))
+	for eid := range c.edges {
+		members = append(members, eid)
+	}
+	keys := make([][]string, len(members))
+	for i, eid := range members {
+		keys[i] = ws.sortedNames(ws.edges[eid].ids)
+	}
+	sort.Sort(&byNameSeq{members: members, keys: keys})
+
+	run := func() engine.ComponentAnalysis { return analyzeMembers(keys) }
+	var res engine.ComponentAnalysis
+	if ws.eng != nil {
+		res, _ = ws.eng.InternComponent(engine.ComponentKey{Sum: c.sum, Count: len(members)}, run)
+	} else {
+		res = run()
+	}
+	c.acyclic = res.Acyclic
+	c.parent = res.Parent
+	c.order = members
+}
+
+// analyzeMembers runs the maximum cardinality search over one component,
+// given its edges as canonical name lists in canonical order, and returns
+// the memo record: verdict plus parent links over that order.
+func analyzeMembers(keys [][]string) engine.ComponentAnalysis {
+	b := hypergraph.NewBuilder()
+	for _, names := range keys {
+		b.Edge(names...)
+	}
+	r := mcs.Run(b.MustBuild())
+	if !r.Acyclic {
+		return engine.ComponentAnalysis{}
+	}
+	return engine.ComponentAnalysis{Acyclic: true, Parent: r.Parent}
+}
+
+// byNameSeq sorts component members by their canonical name sequences,
+// keeping the parallel key slice aligned.
+type byNameSeq struct {
+	members []int
+	keys    [][]string
+}
+
+func (s *byNameSeq) Len() int { return len(s.members) }
+func (s *byNameSeq) Swap(i, j int) {
+	s.members[i], s.members[j] = s.members[j], s.members[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+func (s *byNameSeq) Less(i, j int) bool {
+	a, b := s.keys[i], s.keys[j]
+	for k := 0; k < len(a) && k < len(b); k++ {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// snapshotLocked materializes (and caches) the current epoch's hypergraph
+// plus the edge-id <-> snapshot-position maps the forest assembly needs.
+func (ws *Workspace) snapshotLocked() *hypergraph.Hypergraph {
+	if ws.snap == nil {
+		b := hypergraph.NewBuilder()
+		ws.snapIDs = make([]int, 0, ws.alive)
+		ws.snapPos = make([]int32, len(ws.edges))
+		for id := range ws.edges {
+			w := &ws.edges[id]
+			if !w.alive {
+				ws.snapPos[id] = -1
+				continue
+			}
+			names := make([]string, len(w.ids))
+			for i, nid := range w.ids {
+				names[i] = ws.names[nid]
+			}
+			b.Edge(names...)
+			ws.snapPos[id] = int32(len(ws.snapIDs))
+			ws.snapIDs = append(ws.snapIDs, id)
+		}
+		ws.snap = b.MustBuild()
+	}
+	return ws.snap
+}
+
+func dedupStrings(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -51,6 +51,9 @@ type Engine struct {
 	maxEntries  int // memo entry bound across all shards; 0 = unbounded
 	maxPerShard int // derived per-shard cap (maxEntries / shards, at least 1)
 
+	keyed bool   // WithKeyedDigest: confirm identities with seeded SipHash
+	seed  uint64 // the keyed-digest seed (meaningful only when keyed)
+
 	shards []shard // fingerprint-keyed memo shards, len is a power of two
 	mask   uint64
 
@@ -59,15 +62,20 @@ type Engine struct {
 	evictions atomic.Int64
 }
 
-// shard is one memo partition. The padding rounds the struct up to a full
-// 64-byte cache line (mutex 8 + map header 8 + 48), so uncontended locks on
-// neighboring shards do not false-share.
+// shard is one memo partition holding both memo planes: whole-hypergraph
+// Analysis sessions (memo) and the component-granular records of the
+// dynamic layer (cmemo), each with its own entry count but sharing the
+// recency clock and the mutex. The padding rounds the struct up to a full
+// 64-byte cache line (mutex 8 + two map headers 16 + counters 24 + 16), so
+// uncontended locks on neighboring shards do not false-share.
 type shard struct {
 	mu    sync.Mutex
-	memo  map[uint64][]*entry // fingerprint key -> entries (collision chain)
-	n     int                 // entries across all chains
-	clock uint64              // shard-local recency counter (see entry.seq)
-	_     [32]byte
+	memo  map[uint64][]*entry  // fingerprint key -> entries (collision chain)
+	cmemo map[uint64][]*centry // component key -> records (collision chain)
+	n     int                  // memo entries across all chains
+	cn    int                  // cmemo entries across all chains
+	clock uint64               // shard-local recency counter (see entry.seq)
+	_     [16]byte
 }
 
 // entry interns one hypergraph identity: the full 128-bit fingerprint
@@ -75,10 +83,20 @@ type shard struct {
 // every memoized facet (each computed at most once under its own
 // sync.Once).
 type entry struct {
-	fp  hypergraph.Fingerprint128
-	an  *analysis.Analysis
-	key uint64 // folded fingerprint: the entry's chain in shard.memo
-	seq uint64 // shard clock at last touch; the eviction victim has the minimum
+	fp    hypergraph.Fingerprint128
+	keyed uint64 // seeded SipHash confirmation digest (WithKeyedDigest only)
+	an    *analysis.Analysis
+	key   uint64 // folded fingerprint: the entry's chain in shard.memo
+	seq   uint64 // shard clock at last touch; the eviction victim has the minimum
+}
+
+// centry interns one connected component's analysis under its commutative
+// content key (see InternComponent).
+type centry struct {
+	ck  ComponentKey
+	res ComponentAnalysis
+	key uint64 // folded component key: the record's chain in shard.cmemo
+	seq uint64 // shard clock at last touch
 }
 
 // Option configures an Engine.
@@ -108,18 +126,41 @@ func WithShards(n int) Option {
 // WithMaxEntries bounds the memo: the bound is distributed evenly across
 // shards (each holds at most ⌊n/shards⌋, minimum one), so at most n entries
 // stay resident whenever n >= the shard count, and at most one per shard —
-// the floor sharding needs — otherwise. When a shard is full, inserting a
-// new identity evicts its least-recently-touched entry — LRU-ish: recency
-// is exact per shard, but shards evict independently, so the globally
-// oldest entry survives if a different shard fills first. Values < 1 mean
-// unbounded, the default. The bound is what makes the engine safe under
-// adversarial schema churn: without it every distinct schema ever queried
-// stays resident.
+// the floor sharding needs — otherwise. The bound applies to each memo
+// plane independently: at most n whole-hypergraph sessions AND at most n
+// component records (InternComponent) stay resident, so an engine serving
+// both Analyze traffic and workspaces can hold up to 2n records total.
+// When a shard is full, inserting a new identity evicts its least-
+// recently-touched entry — LRU-ish: recency is exact per shard, but shards
+// evict independently, so the globally oldest entry survives if a
+// different shard fills first. Values < 1 mean unbounded, the default. The
+// bound is what makes the engine safe under adversarial schema churn:
+// without it every distinct schema ever queried stays resident.
 func WithMaxEntries(n int) Option {
 	return func(e *Engine) {
 		if n >= 1 {
 			e.maxEntries = n
 		}
+	}
+}
+
+// WithKeyedDigest makes the memo confirm every identity with a SipHash-2-4
+// digest keyed by seed, computed over the same injective encoding as the
+// streaming fingerprint (hypergraph.KeyedDigest). The unkeyed memo trusts
+// 128-bit FNV digest equality, which is sound against accidental collisions
+// but not against adversarially crafted schemas (FNV is invertible, so a
+// tenant could collide two schemas and poison the shared memo); with a
+// secret seed the confirmation digest is a PRF the adversary cannot
+// predict. The price is an O(total edge size) keyed walk per query instead
+// of the cached-field read — the warm path stops being ~constant-time, so
+// enable this only for memos shared across untrusted multi-tenant traffic.
+// The component-granular memo is hardened through the same seed: workspaces
+// attached to a keyed engine fold component fingerprints from
+// Engine.EdgeDigest, which switches to the keyed per-edge digest.
+func WithKeyedDigest(seed uint64) Option {
+	return func(e *Engine) {
+		e.keyed = true
+		e.seed = seed
 	}
 }
 
@@ -150,6 +191,7 @@ func (e *Engine) initShards(n int) {
 	e.shards = make([]shard, size)
 	for i := range e.shards {
 		e.shards[i].memo = make(map[uint64][]*entry)
+		e.shards[i].cmemo = make(map[uint64][]*centry)
 	}
 	e.mask = uint64(size - 1)
 }
@@ -160,24 +202,28 @@ func (e *Engine) Workers() int { return e.workers }
 // Shards returns the memo shard count.
 func (e *Engine) Shards() int { return len(e.shards) }
 
-// Stats reports memo effectiveness.
+// Stats reports memo effectiveness. Hits, Misses, and Evictions aggregate
+// over both memo planes (whole-hypergraph sessions and component records);
+// the entry counts are reported per plane.
 type Stats struct {
-	Hits      int64 // queries answered by an existing memo entry
-	Misses    int64 // queries that created a new memo entry
-	Evictions int64 // entries dropped by the WithMaxEntries bound
-	Entries   int   // distinct hypergraph identities currently resident
+	Hits       int64 // queries answered by an existing memo entry
+	Misses     int64 // queries that created a new memo entry
+	Evictions  int64 // entries dropped by the WithMaxEntries bound
+	Entries    int   // distinct hypergraph identities currently resident
+	Components int   // distinct component identities currently resident
 }
 
 // Stats returns a snapshot of the memo counters, aggregated across shards.
 func (e *Engine) Stats() Stats {
-	n := 0
+	n, cn := 0, 0
 	for i := range e.shards {
 		s := &e.shards[i]
 		s.mu.Lock()
 		n += s.n
+		cn += s.cn
 		s.mu.Unlock()
 	}
-	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load(), Evictions: e.evictions.Load(), Entries: n}
+	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load(), Evictions: e.evictions.Load(), Entries: n, Components: cn}
 }
 
 // entryFor interns h's identity under the streaming 128-bit fingerprint
@@ -189,11 +235,20 @@ func (e *Engine) Stats() Stats {
 // against adversarially crafted schemas (see Fingerprint128).
 func (e *Engine) entryFor(h *hypergraph.Hypergraph) *entry {
 	fp := h.Fingerprint128()
+	var keyed uint64
+	if e.keyed {
+		// The keyed confirmation digest is engine-specific (it depends on
+		// the seed), so it cannot be cached on the hypergraph; every query
+		// pays the O(total edge size) walk. That is the WithKeyedDigest
+		// trade: identity can no longer be forged, and can no longer be
+		// read off a cached field either.
+		keyed = hypergraph.KeyedDigest(h, e.seed)
+	}
 	key := fp.Hi ^ fp.Lo
 	s := &e.shards[key&e.mask]
 	s.mu.Lock()
 	for _, en := range s.memo[key] {
-		if en.fp == fp {
+		if en.fp == fp && en.keyed == keyed {
 			en.seq = s.clock
 			s.clock++
 			s.mu.Unlock()
@@ -205,7 +260,7 @@ func (e *Engine) entryFor(h *hypergraph.Hypergraph) *entry {
 		s.evictOldest()
 		e.evictions.Add(1)
 	}
-	en := &entry{fp: fp, an: analysis.New(h), key: key, seq: s.clock}
+	en := &entry{fp: fp, keyed: keyed, an: analysis.New(h), key: key, seq: s.clock}
 	s.clock++
 	s.memo[key] = append(s.memo[key], en)
 	s.n++
@@ -243,6 +298,132 @@ func (s *shard) evictOldest() {
 		s.memo[victim.key] = chain
 	}
 	s.n--
+}
+
+// ComponentKey identifies one connected component's content for the
+// component-granular memo plane: the commutative 128-bit sum of the
+// member edges' digests (hypergraph.EdgeDigestNames, or the keyed variant
+// under WithKeyedDigest — fold with Engine.EdgeDigest to match the engine's
+// mode) plus the member count. The sum is order- and id-insensitive, so two
+// workspaces holding the same component content — even with different node
+// ids or edit histories — produce the same key and share one record; the
+// count disambiguates multisets whose sums could otherwise coincide.
+type ComponentKey struct {
+	Sum   hypergraph.Fingerprint128
+	Count int
+}
+
+// fold selects the chain key (and shard) for a component key.
+func (k ComponentKey) fold() uint64 {
+	return k.Sum.Hi ^ k.Sum.Lo ^ uint64(k.Count)*0x9e3779b97f4a7c15
+}
+
+// ComponentAnalysis is the memoized per-component record of the dynamic
+// layer: the acyclicity verdict and, on the acyclic side, the join-tree
+// fragment as parent links over the component's canonical edge order
+// (edges sorted by their node-name sequences — content-determined, so the
+// fragment is portable across workspaces). Records are shared and must be
+// treated as read-only.
+type ComponentAnalysis struct {
+	Acyclic bool
+	Parent  []int
+}
+
+// InternComponent returns the memoized analysis for a component identity,
+// running build to produce it on first intern; hit reports whether an
+// existing record answered the query. It is the component-granular intern
+// path of the dynamic layer: a workspace re-analyzing an edited component
+// consults the memo first, so unrelated tenants sharing subschemas hit warm
+// entries instead of re-running the search. build executes outside the
+// shard lock (it runs a full MCS over the component); concurrent callers
+// interning the same new identity may build in parallel, and the first
+// insert wins. Component records share the WithMaxEntries bound (per shard,
+// accounted separately from whole-hypergraph sessions) and the same
+// least-recently-touched eviction.
+func (e *Engine) InternComponent(ck ComponentKey, build func() ComponentAnalysis) (res ComponentAnalysis, hit bool) {
+	key := ck.fold()
+	s := &e.shards[key&e.mask]
+	s.mu.Lock()
+	if en, ok := s.lookupComponent(key, ck); ok {
+		s.mu.Unlock()
+		e.hits.Add(1)
+		return en.res, true
+	}
+	s.mu.Unlock()
+	built := build()
+	s.mu.Lock()
+	if en, ok := s.lookupComponent(key, ck); ok {
+		// A concurrent builder inserted the identity first; adopt its
+		// record so every caller shares one fragment.
+		s.mu.Unlock()
+		e.hits.Add(1)
+		return en.res, true
+	}
+	if e.maxPerShard > 0 && s.cn >= e.maxPerShard {
+		s.evictOldestComponent()
+		e.evictions.Add(1)
+	}
+	en := &centry{ck: ck, res: built, key: key, seq: s.clock}
+	s.clock++
+	s.cmemo[key] = append(s.cmemo[key], en)
+	s.cn++
+	s.mu.Unlock()
+	e.misses.Add(1)
+	return built, false
+}
+
+// lookupComponent finds a component record and touches its recency stamp.
+// Callers hold the shard lock.
+func (s *shard) lookupComponent(key uint64, ck ComponentKey) (*centry, bool) {
+	for _, en := range s.cmemo[key] {
+		if en.ck == ck {
+			en.seq = s.clock
+			s.clock++
+			return en, true
+		}
+	}
+	return nil, false
+}
+
+// evictOldestComponent is evictOldest for the component plane. Callers hold
+// the shard lock.
+func (s *shard) evictOldestComponent() {
+	var victim *centry
+	for _, chain := range s.cmemo {
+		for _, en := range chain {
+			if victim == nil || en.seq < victim.seq {
+				victim = en
+			}
+		}
+	}
+	if victim == nil {
+		return
+	}
+	chain := s.cmemo[victim.key]
+	for i, en := range chain {
+		if en == victim {
+			chain = append(chain[:i], chain[i+1:]...)
+			break
+		}
+	}
+	if len(chain) == 0 {
+		delete(s.cmemo, victim.key)
+	} else {
+		s.cmemo[victim.key] = chain
+	}
+	s.cn--
+}
+
+// EdgeDigest returns the per-edge digest workspaces fold ComponentKey sums
+// from, in this engine's identity mode: the standard FNV fold, or the
+// seeded SipHash fold under WithKeyedDigest — so the component memo plane
+// inherits the engine's collision-resistance posture. names must be in a
+// canonical (sorted) order for cross-workspace agreement.
+func (e *Engine) EdgeDigest(names []string) hypergraph.Fingerprint128 {
+	if e.keyed {
+		return hypergraph.KeyedEdgeDigest(e.seed, names)
+	}
+	return hypergraph.EdgeDigestNames(names)
 }
 
 // Analyze returns the memoized Analysis session for h: every caller passing

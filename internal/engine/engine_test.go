@@ -392,3 +392,76 @@ func TestUnboundedByDefault(t *testing.T) {
 		t.Fatalf("stats = %+v, want 64 resident entries and no evictions", st)
 	}
 }
+
+// TestInternComponent: first intern builds, repeat interns hit, distinct
+// keys stay distinct, and the WithMaxEntries bound evicts component records.
+func TestInternComponent(t *testing.T) {
+	e := New(WithShards(1))
+	keyA := ComponentKey{Sum: hypergraph.EdgeDigestNames([]string{"A", "B"}), Count: 1}
+	keyB := ComponentKey{Sum: hypergraph.EdgeDigestNames([]string{"B", "C"}), Count: 1}
+	builds := 0
+	build := func(acyclic bool) func() ComponentAnalysis {
+		return func() ComponentAnalysis {
+			builds++
+			return ComponentAnalysis{Acyclic: acyclic, Parent: []int{-1}}
+		}
+	}
+	res, hit := e.InternComponent(keyA, build(true))
+	if hit || !res.Acyclic || builds != 1 {
+		t.Fatalf("first intern: hit=%v res=%+v builds=%d", hit, res, builds)
+	}
+	res, hit = e.InternComponent(keyA, build(false))
+	if !hit || !res.Acyclic || builds != 1 {
+		t.Fatalf("repeat intern must hit without building: hit=%v res=%+v builds=%d", hit, res, builds)
+	}
+	if _, hit = e.InternComponent(keyB, build(false)); hit {
+		t.Fatal("distinct key must miss")
+	}
+	st := e.Stats()
+	if st.Components != 2 || st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 components, 1 hit, 2 misses", st)
+	}
+
+	bounded := New(WithShards(1), WithMaxEntries(2))
+	for i := 0; i < 5; i++ {
+		k := ComponentKey{Sum: hypergraph.EdgeDigestNames([]string{"X", string(rune('a' + i))}), Count: 1}
+		bounded.InternComponent(k, func() ComponentAnalysis { return ComponentAnalysis{Acyclic: true} })
+	}
+	st = bounded.Stats()
+	if st.Components > 2 || st.Evictions == 0 {
+		t.Fatalf("bounded component memo: %+v, want <= 2 resident with evictions", st)
+	}
+}
+
+// TestKeyedDigestMemo: a keyed engine still memoizes correctly (same schema
+// hits, distinct schemas miss), its per-edge digest is seed-dependent, and
+// two engines with different seeds produce unrelated digests.
+func TestKeyedDigestMemo(t *testing.T) {
+	e := New(WithShards(1), WithKeyedDigest(42))
+	h1 := hypergraph.New([][]string{{"A", "B"}, {"B", "C"}})
+	h2 := hypergraph.New([][]string{{"A", "B"}, {"B", "C"}})
+	h3 := hypergraph.New([][]string{{"A", "B"}, {"B", "D"}})
+	if !e.IsAcyclic(h1) || !e.IsAcyclic(h2) {
+		t.Fatal("chains must be acyclic")
+	}
+	st := e.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("content-equal queries under a keyed engine: %+v, want 1 hit / 1 miss", st)
+	}
+	e.IsAcyclic(h3)
+	if st = e.Stats(); st.Entries != 2 {
+		t.Fatalf("distinct schemas must intern separately: %+v", st)
+	}
+	plain := New()
+	other := New(WithKeyedDigest(43))
+	names := []string{"A", "B"}
+	if plain.EdgeDigest(names) != hypergraph.EdgeDigestNames(names) {
+		t.Fatal("unkeyed engines must use the standard edge digest")
+	}
+	if e.EdgeDigest(names) == plain.EdgeDigest(names) || e.EdgeDigest(names) == other.EdgeDigest(names) {
+		t.Fatal("keyed edge digests must depend on the seed")
+	}
+	if e.EdgeDigest(names) != hypergraph.KeyedEdgeDigest(42, names) {
+		t.Fatal("keyed engines must use the seeded edge digest")
+	}
+}

@@ -16,6 +16,7 @@
 package gyo
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -116,7 +117,30 @@ func (r *Result) Trace() string {
 // of one of E's nodes (any superset of E must contain that node), giving
 // near-linear behavior on chain- and tree-like inputs instead of repeated
 // all-pairs scans.
+//
+// It is RunCtx without cancellation.
 func Reduce(h *hypergraph.Hypergraph, sacred bitset.Set) *Result {
+	r, err := RunCtx(context.Background(), h, sacred)
+	if err != nil {
+		// Background contexts are never cancelled; RunCtx has no other
+		// error path.
+		panic(err)
+	}
+	return r
+}
+
+// cancelStride is how much reduction work (rule applications plus
+// occurrence-list scanning) runs between context checks — the same bound
+// mcs.RunCtx and the exec kernels use, so a large Graham reduction stops
+// within ~4096 work units of cancellation instead of running to completion.
+const cancelStride = 4096
+
+// RunCtx is Reduce with coarse-grained cooperative cancellation: the
+// worklist polls ctx every ~cancelStride units of work and returns
+// (nil, ctx.Err()) when cancelled, discarding partial state. The check
+// granularity is a rule application plus its occurrence scans, so the
+// worst-case latency is one stride plus a single subset probe.
+func RunCtx(ctx context.Context, h *hypergraph.Hypergraph, sacred bitset.Set) (*Result, error) {
 	st := newState(h, sacred)
 	// Every edge starts dirty: it may be subsumed from the outset.
 	dirty := make([]int, 0, len(st.edges))
@@ -132,6 +156,12 @@ func Reduce(h *hypergraph.Hypergraph, sacred bitset.Set) *Result {
 		}
 	}
 	for {
+		if st.work >= cancelStride {
+			st.work = 0
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Node removals may shrink edges, making them subset candidates.
 		for _, e := range st.removeAllFreeNodesTracking() {
 			push(e)
@@ -142,6 +172,7 @@ func Reduce(h *hypergraph.Hypergraph, sacred bitset.Set) *Result {
 		e := dirty[0]
 		dirty = dirty[1:]
 		inDirty[e] = false
+		st.work++
 		if !st.alive[e] {
 			continue
 		}
@@ -158,7 +189,7 @@ func Reduce(h *hypergraph.Hypergraph, sacred bitset.Set) *Result {
 			}
 		}
 	}
-	return st.result()
+	return st.result(), nil
 }
 
 // ReduceRandomOrder applies single Graham reduction rules in an order chosen
@@ -210,6 +241,7 @@ type state struct {
 	nodeEdges [][]int // node id -> edge indices that originally contain it
 	nodes     bitset.Set
 	steps     []Step
+	work      int // work units since the last RunCtx cancellation check
 }
 
 func newState(h *hypergraph.Hypergraph, sacred bitset.Set) *state {
@@ -254,6 +286,7 @@ func (st *state) findSuperset(e int) int {
 		return -1
 	}
 	n := st.edges[e].Min()
+	st.work += len(st.nodeEdges[n])
 	for _, f := range st.nodeEdges[n] {
 		if f != e && st.alive[f] && st.edges[e].IsSubset(st.edges[f]) {
 			return f
@@ -271,6 +304,7 @@ func (st *state) removeAllFreeNodesTracking() []int {
 		if len(free) == 0 {
 			return touched
 		}
+		st.work += len(free)
 		for _, id := range free {
 			if e := st.soleEdgeOf(id); e >= 0 {
 				st.removeNode(id, e)

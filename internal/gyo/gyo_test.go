@@ -1,11 +1,13 @@
 package gyo
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
 
 	"repro/internal/bitset"
+	"repro/internal/gen"
 	"repro/internal/hypergraph"
 )
 
@@ -216,5 +218,24 @@ func BenchmarkReduceFig1(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Reduce(h, sacred)
+	}
+}
+
+// TestRunCtxCancellation: an already-cancelled context performs no
+// reduction, and a live one reduces identically to Reduce.
+func TestRunCtxCancellation(t *testing.T) {
+	h := gen.AcyclicChain(4000, 3, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if r, err := RunCtx(ctx, h, bitset.Set{}); err == nil || r != nil {
+		t.Fatalf("cancelled RunCtx: got (%v, %v), want (nil, ctx error)", r, err)
+	}
+	r, err := RunCtx(context.Background(), h, bitset.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reduce(h, bitset.Set{})
+	if !r.Hypergraph.Equal(want.Hypergraph) || r.Vanished() != want.Vanished() {
+		t.Fatal("RunCtx with a live context must match Reduce")
 	}
 }

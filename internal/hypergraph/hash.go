@@ -30,6 +30,54 @@ type Fingerprint128 struct {
 	Hi, Lo uint64
 }
 
+// Add returns the 128-bit modular sum f + g. Together with Sub it is the
+// commutative, deletion-capable fold the dynamic layer maintains per
+// connected component: a component's fingerprint is the sum of its member
+// edges' digests (EdgeDigestNames), so inserting an edge adds its digest,
+// deleting one subtracts it, and merging two components adds their sums —
+// all in O(1), with no rescan of the surviving edges. The fold is
+// order-insensitive by construction, which is exactly right for a set of
+// edges whose membership churns. Like the streaming digest it is not
+// collision-resistant against adversarial inputs (sums are even easier to
+// target than FNV preimages); the engine's WithKeyedDigest option is the
+// hardened variant.
+func (f Fingerprint128) Add(g Fingerprint128) Fingerprint128 {
+	lo, carry := bits.Add64(f.Lo, g.Lo, 0)
+	hi, _ := bits.Add64(f.Hi, g.Hi, carry)
+	return Fingerprint128{Hi: hi, Lo: lo}
+}
+
+// Sub returns the 128-bit modular difference f - g, the deletion half of the
+// commutative component fold (see Add).
+func (f Fingerprint128) Sub(g Fingerprint128) Fingerprint128 {
+	lo, borrow := bits.Sub64(f.Lo, g.Lo, 0)
+	hi, _ := bits.Sub64(f.Hi, g.Hi, borrow)
+	return Fingerprint128{Hi: hi, Lo: lo}
+}
+
+// IsZero reports whether the fingerprint is the zero value — the empty
+// component fold.
+func (f Fingerprint128) IsZero() bool { return f.Hi == 0 && f.Lo == 0 }
+
+// EdgeDigestNames digests one edge given as node names: the unit of the
+// dynamic layer's commutative component fold (see Fingerprint128.Add). The
+// caller passes the names in a canonical order (the dynamic workspace sorts
+// them), so the same edge content digests identically in every workspace
+// regardless of node-id assignment — which is what lets unrelated tenants
+// sharing a component hit the same engine memo entry. The encoding is the
+// name-mode edge token stream of the streaming fingerprint (node count,
+// then length-prefixed names), domain-separated by its own leading byte so
+// an edge digest never collides with a whole-hypergraph digest by accident.
+func EdgeDigestNames(names []string) Fingerprint128 {
+	s := &fpState{hi: fnvOffset128Hi, lo: fnvOffset128Lo}
+	s.writeByte(modeEdgeUnit)
+	s.writeUvarint(uint64(len(names)))
+	for _, n := range names {
+		s.writeString(n)
+	}
+	return Fingerprint128{Hi: s.hi, Lo: s.lo}
+}
+
 // FNV-128a constants (offset basis and prime), per the FNV specification.
 const (
 	fnvOffset128Hi = 0x6c62272e07bb0142
@@ -40,8 +88,9 @@ const (
 
 // Construction-mode domain separators for the streaming digest.
 const (
-	modeNames byte = 1 // interned node names (New / name-mode Builder)
-	modeIDs   byte = 2 // raw ids with synthetic names (FromIDs / id mode)
+	modeNames    byte = 1 // interned node names (New / name-mode Builder)
+	modeIDs      byte = 2 // raw ids with synthetic names (FromIDs / id mode)
+	modeEdgeUnit byte = 3 // standalone per-edge digest (EdgeDigestNames)
 )
 
 // fpState streams FNV-128a over the hypergraph encoding: a mode byte, the

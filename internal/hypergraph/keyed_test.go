@@ -1,0 +1,89 @@
+package hypergraph
+
+import "testing"
+
+// TestSipHashVectors pins the SipHash-2-4 core against the reference
+// vectors from the SipHash paper (key 000102…0f, messages 00, 0001, …):
+// the keyed digest is only a defense if it is actually SipHash.
+func TestSipHashVectors(t *testing.T) {
+	const k0, k1 = 0x0706050403020100, 0x0f0e0d0c0b0a0908
+	want := []uint64{
+		0x726fdb47dd0e0e31, // len 0
+		0x74f839c593dc67fd, // len 1
+		0x0d6c8009d9a94f5a, // len 2
+		0x85676696d7fb7e2d, // len 3
+		0xcf2794e0277187b7, // len 4
+		0x18765564cd99a68d, // len 5
+		0xcbc9466e58fee3ce, // len 6
+		0xab0200f58b01d137, // len 7
+		0x93f5f5799a932462, // len 8
+		0x9e0082df0ba9e4b0, // len 9
+	}
+	for n, w := range want {
+		s := newSipState(k0, k1)
+		for i := 0; i < n; i++ {
+			s.writeByte(byte(i))
+		}
+		if got := s.sum(); got != w {
+			t.Errorf("siphash len %d: got %#016x, want %#016x", n, got, w)
+		}
+	}
+}
+
+// TestCommutativeFold pins the algebra of the deletion-capable component
+// fold: Add is commutative and associative, Sub inverts Add, and the edge
+// digest is order-canonical only in what the caller passes (the dynamic
+// layer sorts names before folding).
+func TestCommutativeFold(t *testing.T) {
+	a := EdgeDigestNames([]string{"A", "B"})
+	b := EdgeDigestNames([]string{"B", "C"})
+	c := EdgeDigestNames([]string{"C", "D"})
+	if a == b || b == c || a == c {
+		t.Fatal("distinct edges must digest distinctly")
+	}
+	if a.Add(b) != b.Add(a) {
+		t.Error("Add must commute")
+	}
+	if a.Add(b).Add(c) != a.Add(b.Add(c)) {
+		t.Error("Add must associate")
+	}
+	if got := a.Add(b).Sub(b); got != a {
+		t.Errorf("Sub must invert Add: got %v, want %v", got, a)
+	}
+	if !a.Sub(a).IsZero() {
+		t.Error("x - x must be the zero fold")
+	}
+	// Duplicate edges do not cancel (the reason the fold is a sum, not an
+	// XOR): {e, e} folds to 2·digest(e) ≠ zero and ≠ digest(e).
+	twice := a.Add(a)
+	if twice == a || twice.IsZero() {
+		t.Error("duplicate edges must not cancel out of the fold")
+	}
+}
+
+// TestKeyedDigests exercises the seeded variants: seed-dependence,
+// content-dependence, and agreement between name- and content-equal inputs.
+func TestKeyedDigests(t *testing.T) {
+	h1 := New([][]string{{"A", "B"}, {"B", "C"}})
+	h2 := New([][]string{{"A", "B"}, {"B", "C"}})
+	h3 := New([][]string{{"A", "B"}, {"B", "D"}})
+	if KeyedDigest(h1, 7) != KeyedDigest(h2, 7) {
+		t.Error("equal content must digest equally under one seed")
+	}
+	if KeyedDigest(h1, 7) == KeyedDigest(h3, 7) {
+		t.Error("different content should digest differently")
+	}
+	if KeyedDigest(h1, 7) == KeyedDigest(h1, 8) {
+		t.Error("different seeds should digest differently")
+	}
+	e1 := KeyedEdgeDigest(7, []string{"A", "B"})
+	if e1 != KeyedEdgeDigest(7, []string{"A", "B"}) {
+		t.Error("keyed edge digest must be deterministic")
+	}
+	if e1 == KeyedEdgeDigest(8, []string{"A", "B"}) {
+		t.Error("keyed edge digest must depend on the seed")
+	}
+	if e1 == KeyedEdgeDigest(7, []string{"A", "C"}) {
+		t.Error("keyed edge digest must depend on content")
+	}
+}

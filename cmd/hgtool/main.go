@@ -15,7 +15,7 @@
 //	hgtool jointree [-f file]             join tree and semijoin full reducer
 //	hgtool witness  [-f file]             independent-path witness for cyclic inputs
 //	hgtool dot      [-f file]             Graphviz rendering of the incidence graph
-//	hgtool eval     [-f file] -d dir -x A,B   Yannakakis evaluation over CSV data
+//	hgtool eval     [-f file] -d dir -x A,B [-par N]   Yannakakis evaluation over CSV data
 //	hgtool edit     [-f file] [-s script] mutable-workspace session applying an edit script
 //
 // Without -f, the hypergraph is read from standard input (except for edit,
@@ -37,7 +37,9 @@
 // from -d (named "<edge name>.csv" when the schema names the edge, else
 // "R<i>.csv"), applies the schema's two-pass semijoin full reducer with
 // per-step statistics, joins bottom-up along the join tree, and prints
-// π_x(⋈ all objects) for the -x attribute list.
+// π_x(⋈ all objects) for the -x attribute list. -par N runs the reduction
+// and join phases with up to N workers (values < 1 mean GOMAXPROCS); the
+// output is identical to the serial run.
 package main
 
 import (
@@ -67,6 +69,7 @@ func main() {
 	sacred := fs.String("x", "", "comma-separated sacred nodes (eval: output attributes)")
 	dataDir := fs.String("d", "", "directory of per-object CSV files (eval)")
 	script := fs.String("s", "", "edit script file (edit; default: stdin)")
+	par := fs.Int("par", 1, "worker parallelism for eval (values < 1 mean GOMAXPROCS)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -112,7 +115,7 @@ func main() {
 		case *dataDir == "":
 			err = fmt.Errorf("eval requires -d (CSV data directory)")
 		default:
-			err = evalCmd(os.Stdout, h, names, *dataDir, x)
+			err = evalCmd(os.Stdout, h, names, *dataDir, x, *par)
 		}
 	default:
 		usage()
@@ -272,7 +275,7 @@ func objectLabel(names []string, i int) string {
 	return fmt.Sprintf("R%d", i)
 }
 
-func evalCmd(w io.Writer, h *repro.Hypergraph, names []string, dir string, attrs []string) error {
+func evalCmd(w io.Writer, h *repro.Hypergraph, names []string, dir string, attrs []string, par int) error {
 	dict := repro.NewDict()
 	tables := make([]*repro.ExecTable, h.NumEdges())
 	for i := range tables {
@@ -292,7 +295,11 @@ func evalCmd(w io.Writer, h *repro.Hypergraph, names []string, dir string, attrs
 	if err != nil {
 		return err
 	}
-	a := repro.Analyze(h)
+	var opts []repro.AnalyzeOption
+	if par != 1 {
+		opts = append(opts, repro.WithParallelism(par))
+	}
+	a := repro.Analyze(h, opts...)
 	res, err := a.Eval(context.Background(), db, attrs)
 	if err != nil {
 		if errors.Is(err, repro.ErrCyclic) {

@@ -185,6 +185,30 @@
 // databases on the gen corpus, plus fuzzing of the CSV loader and
 // quick-check laws for the kernels.
 //
+// # Parallel execution
+//
+// Both execution facets run serial by default; parallelism is opt-in per
+// handle. Analyze(h, WithParallelism(n)) makes a.Reduce schedule the full
+// reducer level by level over the join tree (independent subtrees run
+// concurrently) and makes a.Eval additionally chunk the bottom-up join
+// phase, in both cases with up to n workers; NewWorkspace(
+// WithWorkspaceParallelism(n)) does the same for workspace analyses and
+// settles dirty components concurrently, so a cold Snapshot fans its
+// per-component searches out. Workers come from one shared pool per
+// engine/handle: nested parallel regions draw from the same token budget
+// and degrade inline instead of oversubscribing, and a pool of n=1 (or a
+// nil pool) is exactly the serial executor.
+//
+// The determinism contract: a parallel run is byte-identical to the serial
+// run — same rows in the same order, same per-step RowsIn/RowsOut in the
+// same program order, same JoinRows — only wall-clock time may differ.
+// This is enforced, not aspirational: a differential suite re-runs the
+// corpus at several GOMAXPROCS values × worker counts and compares
+// parallel output to the serial kernels field by field (and hammers the
+// pool under -race). Tables below a size threshold fall back to the serial
+// kernels, so small inputs never pay chunking overhead. BENCH_parallel.json
+// records measured shapes and the single-core caveat.
+//
 // # Batch engine
 //
 // internal/engine (facade: NewEngine) serves heavy query traffic: batches

@@ -39,20 +39,75 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/jointree"
 	"repro/internal/mcs"
+	"repro/internal/pool"
 )
+
+// facetLatch coordinates at-most-once *successful* computation of a facet
+// with deadline-aware waiting — the fix for the facet-lock cancellation
+// bug: under the old mutex-held-during-traversal scheme, a caller arriving
+// while another caller's traversal was in flight blocked on the lock and
+// never observed its own deadline. Here the runner computes outside any
+// lock while waiters select between the in-flight signal and their own
+// ctx.Done(); a runner that fails (cancellation) leaves the facet
+// uncomputed, so the next caller retries with its own context, and a
+// runner that succeeds latches the facet forever.
+type facetLatch struct {
+	mu       sync.Mutex
+	done     bool
+	inflight chan struct{} // non-nil while a runner computes; closed when it finishes
+}
+
+// run executes compute at most once successfully. Concurrent callers
+// coalesce: one runs, the rest wait on either its completion or their own
+// context. compute stores its result into fields the caller reads after a
+// nil return (the latch's mutex publishes them).
+func (l *facetLatch) run(ctx context.Context, compute func(ctx context.Context) error) error {
+	for {
+		l.mu.Lock()
+		if l.done {
+			l.mu.Unlock()
+			return nil
+		}
+		if ch := l.inflight; ch != nil {
+			l.mu.Unlock()
+			select {
+			case <-ch:
+				continue // runner finished (maybe unsuccessfully): re-examine
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		ch := make(chan struct{})
+		l.inflight = ch
+		l.mu.Unlock()
+
+		err := compute(ctx)
+		l.mu.Lock()
+		if err == nil {
+			l.done = true
+		}
+		l.inflight = nil
+		l.mu.Unlock()
+		close(ch)
+		return err
+	}
+}
 
 // Analysis is a concurrency-safe session over one hypergraph. Construct
 // with New; the zero value is not usable. Every facet is computed on first
 // use and cached; repeated and concurrent calls coalesce on a sync.Once.
 type Analysis struct {
 	h      *hypergraph.Hypergraph
-	verify bool // cross-check the join tree's running-intersection invariant
+	verify bool       // cross-check the join tree's running-intersection invariant
+	pool   *pool.Pool // intra-query parallelism for Reduce/Eval (nil: serial)
 
-	// Per-facet once-guards. The mcs facet is the root of the sharing: the
+	// Per-facet guards. The mcs facet is the root of the sharing: the
 	// verdict, the join tree, the classification's α component, the full
-	// reducer, and the witness short-circuit all reuse its result.
-	mcsOnce sync.Once
-	mcsRes  *mcs.Result
+	// reducer, and the witness short-circuit all reuse its result. The two
+	// facets with cancellable traversals (mcs, graham) use deadline-aware
+	// latches; the cheap derivations stacked on top keep sync.Once.
+	mcsLatch facetLatch
+	mcsRes   *mcs.Result
 
 	jtOnce sync.Once
 	jt     *jointree.JoinTree
@@ -61,12 +116,8 @@ type Analysis struct {
 	clOnce sync.Once
 	cl     acyclic.Classification
 
-	// The Graham facet latches on success rather than on first attempt
-	// (a mutex-guarded slot, not a sync.Once): a run cancelled through
-	// GrahamTraceCtx leaves the facet uncomputed, so a later caller with a
-	// live context retries instead of inheriting a permanently failed slot.
-	grMu sync.Mutex
-	gr   *gyo.Result
+	grLatch facetLatch
+	gr      *gyo.Result
 
 	frOnce sync.Once
 	fr     []jointree.SemijoinStep
@@ -81,14 +132,17 @@ type Analysis struct {
 	stats statsCounters
 }
 
-// statsCounters counts how often each underlying traversal actually ran.
+// statsCounters counts how often each underlying traversal ran to
+// completion. Cancelled attempts are not counted: they leave the facet
+// uncomputed, so the "at most once" contract is about completed work.
 type statsCounters struct {
 	mcs, graham, hierarchy, witness, verify atomic.Int32
 }
 
-// Stats reports how many times each underlying traversal has executed on
-// this handle — at most once each, by construction. Exposed so tests and
-// monitoring can assert the caching contract.
+// Stats reports how many times each underlying traversal has run to
+// completion on this handle — at most once each, by construction
+// (cancelled attempts leave the facet uncomputed and uncounted). Exposed
+// so tests and monitoring can assert the caching contract.
 type Stats struct {
 	// MCSRuns counts maximum-cardinality-search traversals (verdict, join
 	// tree, classification α, and witness short-circuit all share one).
@@ -126,6 +180,24 @@ func WithVerify() Option {
 	return func(a *Analysis) { a.verify = true }
 }
 
+// WithPool attaches a shared worker pool: Reduce and Eval run their
+// semijoin and join phases through the intra-query parallel executor,
+// drawing goroutine tokens from p. Pass the pool of an engine (Engine.Pool)
+// to share one budget between inter-query batch workers and intra-query
+// kernels. A nil pool (or one with parallelism 1) keeps the serial paths.
+// Parallel results are identical to serial ones — same rows, same order,
+// same per-step statistics.
+func WithPool(p *pool.Pool) Option {
+	return func(a *Analysis) { a.pool = p }
+}
+
+// WithParallelism caps this session's intra-query parallelism at n workers
+// (n < 1 means GOMAXPROCS) with a private pool; see WithPool for sharing
+// one budget across sessions.
+func WithParallelism(n int) Option {
+	return WithPool(pool.New(n))
+}
+
 // New opens an analysis session over h. The handle is cheap until a facet
 // is queried; h must not be mutated afterwards (Hypergraph is immutable by
 // contract).
@@ -140,31 +212,80 @@ func New(h *hypergraph.Hypergraph, opts ...Option) *Analysis {
 // Hypergraph returns the hypergraph under analysis.
 func (a *Analysis) Hypergraph() *hypergraph.Hypergraph { return a.h }
 
-// mcsRun is the shared root traversal.
-func (a *Analysis) mcsRun() *mcs.Result {
-	a.mcsOnce.Do(func() {
+// mcsRunCtx is the shared root traversal, latched on success: a cancelled
+// run leaves the facet uncomputed for the next caller to retry, and callers
+// waiting behind another caller's in-flight traversal observe their own
+// deadline instead of blocking on a lock.
+func (a *Analysis) mcsRunCtx(ctx context.Context) (*mcs.Result, error) {
+	err := a.mcsLatch.run(ctx, func(ctx context.Context) error {
+		r, err := mcs.RunCtx(ctx, a.h)
+		if err != nil {
+			return err
+		}
 		a.stats.mcs.Add(1)
-		a.mcsRes = mcs.Run(a.h)
+		a.mcsRes = r
+		return nil
 	})
-	return a.mcsRes
+	if err != nil {
+		return nil, err
+	}
+	return a.mcsRes, nil
+}
+
+// mcsRun is mcsRunCtx without cancellation.
+func (a *Analysis) mcsRun() *mcs.Result {
+	r, err := a.mcsRunCtx(context.Background())
+	if err != nil {
+		// Background contexts are never cancelled; mcsRunCtx has no other
+		// error path.
+		panic(err)
+	}
+	return r
 }
 
 // Verdict reports α-acyclicity — the paper's notion — via the linear-time
 // maximum cardinality search, computed once per handle.
 func (a *Analysis) Verdict() bool { return a.mcsRun().Acyclic }
 
+// VerdictCtx is Verdict with cooperative cancellation: the traversal polls
+// ctx every ~4096 work units, and a caller coalescing onto another caller's
+// in-flight traversal still observes its own deadline.
+func (a *Analysis) VerdictCtx(ctx context.Context) (bool, error) {
+	r, err := a.mcsRunCtx(ctx)
+	if err != nil {
+		return false, err
+	}
+	return r.Acyclic, nil
+}
+
 // MCS returns the full maximum-cardinality-search result: verdict, edge and
 // vertex orders, join-tree parents on acceptance, rejection certificate on
 // the cyclic side. The result is shared and must be treated as read-only.
 func (a *Analysis) MCS() *mcs.Result { return a.mcsRun() }
+
+// MCSCtx is MCS with cooperative cancellation (see VerdictCtx).
+func (a *Analysis) MCSCtx(ctx context.Context) (*mcs.Result, error) {
+	return a.mcsRunCtx(ctx)
+}
 
 // JoinTree returns the join tree read off the MCS ordering the verdict
 // already computed — no second traversal runs. It reports ErrCyclic when
 // the hypergraph is cyclic. The tree is shared across callers and must be
 // treated as read-only.
 func (a *Analysis) JoinTree() (*jointree.JoinTree, error) {
+	return a.JoinTreeCtx(context.Background())
+}
+
+// JoinTreeCtx is JoinTree with cooperative cancellation of the underlying
+// traversal. A cancelled call leaves the facet uncomputed (no permanently
+// poisoned slot); only the cheap derivation from a completed MCS run is
+// latched.
+func (a *Analysis) JoinTreeCtx(ctx context.Context) (*jointree.JoinTree, error) {
+	r, err := a.mcsRunCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	a.jtOnce.Do(func() {
-		r := a.mcsRun()
 		if !r.Acyclic {
 			a.jtErr = hypergraph.ErrCyclic
 			return
@@ -218,19 +339,21 @@ func (a *Analysis) GrahamTrace() *gyo.Result {
 // underlying reduction observes ctx every ~4096 work units (gyo.RunCtx).
 // A cancelled run reports ctx.Err() and leaves the facet uncomputed, so a
 // later call retries; a completed run is cached like every other facet.
-// While one caller's reduction is in flight, concurrent callers block on
-// it rather than observing their own deadlines — the shared-facet contract
-// trades per-caller deadlines for running the traversal at most once.
+// Callers coalescing onto an in-flight reduction wait deadline-aware: they
+// observe their own ctx while the runner works, instead of blocking on a
+// lock the runner holds.
 func (a *Analysis) GrahamTraceCtx(ctx context.Context) (*gyo.Result, error) {
-	a.grMu.Lock()
-	defer a.grMu.Unlock()
-	if a.gr == nil {
-		a.stats.graham.Add(1)
+	err := a.grLatch.run(ctx, func(ctx context.Context) error {
 		r, err := gyo.RunCtx(ctx, a.h, bitset.Set{})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		a.stats.graham.Add(1)
 		a.gr = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return a.gr, nil
 }
@@ -240,6 +363,18 @@ func (a *Analysis) GrahamTraceCtx(ctx context.Context) (*gyo.Result, error) {
 // ErrCyclic under errors.Is — when no join tree exists; any other JoinTree
 // failure (a WithVerify invariant violation) propagates unchanged.
 func (a *Analysis) FullReducer() ([]jointree.SemijoinStep, error) {
+	return a.FullReducerCtx(context.Background())
+}
+
+// FullReducerCtx is FullReducer with cooperative cancellation of the
+// underlying traversal (see JoinTreeCtx); a cancelled call leaves the facet
+// uncomputed.
+func (a *Analysis) FullReducerCtx(ctx context.Context) ([]jointree.SemijoinStep, error) {
+	// Gate on the one cancellable traversal first: after it succeeds the
+	// derivation below is cheap and latches exactly once.
+	if _, err := a.mcsRunCtx(ctx); err != nil {
+		return nil, err
+	}
 	a.frOnce.Do(func() {
 		jt, err := a.JoinTree()
 		switch {
@@ -276,9 +411,19 @@ func (a *Analysis) Reduce(ctx context.Context, d *exec.Database) (*exec.ReduceRe
 	if err := a.checkSchema(d); err != nil {
 		return nil, err
 	}
-	prog, err := a.FullReducer()
+	prog, err := a.FullReducerCtx(ctx)
 	if err != nil {
 		return nil, err
+	}
+	if a.pool.Parallelism() > 1 {
+		// FullReducerCtx succeeding implies the join tree exists and is
+		// cached; the parallel reducer produces the identical result
+		// (rows, order, per-step stats) with intra-query parallelism.
+		jt, err := a.JoinTreeCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return exec.ReduceParallel(ctx, d, jt, a.pool)
 	}
 	return exec.Reduce(ctx, d, prog)
 }
@@ -297,13 +442,16 @@ func (a *Analysis) Eval(ctx context.Context, d *exec.Database, attrs []string) (
 	// FullReducer reuses the session's join tree and maps ErrCyclic to
 	// ErrCyclicSchema; both artifacts are cached, so a warm handle derives
 	// nothing per call.
-	prog, err := a.FullReducer()
+	prog, err := a.FullReducerCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	jt, err := a.JoinTree()
+	jt, err := a.JoinTreeCtx(ctx)
 	if err != nil {
 		return nil, err
+	}
+	if a.pool.Parallelism() > 1 {
+		return exec.EvalParallel(ctx, d, jt, attrs, a.pool)
 	}
 	return exec.EvalWithProgram(ctx, d, jt, prog, attrs)
 }

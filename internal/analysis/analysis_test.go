@@ -233,8 +233,8 @@ func TestGrahamTraceCtx(t *testing.T) {
 	if !r.Vanished() {
 		t.Fatal("acyclic chain must vanish under Graham reduction")
 	}
-	if got := a.Stats().GrahamRuns; got != 2 {
-		t.Fatalf("GrahamRuns = %d, want 2 (one cancelled attempt, one success)", got)
+	if got := a.Stats().GrahamRuns; got != 1 {
+		t.Fatalf("GrahamRuns = %d, want 1 (cancelled attempts are uncounted)", got)
 	}
 	if a.GrahamTrace() != r {
 		t.Fatal("GrahamTrace must return the cached successful run")

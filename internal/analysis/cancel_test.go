@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/hypergraph"
+)
+
+// TestFacetsObserveCancelledContext is the regression test for the
+// cancellation-residue bug: the ctx-taking facets used to delegate to the
+// ctx-less traversals, so a dead context still ran the full search and
+// returned a result. Every cancellable facet must fail fast with ctx.Err()
+// on a fresh handle, and the facet must stay uncomputed (no run counted as
+// a success, no poisoned cache) so a live retry succeeds.
+func TestFacetsObserveCancelledContext(t *testing.T) {
+	h := gen.AcyclicChain(5, 3, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	a := New(h)
+	if _, err := a.VerdictCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("VerdictCtx on dead ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := a.MCSCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MCSCtx on dead ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := a.JoinTreeCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("JoinTreeCtx on dead ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := a.FullReducerCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FullReducerCtx on dead ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := a.GrahamTraceCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GrahamTraceCtx on dead ctx: err = %v, want context.Canceled", err)
+	}
+	if runs := a.Stats(); runs.MCSRuns != 0 || runs.GrahamRuns != 0 {
+		t.Fatalf("cancelled facets must not latch: stats = %+v", runs)
+	}
+
+	// The handle recovers: live contexts compute and cache normally.
+	if ok, err := a.VerdictCtx(context.Background()); err != nil || !ok {
+		t.Fatalf("recovery VerdictCtx = %v, %v", ok, err)
+	}
+	if _, err := a.JoinTreeCtx(context.Background()); err != nil {
+		t.Fatalf("recovery JoinTreeCtx: %v", err)
+	}
+	if _, err := a.GrahamTraceCtx(context.Background()); err != nil {
+		t.Fatalf("recovery GrahamTraceCtx: %v", err)
+	}
+	if runs := a.Stats(); runs.MCSRuns != 1 || runs.GrahamRuns != 1 {
+		t.Fatalf("recovery must run each traversal exactly once: stats = %+v", runs)
+	}
+}
+
+// TestWaiterObservesOwnDeadline is the regression test for the facet-lock
+// half of the cancellation bug: a caller arriving while another caller's
+// traversal is in flight used to block on the facet lock with no way to
+// observe its own deadline. The latch must let the waiter return ctx.Err()
+// while the runner is still computing.
+func TestWaiterObservesOwnDeadline(t *testing.T) {
+	var l facetLatch
+	started := make(chan struct{})
+	release := make(chan struct{})
+	runnerDone := make(chan error, 1)
+	go func() {
+		runnerDone <- l.run(context.Background(), func(context.Context) error {
+			close(started)
+			<-release
+			return nil
+		})
+	}()
+	<-started
+
+	// The runner is parked inside compute. A waiter with a short deadline
+	// must give up on its own schedule, not the runner's.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	waiterErr := make(chan error, 1)
+	go func() {
+		waiterErr <- l.run(ctx, func(context.Context) error { return nil })
+	}()
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("waiter returned %v, want context.DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter blocked past its deadline behind an in-flight runner")
+	}
+
+	close(release)
+	if err := <-runnerDone; err != nil {
+		t.Fatalf("runner: %v", err)
+	}
+	// The facet latched: later callers see it without recomputing.
+	ran := false
+	if err := l.run(context.Background(), func(context.Context) error { ran = true; return nil }); err != nil || ran {
+		t.Fatalf("latched facet recomputed (ran=%v) or failed (%v)", ran, err)
+	}
+}
+
+// TestFailedRunnerDoesNotPoisonLatch: a runner that fails (cancellation)
+// leaves the facet uncomputed; the next caller recomputes rather than
+// inheriting the failure.
+func TestFailedRunnerDoesNotPoisonLatch(t *testing.T) {
+	var l facetLatch
+	boom := errors.New("cancelled")
+	if err := l.run(context.Background(), func(context.Context) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("first run: %v, want %v", err, boom)
+	}
+	ran := false
+	if err := l.run(context.Background(), func(context.Context) error { ran = true; return nil }); err != nil || !ran {
+		t.Fatalf("retry after failure: ran=%v err=%v", ran, err)
+	}
+}
+
+// TestWaiterCoalescesOnSuccess: a waiter whose context stays live while the
+// runner finishes picks up the runner's result instead of recomputing.
+func TestWaiterCoalescesOnSuccess(t *testing.T) {
+	var l facetLatch
+	started := make(chan struct{})
+	release := make(chan struct{})
+	computes := make(chan int, 2)
+	go l.run(context.Background(), func(context.Context) error {
+		close(started)
+		computes <- 1
+		<-release
+		return nil
+	})
+	<-started
+	waiterErr := make(chan error, 1)
+	go func() {
+		waiterErr <- l.run(context.Background(), func(context.Context) error {
+			computes <- 2
+			return nil
+		})
+	}()
+	close(release)
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("waiter: %v", err)
+	}
+	if got := len(computes); got != 1 {
+		t.Fatalf("%d computations ran, want 1 (waiter must coalesce)", got)
+	}
+}
+
+// TestCyclicFacetsStillReportTaxonomy: the ctx plumbing must not disturb
+// the structured error taxonomy on the cyclic side.
+func TestCyclicFacetsStillReportTaxonomy(t *testing.T) {
+	a := New(hypergraph.Triangle())
+	if _, err := a.JoinTreeCtx(context.Background()); !errors.Is(err, hypergraph.ErrCyclic) {
+		t.Fatalf("JoinTreeCtx on cyclic input: %v, want ErrCyclic", err)
+	}
+	if _, err := a.FullReducerCtx(context.Background()); !errors.Is(err, hypergraph.ErrCyclicSchema) {
+		t.Fatalf("FullReducerCtx on cyclic input: %v, want ErrCyclicSchema", err)
+	}
+}

@@ -240,13 +240,22 @@ func (a *Analysis) checkSchemaLocked(d *exec.Database) error {
 // d (see analysis.Analysis.Reduce for the execution contract). The plan
 // derivation is epoch-checked — an edited workspace reports *ErrStaleEpoch
 // instead of running a plan for a schema that no longer exists; the
-// reduction itself runs per call outside the handle's lock.
+// reduction itself runs per call outside the handle's lock. A workspace
+// built with WithParallelism/WithPool runs the level-scheduled parallel
+// reduction (output and stats identical to the serial program).
 func (a *Analysis) Reduce(ctx context.Context, d *exec.Database) (*exec.ReduceResult, error) {
 	a.mu.Lock()
 	prog, err := a.reducePlanLocked(d)
+	var jt *jointree.JoinTree
+	if err == nil && a.ws.pool.Parallelism() > 1 {
+		jt, err = a.joinTreeLocked()
+	}
 	a.mu.Unlock()
 	if err != nil {
 		return nil, err
+	}
+	if jt != nil {
+		return exec.ReduceParallel(ctx, d, jt, a.ws.pool)
 	}
 	return exec.Reduce(ctx, d, prog)
 }
@@ -275,6 +284,9 @@ func (a *Analysis) Eval(ctx context.Context, d *exec.Database, attrs []string) (
 	a.mu.Unlock()
 	if err != nil {
 		return nil, err
+	}
+	if a.ws.pool.Parallelism() > 1 {
+		return exec.EvalParallel(ctx, d, jt, attrs, a.ws.pool)
 	}
 	return exec.EvalWithProgram(ctx, d, jt, prog, attrs)
 }

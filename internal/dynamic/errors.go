@@ -38,9 +38,10 @@ func (e *ErrUnknownEdge) Error() string {
 	return fmt.Sprintf("repro: unknown edge id %d", e.ID)
 }
 
-// ErrNodeExists reports a RenameNode target that is already interned in the
-// workspace (as a current node, or as a reserved name of a departed one).
-// Match with errors.As to recover the conflicting name.
+// ErrNodeExists reports a RenameNode target that names a node currently
+// present in the workspace. Names of departed nodes are released as soon as
+// their last edge is removed, so renaming onto one succeeds. Match with
+// errors.As to recover the conflicting name.
 type ErrNodeExists struct {
 	// Name is the already-taken node name.
 	Name string

@@ -1,0 +1,288 @@
+package dynamic
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/gendb"
+)
+
+// TestBoundedGrowthUnderChurn is the regression test for the workspace
+// memory leak: before slot and name recycling, every AddEdge appended a
+// fresh edge record forever and every departed node name stayed interned,
+// so a long-running add/remove loop grew all backing structures linearly
+// in the *history* instead of the live population. 10⁵ churn cycles must
+// leave every structure bounded by a small constant.
+func TestBoundedGrowthUnderChurn(t *testing.T) {
+	cycles := 100000
+	if testing.Short() {
+		cycles = 5000
+	}
+	ws := New()
+	for i := 0; i < cycles; i++ {
+		// Fresh names every cycle: without name recycling the intern table
+		// would end up with ~2*cycles entries.
+		a := fmt.Sprintf("a%d", i)
+		b := fmt.Sprintf("b%d", i)
+		id, err := ws.AddEdge(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ws.RemoveEdge(id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ws.EdgeNodes(id); err == nil {
+			t.Fatalf("cycle %d: removed id %d still resolves", i, id)
+		}
+	}
+	const bound = 8 // live population is 0; a small constant of slack is fine
+	if len(ws.edges) > bound {
+		t.Fatalf("edge slots grew with history: %d records after %d cycles (live: 0)", len(ws.edges), cycles)
+	}
+	if len(ws.names) > bound || len(ws.index) > bound {
+		t.Fatalf("node intern table grew with history: %d names, %d index entries after %d cycles (live: 0)",
+			len(ws.names), len(ws.index), cycles)
+	}
+	if len(ws.inc) > bound || len(ws.nodeComp) > bound {
+		t.Fatalf("per-node tables grew with history: inc=%d nodeComp=%d", len(ws.inc), len(ws.nodeComp))
+	}
+	if len(ws.comps) > bound {
+		t.Fatalf("component table grew with history: %d records", len(ws.comps))
+	}
+
+	// The workspace is still fully functional after the churn.
+	id, err := ws.AddEdge("x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ws.Analysis().Verdict() {
+		t.Fatal("single-edge workspace must be acyclic after churn")
+	}
+	if err := ws.RemoveEdge(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemovedIDsStayDead: recycling an edge slot must not resurrect the old
+// occupant's id — the generation check rejects every id a slot ever issued
+// before its current occupant.
+func TestRemovedIDsStayDead(t *testing.T) {
+	ws := New()
+	id1, _ := ws.AddEdge("A", "B")
+	if err := ws.RemoveEdge(id1); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := ws.AddEdge("C", "D") // reuses the slot under a new generation
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatalf("recycled slot reissued the same public id %d", id1)
+	}
+	if err := ws.RemoveEdge(id1); err == nil {
+		t.Fatal("stale id removed the slot's new occupant")
+	}
+	if nodes, err := ws.EdgeNodes(id2); err != nil || len(nodes) != 2 {
+		t.Fatalf("new occupant unreadable: %v %v", nodes, err)
+	}
+}
+
+// TestRenameOntoDepartedName: departed names are released, so RenameNode
+// may claim one (the pre-recycling workspace reserved them forever).
+func TestRenameOntoDepartedName(t *testing.T) {
+	ws := New()
+	id, _ := ws.AddEdge("gone", "other")
+	keep, _ := ws.AddEdge("stay1", "stay2")
+	if err := ws.RemoveEdge(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.RenameNode("stay1", "gone"); err != nil {
+		t.Fatalf("rename onto departed name: %v", err)
+	}
+	nodes, err := ws.EdgeNodes(keep)
+	if err != nil || nodes[0] != "gone" && nodes[1] != "gone" {
+		t.Fatalf("rename did not take: %v %v", nodes, err)
+	}
+	// Current names still collide.
+	if err := ws.RenameNode("stay2", "gone"); err == nil {
+		t.Fatal("rename onto a current name must fail")
+	}
+}
+
+// TestParallelSettleMatchesSerial runs the differential edit scripts on
+// workspaces with worker pools at several GOMAXPROCS values: the parallel
+// settle path must produce exactly the serial answers (checkAgainstScratch
+// compares every epoch against a from-scratch analysis).
+func TestParallelSettleMatchesSerial(t *testing.T) {
+	nOps := 400
+	if testing.Short() {
+		nOps = 80
+	}
+	for _, gmp := range []int{1, 4} {
+		for _, workers := range []int{2, 8} {
+			t.Run(fmt.Sprintf("gomaxprocs=%d/workers=%d", gmp, workers), func(t *testing.T) {
+				prev := runtime.GOMAXPROCS(gmp)
+				defer runtime.GOMAXPROCS(prev)
+				rng := rand.New(rand.NewSource(int64(100*gmp + workers)))
+				ser := New()
+				par := New(WithParallelism(workers))
+				var alive []int
+				for op := 0; op < nOps; op++ {
+					if len(alive) == 0 || rng.Float64() < 0.6 {
+						arity := 1 + rng.Intn(3)
+						nodes := make([]string, arity)
+						for i := range nodes {
+							nodes[i] = fmt.Sprintf("n%02d", rng.Intn(14))
+						}
+						sid, err := ser.AddEdge(nodes...)
+						if err != nil {
+							t.Fatal(err)
+						}
+						pid, err := par.AddEdge(nodes...)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if sid != pid {
+							t.Fatalf("op %d: id divergence %d vs %d", op, sid, pid)
+						}
+						alive = append(alive, sid)
+					} else {
+						i := rng.Intn(len(alive))
+						if err := ser.RemoveEdge(alive[i]); err != nil {
+							t.Fatal(err)
+						}
+						if err := par.RemoveEdge(alive[i]); err != nil {
+							t.Fatal(err)
+						}
+						alive[i] = alive[len(alive)-1]
+						alive = alive[:len(alive)-1]
+					}
+					// Settle both every few ops so multi-component dirty sets
+					// actually fan out, and compare verdict + forest.
+					if op%5 != 0 {
+						continue
+					}
+					sa, pa := ser.Analysis(), par.Analysis()
+					if sa.Verdict() != pa.Verdict() {
+						t.Fatalf("op %d: verdict %v (serial) vs %v (parallel)", op, sa.Verdict(), pa.Verdict())
+					}
+					sjt, serr := sa.JoinTree()
+					pjt, perr := pa.JoinTree()
+					if (serr == nil) != (perr == nil) {
+						t.Fatalf("op %d: JoinTree err %v (serial) vs %v (parallel)", op, serr, perr)
+					}
+					if serr == nil {
+						if len(sjt.Parent) != len(pjt.Parent) {
+							t.Fatalf("op %d: forest sizes differ", op)
+						}
+						for i := range sjt.Parent {
+							if sjt.Parent[i] != pjt.Parent[i] {
+								t.Fatalf("op %d: forest parent[%d] = %d (serial) vs %d (parallel)",
+									op, i, sjt.Parent[i], pjt.Parent[i])
+							}
+						}
+					}
+					checkAgainstScratch(t, par, op, false)
+				}
+			})
+		}
+	}
+}
+
+// TestColdSnapshotSettlesInParallel: a workspace seeded with many disjoint
+// components settles them all on the first Analysis — the Snapshot()-wide
+// cold fan-out — and must agree with the serial verdict.
+func TestColdSnapshotSettlesInParallel(t *testing.T) {
+	build := func(opts ...Option) *Workspace {
+		ws := New(opts...)
+		for c := 0; c < 40; c++ {
+			// Component c: a small acyclic chain, plus one triangle-shaped
+			// cyclic component every 10th to exercise mixed verdicts.
+			p := func(n int) string { return fmt.Sprintf("c%d_n%d", c, n) }
+			if c%10 == 9 {
+				ws.AddEdge(p(0), p(1))
+				ws.AddEdge(p(1), p(2))
+				ws.AddEdge(p(2), p(0))
+			} else {
+				ws.AddEdge(p(0), p(1))
+				ws.AddEdge(p(1), p(2))
+			}
+		}
+		return ws
+	}
+	ser := build()
+	par := build(WithParallelism(8))
+	if sv, pv := ser.Analysis().Verdict(), par.Analysis().Verdict(); sv != pv {
+		t.Fatalf("cold settle verdict: %v (serial) vs %v (parallel)", sv, pv)
+	}
+	if ser.NumComponents() != par.NumComponents() {
+		t.Fatalf("component counts differ: %d vs %d", ser.NumComponents(), par.NumComponents())
+	}
+}
+
+// TestAnalysisCtxCancellation: a cancelled context aborts settling with
+// ctx.Err() instead of running the component searches to completion, and a
+// later call with a live context recovers.
+func TestAnalysisCtxCancellation(t *testing.T) {
+	ws := New()
+	ws.AddEdge("A", "B")
+	ws.AddEdge("B", "C")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ws.AnalysisCtx(ctx); err != context.Canceled {
+		t.Fatalf("AnalysisCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	a, err := ws.AnalysisCtx(context.Background())
+	if err != nil || !a.Verdict() {
+		t.Fatalf("recovery failed: %v %v", a, err)
+	}
+}
+
+// TestWorkspaceExecParallel: the epoch handle's Reduce/Eval on a parallel
+// workspace agree with a serial workspace over the same schema and data.
+func TestWorkspaceExecParallel(t *testing.T) {
+	ctx := context.Background()
+	h := gen.AcyclicChain(4, 2, 1)
+	rng := rand.New(rand.NewSource(11))
+	d := gendb.Random(rng, h, gen.InstanceSpec{Rows: 30, DomainSize: 3})
+
+	mk := func(opts ...Option) *Analysis {
+		ws, err := NewFrom(h, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ws.Analysis()
+	}
+	// Schema checks compare content fingerprints, so one database serves
+	// both workspaces' content-equal snapshots.
+	sa, pa := mk(), mk(WithParallelism(8))
+
+	sres, err := sa.Reduce(ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := pa.Reduce(ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.RowsOut != pres.RowsOut || len(sres.Steps) != len(pres.Steps) {
+		t.Fatalf("workspace Reduce differs: serial %d rows/%d steps, parallel %d rows/%d steps",
+			sres.RowsOut, len(sres.Steps), pres.RowsOut, len(pres.Steps))
+	}
+	attrs := h.Nodes()[:2]
+	sev, err := sa.Eval(ctx, d, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pev, err := pa.Eval(ctx, d, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sev.Out.ToRelation().Equal(pev.Out.ToRelation()) {
+		t.Fatal("workspace Eval output differs between serial and parallel")
+	}
+}

@@ -33,6 +33,7 @@
 package dynamic
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"sync"
@@ -41,6 +42,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/hypergraph"
 	"repro/internal/mcs"
+	"repro/internal/pool"
 )
 
 // Workspace is a concurrency-safe mutable hypergraph. Construct with New or
@@ -52,16 +54,22 @@ type Workspace struct {
 	mu    sync.Mutex
 	epoch atomic.Uint64 // bumped on every successful edit
 
-	// Node interning. Ids are dense and stable; a node is *current* while
-	// at least one alive edge covers it (nodeComp >= 0). Names stay
-	// reserved after a node departs, so edge digests never alias.
-	names []string
-	index map[string]int
-	inc   [][]int32 // node id -> alive edge ids containing it (unordered)
+	// Node interning. Ids are dense; a node is *current* while at least one
+	// alive edge covers it (nodeComp >= 0). When the last covering edge
+	// goes, the node departs completely: its name leaves the index and its
+	// id joins the free list for the next intern — long-running edit churn
+	// stays bounded by the live population, not by history. (Digests cannot
+	// alias through reuse: they are computed from the names of alive edges
+	// only, and a freed id has no alive incidences by definition.)
+	names    []string
+	index    map[string]int
+	inc      [][]int32 // node id -> alive edge ids containing it (unordered)
+	freeNode []int32   // departed node ids available for reuse
 
-	edges   []wedge // edge id -> record; ids are stable and never reused
-	alive   int     // alive edge count
-	covered int     // current (covered) node count
+	edges    []wedge // edge slot -> record; dead slots are reused (see wedge.gen)
+	freeEdge []int32 // dead edge slots available for reuse
+	alive    int     // alive edge count
+	covered  int     // current (covered) node count
 
 	comps    []*component // component id -> state; nil when destroyed
 	freeComp []int32      // destroyed component ids available for reuse
@@ -70,7 +78,8 @@ type Workspace struct {
 	dirty  map[int32]struct{} // components whose analysis must be recomputed
 	cyclic int                // settled components that are cyclic
 
-	eng *engine.Engine // optional component-granular memo
+	eng  *engine.Engine // optional component-granular memo
+	pool *pool.Pool     // parallel settle + exec (nil: serial)
 
 	// Per-epoch caches, reset by every edit.
 	cur     *Analysis
@@ -79,13 +88,36 @@ type Workspace struct {
 	snapPos []int32 // edge id -> snapshot position (alive edges only)
 }
 
-// wedge is one edge record. Dead edges keep their slot (ids are stable
-// handles) but drop their node payload.
+// wedge is one edge record. Public edge ids are generational — slot in the
+// low bits, gen in the high — so a dead slot can be handed to a new edge
+// while every id the old occupant ever issued keeps failing validation:
+// removal bumps gen, and decodeEdge accepts an id only when its generation
+// matches the slot's current one.
 type wedge struct {
 	ids    []int32 // sorted node ids; nil once removed
 	comp   int32
+	gen    uint32 // generation of the current (or next) occupant
 	alive  bool
 	digest hypergraph.Fingerprint128 // canonical content digest (sorted names)
+}
+
+// encodeEdgeID packs a slot and its generation into the public edge id.
+// Generation-0 ids equal their slots, so a fresh workspace (NewFrom) hands
+// out ids 0..n-1 exactly as documented.
+func encodeEdgeID(slot int, gen uint32) int {
+	return slot | int(gen)<<32
+}
+
+// decodeEdge resolves a public edge id to its slot, rejecting ids whose
+// slot is out of range, dead, or occupied by a later generation.
+func (ws *Workspace) decodeEdge(id int) (int, bool) {
+	slot := id & (1<<32 - 1)
+	gen := uint32(id >> 32)
+	if id < 0 || slot >= len(ws.edges) {
+		return 0, false
+	}
+	w := &ws.edges[slot]
+	return slot, w.alive && w.gen == gen
 }
 
 // component is the per-component incremental state: membership, the
@@ -113,6 +145,23 @@ type Option func(*Workspace)
 // component identities too.
 func WithEngine(e *engine.Engine) Option {
 	return func(ws *Workspace) { ws.eng = e }
+}
+
+// WithPool attaches a shared worker pool: dirty components re-analyze
+// concurrently when a batch of edits settles, a cold Analysis/Snapshot
+// fans its per-component searches out, and the handle's Reduce/Eval facets
+// run the intra-query parallel executor. Pass an engine's pool
+// (Engine.Pool) to spend one budget across inter-query batches and this
+// workspace. A nil pool (or parallelism 1) keeps every path serial.
+// Results are identical either way.
+func WithPool(p *pool.Pool) Option {
+	return func(ws *Workspace) { ws.pool = p }
+}
+
+// WithParallelism caps this workspace's parallelism at n workers (n < 1
+// means GOMAXPROCS) with a private pool; see WithPool for sharing.
+func WithParallelism(n int) Option {
+	return WithPool(pool.New(n))
 }
 
 // New returns an empty workspace at epoch 0.
@@ -178,11 +227,12 @@ func (ws *Workspace) EdgeIDs() []int {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
 	out := make([]int, 0, ws.alive)
-	for id := range ws.edges {
-		if ws.edges[id].alive {
-			out = append(out, id)
+	for slot := range ws.edges {
+		if w := &ws.edges[slot]; w.alive {
+			out = append(out, encodeEdgeID(slot, w.gen))
 		}
 	}
+	sort.Ints(out)
 	return out
 }
 
@@ -190,10 +240,11 @@ func (ws *Workspace) EdgeIDs() []int {
 func (ws *Workspace) EdgeNodes(id int) ([]string, error) {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
-	if id < 0 || id >= len(ws.edges) || !ws.edges[id].alive {
+	slot, ok := ws.decodeEdge(id)
+	if !ok {
 		return nil, &ErrUnknownEdge{ID: id}
 	}
-	return ws.sortedNames(ws.edges[id].ids), nil
+	return ws.sortedNames(ws.edges[slot].ids), nil
 }
 
 // AddEdge adds an edge over the named nodes (duplicates collapse; at least
@@ -240,14 +291,22 @@ func (ws *Workspace) AddEdge(nodes ...string) (int, error) {
 	}
 
 	c := ws.comps[cid]
-	id := len(ws.edges)
 	digest := ws.edgeDigest(sorted)
-	ws.edges = append(ws.edges, wedge{ids: ids, comp: cid, alive: true, digest: digest})
+	var slot int
+	if n := len(ws.freeEdge); n > 0 {
+		slot = int(ws.freeEdge[n-1])
+		ws.freeEdge = ws.freeEdge[:n-1]
+		gen := ws.edges[slot].gen // bumped past every id the slot ever issued
+		ws.edges[slot] = wedge{ids: ids, comp: cid, gen: gen, alive: true, digest: digest}
+	} else {
+		slot = len(ws.edges)
+		ws.edges = append(ws.edges, wedge{ids: ids, comp: cid, alive: true, digest: digest})
+	}
 	ws.alive++
-	c.edges[id] = struct{}{}
+	c.edges[slot] = struct{}{}
 	c.sum = c.sum.Add(digest)
 	for _, nid := range ids {
-		ws.inc[nid] = append(ws.inc[nid], int32(id))
+		ws.inc[nid] = append(ws.inc[nid], int32(slot))
 		if ws.nodeComp[nid] < 0 {
 			ws.nodeComp[nid] = cid
 			ws.covered++
@@ -255,33 +314,43 @@ func (ws *Workspace) AddEdge(nodes ...string) (int, error) {
 		}
 	}
 	ws.bump()
-	return id, nil
+	return encodeEdgeID(slot, ws.edges[slot].gen), nil
 }
 
 // RemoveEdge removes the edge with the given id. Nodes left uncovered
-// depart; if the removal disconnects the edge's component, the component is
-// re-partitioned by a rebuild bounded by that component's size (the rest of
-// the workspace is untouched).
+// depart — completely: their names leave the index (a later AddEdge or
+// RenameNode may claim them afresh) and their ids are recycled, so churn
+// does not accumulate. The edge's slot is recycled too, under a bumped
+// generation, so the removed id (and every other id the slot ever issued)
+// keeps reporting *ErrUnknownEdge. If the removal disconnects the edge's
+// component, the component is re-partitioned by a rebuild bounded by that
+// component's size (the rest of the workspace is untouched).
 func (ws *Workspace) RemoveEdge(id int) error {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
-	if id < 0 || id >= len(ws.edges) || !ws.edges[id].alive {
+	slot, ok := ws.decodeEdge(id)
+	if !ok {
 		return &ErrUnknownEdge{ID: id}
 	}
-	w := &ws.edges[id]
+	w := &ws.edges[slot]
 	cid := w.comp
 	c := ws.comps[cid]
-	delete(c.edges, id)
+	delete(c.edges, slot)
 	c.sum = c.sum.Sub(w.digest)
 	for _, nid := range w.ids {
-		ws.dropIncidence(nid, int32(id))
+		ws.dropIncidence(nid, int32(slot))
 		if len(ws.inc[nid]) == 0 {
 			ws.nodeComp[nid] = -1
 			ws.covered--
 			delete(c.nodes, int(nid))
+			delete(ws.index, ws.names[nid])
+			ws.names[nid] = ""
+			ws.freeNode = append(ws.freeNode, nid)
 		}
 	}
 	w.alive, w.ids = false, nil
+	w.gen++
+	ws.freeEdge = append(ws.freeEdge, int32(slot))
 	ws.alive--
 	if len(c.edges) == 0 {
 		ws.destroyComp(cid)
@@ -292,11 +361,11 @@ func (ws *Workspace) RemoveEdge(id int) error {
 	return nil
 }
 
-// RenameNode renames a current node. The new name must not be interned
-// (*ErrNodeExists otherwise — names stay reserved even after a node
-// departs, so digests never alias); an unknown or departed old name
-// reports *hypergraph.ErrUnknownNode. Renaming re-digests exactly the
-// incident edges and dirties only their component.
+// RenameNode renames a current node. The new name must not belong to a
+// current node (*ErrNodeExists otherwise; names of departed nodes are
+// released and may be claimed); an unknown or departed old name reports
+// *hypergraph.ErrUnknownNode. Renaming re-digests exactly the incident
+// edges and dirties only their component.
 func (ws *Workspace) RenameNode(oldName, newName string) error {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
@@ -346,12 +415,32 @@ func (ws *Workspace) Snapshot() *hypergraph.Hypergraph {
 // keep their verdicts and join-tree fragments). Repeated calls between
 // edits return the same handle; after an edit a fresh handle is built for
 // the new epoch, and handles of older epochs start reporting
-// *ErrStaleEpoch from their derived facets.
+// *ErrStaleEpoch from their derived facets. It is AnalysisCtx without
+// cancellation.
 func (ws *Workspace) Analysis() *Analysis {
+	a, err := ws.AnalysisCtx(context.Background())
+	if err != nil {
+		// Background contexts are never cancelled; AnalysisCtx has no other
+		// error path.
+		panic(err)
+	}
+	return a
+}
+
+// AnalysisCtx is Analysis with cooperative cancellation of the settling
+// searches (each polls ctx every ~4096 work units). A cancelled call
+// returns ctx.Err(); components whose recomputation completed stay
+// settled, the rest stay dirty for the next call to finish. When the
+// workspace has a pool (WithPool / WithParallelism), dirty components
+// re-analyze concurrently — after a batch of edits, and equally when a
+// cold workspace settles every component at once.
+func (ws *Workspace) AnalysisCtx(ctx context.Context) (*Analysis, error) {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
 	if ws.cur == nil {
-		ws.settleLocked()
+		if err := ws.settleLocked(ctx); err != nil {
+			return nil, err
+		}
 		ws.cur = &Analysis{
 			ws:      ws,
 			epoch:   ws.epoch.Load(),
@@ -359,7 +448,7 @@ func (ws *Workspace) Analysis() *Analysis {
 			edges:   ws.alive,
 		}
 	}
-	return ws.cur
+	return ws.cur, nil
 }
 
 // --- internals (callers hold ws.mu) ---
@@ -373,9 +462,17 @@ func (ws *Workspace) bump() {
 	ws.snapPos = nil
 }
 
-// intern resolves a name to a node id, creating the id on first sight.
+// intern resolves a name to a node id, recycling a departed node's id when
+// one is free and growing the id universe otherwise.
 func (ws *Workspace) intern(name string) int {
 	if id, ok := ws.index[name]; ok {
+		return id
+	}
+	if n := len(ws.freeNode); n > 0 {
+		id := int(ws.freeNode[n-1])
+		ws.freeNode = ws.freeNode[:n-1]
+		ws.names[id] = name
+		ws.index[name] = id
 		return id
 	}
 	id := len(ws.names)
@@ -557,25 +654,52 @@ func (ws *Workspace) splitOrDirty(cid int32) {
 // settleLocked recomputes every dirty component and re-establishes the
 // global verdict counter. The work is proportional to the total size of
 // the dirty components — the components edits actually touched — plus a
-// memo probe each when an engine is attached.
-func (ws *Workspace) settleLocked() {
+// memo probe each when an engine is attached. With a pool attached the
+// dirty components recompute concurrently: each task reads the shared
+// structure (which no one mutates while ws.mu is held) and writes only
+// its own component's verdict fields, so the only coordination needed is
+// the per-index error slot. On error (cancellation) the components that
+// finished stay settled and the rest stay dirty for the next call.
+func (ws *Workspace) settleLocked(ctx context.Context) error {
+	if len(ws.dirty) == 0 {
+		return nil
+	}
+	cids := make([]int32, 0, len(ws.dirty))
 	for cid := range ws.dirty {
+		cids = append(cids, cid)
+	}
+	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+
+	errs := make([]error, len(cids))
+	ws.pool.Do(len(cids), func(i int) {
+		errs[i] = ws.recompute(ctx, ws.comps[cids[i]])
+	})
+
+	var firstErr error
+	for i, cid := range cids {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue
+		}
 		c := ws.comps[cid]
-		ws.recompute(c)
 		c.settled = true
 		if !c.acyclic {
 			ws.cyclic++
 		}
 		delete(ws.dirty, cid)
 	}
+	return firstErr
 }
 
 // recompute derives a component's verdict and canonical join-tree fragment,
 // through the engine's component-granular memo when one is attached. The
 // canonical edge order — members sorted by their name-sorted node lists —
 // is content-determined, so the memoized fragment is portable across
-// workspaces holding the same component.
-func (ws *Workspace) recompute(c *component) {
+// workspaces holding the same component. A cancelled search reports the
+// context error and leaves the component untouched (and uninterned).
+func (ws *Workspace) recompute(ctx context.Context, c *component) error {
 	members := make([]int, 0, len(c.edges))
 	for eid := range c.edges {
 		members = append(members, eid)
@@ -586,31 +710,39 @@ func (ws *Workspace) recompute(c *component) {
 	}
 	sort.Sort(&byNameSeq{members: members, keys: keys})
 
-	run := func() engine.ComponentAnalysis { return analyzeMembers(keys) }
+	build := func() (engine.ComponentAnalysis, error) { return analyzeMembers(ctx, keys) }
 	var res engine.ComponentAnalysis
+	var err error
 	if ws.eng != nil {
-		res, _ = ws.eng.InternComponent(engine.ComponentKey{Sum: c.sum, Count: len(members)}, run)
+		res, _, err = ws.eng.InternComponent(engine.ComponentKey{Sum: c.sum, Count: len(members)}, build)
 	} else {
-		res = run()
+		res, err = build()
+	}
+	if err != nil {
+		return err
 	}
 	c.acyclic = res.Acyclic
 	c.parent = res.Parent
 	c.order = members
+	return nil
 }
 
 // analyzeMembers runs the maximum cardinality search over one component,
 // given its edges as canonical name lists in canonical order, and returns
 // the memo record: verdict plus parent links over that order.
-func analyzeMembers(keys [][]string) engine.ComponentAnalysis {
+func analyzeMembers(ctx context.Context, keys [][]string) (engine.ComponentAnalysis, error) {
 	b := hypergraph.NewBuilder()
 	for _, names := range keys {
 		b.Edge(names...)
 	}
-	r := mcs.Run(b.MustBuild())
-	if !r.Acyclic {
-		return engine.ComponentAnalysis{}
+	r, err := mcs.RunCtx(ctx, b.MustBuild())
+	if err != nil {
+		return engine.ComponentAnalysis{}, err
 	}
-	return engine.ComponentAnalysis{Acyclic: true, Parent: r.Parent}
+	if !r.Acyclic {
+		return engine.ComponentAnalysis{}, nil
+	}
+	return engine.ComponentAnalysis{Acyclic: true, Parent: r.Parent}, nil
 }
 
 // byNameSeq sorts component members by their canonical name sequences,
@@ -632,7 +764,13 @@ func (s *byNameSeq) Less(i, j int) bool {
 			return a[k] < b[k]
 		}
 	}
-	return len(a) < len(b)
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	// Duplicate-content edges tie-break by edge id: the canonical order —
+	// and with it the memoized fragment's position space — must be a pure
+	// function of the component, not of map iteration order.
+	return s.members[i] < s.members[j]
 }
 
 // snapshotLocked materializes (and caches) the current epoch's hypergraph

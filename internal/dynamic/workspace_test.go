@@ -275,8 +275,8 @@ func editScript(t *testing.T, seed int64, nOps, poolSize int, eng *engine.Engine
 			alive = alive[:len(alive)-1]
 		default:
 			// Rename a random current node to a fresh name. The old name
-			// stays reserved, so later adds from the pool re-intern it as
-			// a new node — which exercises the reservation rule too.
+			// is released, so later adds from the pool re-intern it as a
+			// new node — which exercises the recycling rule too.
 			nodes := ws.Snapshot().Nodes()
 			if len(nodes) == 0 {
 				continue

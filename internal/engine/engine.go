@@ -41,6 +41,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/hypergraph"
 	"repro/internal/jointree"
+	"repro/internal/pool"
 )
 
 // Engine is a concurrent, memoizing façade over the acyclicity algorithms.
@@ -54,13 +55,34 @@ type Engine struct {
 	keyed bool   // WithKeyedDigest: confirm identities with seeded SipHash
 	seed  uint64 // the keyed-digest seed (meaningful only when keyed)
 
+	// pool is the shared worker budget: batch fan-out draws its extra
+	// goroutines from it, and memoized Analysis sessions carry it into the
+	// intra-query parallel executor, so inter- and intra-query parallelism
+	// cannot oversubscribe e.workers in combination.
+	pool *pool.Pool
+
+	// keyedCache memoizes the per-engine keyed confirmation digest by
+	// hypergraph identity (pointer — Hypergraph is immutable, so a pointer
+	// pins content; a content-equal copy merely recomputes). Keying by the
+	// unkeyed fingerprint instead would re-open the forgery hole the keyed
+	// digest exists to close. Bounded: at keyedCacheMax entries the map is
+	// dropped and restarted, so schema churn cannot grow it without bound.
+	keyedMu    sync.RWMutex
+	keyedCache map[*hypergraph.Hypergraph]uint64
+
 	shards []shard // fingerprint-keyed memo shards, len is a power of two
 	mask   uint64
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	evictions  atomic.Int64
+	keyedWalks atomic.Int64
 }
+
+// keyedCacheMax bounds the keyed-digest cache; when full it is cleared
+// rather than LRU-tracked (the cache exists to make the warm steady-state
+// ~constant, and a steady state fits far under the bound).
+const keyedCacheMax = 4096
 
 // shard is one memo partition holding both memo planes: whole-hypergraph
 // Analysis sessions (memo) and the component-granular records of the
@@ -180,6 +202,10 @@ func New(opts ...Option) *Engine {
 			e.maxPerShard = 1
 		}
 	}
+	e.pool = pool.New(e.workers)
+	if e.keyed {
+		e.keyedCache = make(map[*hypergraph.Hypergraph]uint64)
+	}
 	return e
 }
 
@@ -199,6 +225,12 @@ func (e *Engine) initShards(n int) {
 // Workers returns the batch worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
 
+// Pool returns the engine's shared worker-token pool. Attach it to
+// standalone sessions (analysis.WithPool) or workspaces (dynamic.WithPool)
+// so their intra-query parallelism and this engine's batch fan-out spend
+// one combined budget of Workers goroutines.
+func (e *Engine) Pool() *pool.Pool { return e.pool }
+
 // Shards returns the memo shard count.
 func (e *Engine) Shards() int { return len(e.shards) }
 
@@ -209,6 +241,7 @@ type Stats struct {
 	Hits       int64 // queries answered by an existing memo entry
 	Misses     int64 // queries that created a new memo entry
 	Evictions  int64 // entries dropped by the WithMaxEntries bound
+	KeyedWalks int64 // keyed-digest walks actually computed (cache misses)
 	Entries    int   // distinct hypergraph identities currently resident
 	Components int   // distinct component identities currently resident
 }
@@ -223,7 +256,7 @@ func (e *Engine) Stats() Stats {
 		cn += s.cn
 		s.mu.Unlock()
 	}
-	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load(), Evictions: e.evictions.Load(), Entries: n, Components: cn}
+	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load(), Evictions: e.evictions.Load(), KeyedWalks: e.keyedWalks.Load(), Entries: n, Components: cn}
 }
 
 // entryFor interns h's identity under the streaming 128-bit fingerprint
@@ -238,11 +271,12 @@ func (e *Engine) entryFor(h *hypergraph.Hypergraph) *entry {
 	var keyed uint64
 	if e.keyed {
 		// The keyed confirmation digest is engine-specific (it depends on
-		// the seed), so it cannot be cached on the hypergraph; every query
-		// pays the O(total edge size) walk. That is the WithKeyedDigest
-		// trade: identity can no longer be forged, and can no longer be
-		// read off a cached field either.
-		keyed = hypergraph.KeyedDigest(h, e.seed)
+		// the seed), so it cannot be cached on the hypergraph itself; the
+		// engine caches it per hypergraph identity instead, so the warm
+		// path of trusted-but-keyed deployments regains its ~constant cost
+		// (only the first query of each *Hypergraph pays the O(total edge
+		// size) walk).
+		keyed = e.keyedDigest(h)
 	}
 	key := fp.Hi ^ fp.Lo
 	s := &e.shards[key&e.mask]
@@ -260,13 +294,35 @@ func (e *Engine) entryFor(h *hypergraph.Hypergraph) *entry {
 		s.evictOldest()
 		e.evictions.Add(1)
 	}
-	en := &entry{fp: fp, keyed: keyed, an: analysis.New(h), key: key, seq: s.clock}
+	en := &entry{fp: fp, keyed: keyed, an: analysis.New(h, analysis.WithPool(e.pool)), key: key, seq: s.clock}
 	s.clock++
 	s.memo[key] = append(s.memo[key], en)
 	s.n++
 	s.mu.Unlock()
 	e.misses.Add(1)
 	return en
+}
+
+// keyedDigest returns the seeded confirmation digest of h, cached by
+// pointer identity (sound: Hypergraph is immutable, so a pointer pins one
+// content forever; a content-equal copy under a different pointer just
+// recomputes the same digest).
+func (e *Engine) keyedDigest(h *hypergraph.Hypergraph) uint64 {
+	e.keyedMu.RLock()
+	d, ok := e.keyedCache[h]
+	e.keyedMu.RUnlock()
+	if ok {
+		return d
+	}
+	e.keyedWalks.Add(1)
+	d = hypergraph.KeyedDigest(h, e.seed)
+	e.keyedMu.Lock()
+	if len(e.keyedCache) >= keyedCacheMax {
+		e.keyedCache = make(map[*hypergraph.Hypergraph]uint64)
+	}
+	e.keyedCache[h] = d
+	e.keyedMu.Unlock()
+	return d
 }
 
 // evictOldest removes the entry with the smallest recency stamp. The victim
@@ -337,27 +393,31 @@ type ComponentAnalysis struct {
 // entries instead of re-running the search. build executes outside the
 // shard lock (it runs a full MCS over the component); concurrent callers
 // interning the same new identity may build in parallel, and the first
-// insert wins. Component records share the WithMaxEntries bound (per shard,
-// accounted separately from whole-hypergraph sessions) and the same
-// least-recently-touched eviction.
-func (e *Engine) InternComponent(ck ComponentKey, build func() ComponentAnalysis) (res ComponentAnalysis, hit bool) {
+// insert wins. A build error (cancellation) propagates without interning
+// anything, so an abandoned build never poisons the memo. Component records
+// share the WithMaxEntries bound (per shard, accounted separately from
+// whole-hypergraph sessions) and the same least-recently-touched eviction.
+func (e *Engine) InternComponent(ck ComponentKey, build func() (ComponentAnalysis, error)) (res ComponentAnalysis, hit bool, err error) {
 	key := ck.fold()
 	s := &e.shards[key&e.mask]
 	s.mu.Lock()
 	if en, ok := s.lookupComponent(key, ck); ok {
 		s.mu.Unlock()
 		e.hits.Add(1)
-		return en.res, true
+		return en.res, true, nil
 	}
 	s.mu.Unlock()
-	built := build()
+	built, err := build()
+	if err != nil {
+		return ComponentAnalysis{}, false, err
+	}
 	s.mu.Lock()
 	if en, ok := s.lookupComponent(key, ck); ok {
 		// A concurrent builder inserted the identity first; adopt its
 		// record so every caller shares one fragment.
 		s.mu.Unlock()
 		e.hits.Add(1)
-		return en.res, true
+		return en.res, true, nil
 	}
 	if e.maxPerShard > 0 && s.cn >= e.maxPerShard {
 		s.evictOldestComponent()
@@ -369,7 +429,7 @@ func (e *Engine) InternComponent(ck ComponentKey, build func() ComponentAnalysis
 	s.cn++
 	s.mu.Unlock()
 	e.misses.Add(1)
-	return built, false
+	return built, false, nil
 }
 
 // lookupComponent finds a component record and touches its recency stamp.
@@ -459,22 +519,32 @@ func (e *Engine) Classify(h *hypergraph.Hypergraph) acyclic.Classification {
 
 // IsAcyclicBatch answers one verdict per input, fanned out across the
 // worker pool. Duplicate inputs (by canonical identity) are computed once.
-// Cancellation is observed between work items: on a cancelled context the
-// partial results are returned alongside ctx.Err(), with unprocessed slots
-// left at their zero value.
+// Cancellation is observed between work items AND inside each traversal
+// (every ~4096 work units), so one huge instance no longer pins a worker
+// past the deadline: on a cancelled context the partial results are
+// returned alongside ctx.Err(), with unprocessed slots left at their zero
+// value.
 func (e *Engine) IsAcyclicBatch(ctx context.Context, hs []*hypergraph.Hypergraph) ([]bool, error) {
 	out := make([]bool, len(hs))
-	err := e.fanOut(ctx, len(hs), func(i int) { out[i] = e.IsAcyclic(hs[i]) })
+	err := e.fanOut(ctx, len(hs), func(i int) {
+		if v, err := e.entryFor(hs[i]).an.VerdictCtx(ctx); err == nil {
+			out[i] = v
+		}
+	})
 	return out, err
 }
 
 // JoinTreeBatch builds one join tree per input (nil where cyclic), with the
 // ok verdicts in the second result. Cancellation semantics match
-// IsAcyclicBatch.
+// IsAcyclicBatch (a slot whose traversal was cancelled stays nil/false).
 func (e *Engine) JoinTreeBatch(ctx context.Context, hs []*hypergraph.Hypergraph) ([]*jointree.JoinTree, []bool, error) {
 	trees := make([]*jointree.JoinTree, len(hs))
 	oks := make([]bool, len(hs))
-	err := e.fanOut(ctx, len(hs), func(i int) { trees[i], oks[i] = e.JoinTree(hs[i]) })
+	err := e.fanOut(ctx, len(hs), func(i int) {
+		if jt, err := e.entryFor(hs[i]).an.JoinTreeCtx(ctx); err == nil {
+			trees[i], oks[i] = jt, true
+		}
+	})
 	return trees, oks, err
 }
 
@@ -496,41 +566,39 @@ func (e *Engine) AnalyzeBatch(ctx context.Context, hs []*hypergraph.Hypergraph) 
 	return out, err
 }
 
-// fanOut runs f(0..n-1) over the worker pool, checking ctx between work
-// items (an in-flight item is never interrupted — work items are the
-// cancellation granularity). Work is handed out via an atomic cursor, so
-// uneven per-item cost (cyclic rejects are cheap, big acyclic instances are
-// not) balances automatically. Returns ctx.Err() if cancellation was
-// observed.
+// fanOut runs f(0..n-1) over the shared worker pool, checking ctx between
+// work items (facets additionally observe ctx inside their traversals).
+// The caller participates as a worker and extra goroutines are token-gated
+// (pool.TryAcquire), so batch fan-out and the intra-query parallelism of
+// the very sessions it queries spend one combined budget of e.workers
+// goroutines instead of multiplying. Work is handed out via an atomic
+// cursor, so uneven per-item cost (cyclic rejects are cheap, big acyclic
+// instances are not) balances automatically. Returns ctx.Err() if
+// cancellation was observed.
 func (e *Engine) fanOut(ctx context.Context, n int, f func(i int)) error {
-	workers := e.workers
-	if workers > n {
-		workers = n
+	if n == 0 {
+		return ctx.Err()
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
+	var cursor atomic.Int64
+	loop := func() {
+		for ctx.Err() == nil {
+			i := int(cursor.Add(1)) - 1
+			if i >= n {
+				return
 			}
 			f(i)
 		}
-		return nil
 	}
-	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	for spawned := 0; spawned < e.workers-1 && spawned < n-1 && e.pool.TryAcquire(); spawned++ {
+		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for ctx.Err() == nil {
-				i := int(cursor.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				f(i)
-			}
+			defer e.pool.Release()
+			loop()
 		}()
 	}
+	loop()
 	wg.Wait()
 	return ctx.Err()
 }

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -400,32 +402,42 @@ func TestInternComponent(t *testing.T) {
 	keyA := ComponentKey{Sum: hypergraph.EdgeDigestNames([]string{"A", "B"}), Count: 1}
 	keyB := ComponentKey{Sum: hypergraph.EdgeDigestNames([]string{"B", "C"}), Count: 1}
 	builds := 0
-	build := func(acyclic bool) func() ComponentAnalysis {
-		return func() ComponentAnalysis {
+	build := func(acyclic bool) func() (ComponentAnalysis, error) {
+		return func() (ComponentAnalysis, error) {
 			builds++
-			return ComponentAnalysis{Acyclic: acyclic, Parent: []int{-1}}
+			return ComponentAnalysis{Acyclic: acyclic, Parent: []int{-1}}, nil
 		}
 	}
-	res, hit := e.InternComponent(keyA, build(true))
-	if hit || !res.Acyclic || builds != 1 {
-		t.Fatalf("first intern: hit=%v res=%+v builds=%d", hit, res, builds)
+	res, hit, err := e.InternComponent(keyA, build(true))
+	if err != nil || hit || !res.Acyclic || builds != 1 {
+		t.Fatalf("first intern: hit=%v res=%+v builds=%d err=%v", hit, res, builds, err)
 	}
-	res, hit = e.InternComponent(keyA, build(false))
-	if !hit || !res.Acyclic || builds != 1 {
-		t.Fatalf("repeat intern must hit without building: hit=%v res=%+v builds=%d", hit, res, builds)
+	res, hit, err = e.InternComponent(keyA, build(false))
+	if err != nil || !hit || !res.Acyclic || builds != 1 {
+		t.Fatalf("repeat intern must hit without building: hit=%v res=%+v builds=%d err=%v", hit, res, builds, err)
 	}
-	if _, hit = e.InternComponent(keyB, build(false)); hit {
+	if _, hit, _ = e.InternComponent(keyB, build(false)); hit {
 		t.Fatal("distinct key must miss")
 	}
+	keyC := ComponentKey{Sum: hypergraph.EdgeDigestNames([]string{"C", "D"}), Count: 1}
+	wantErr := errors.New("cancelled mid-build")
+	if _, _, err = e.InternComponent(keyC, func() (ComponentAnalysis, error) {
+		return ComponentAnalysis{}, wantErr
+	}); !errors.Is(err, wantErr) {
+		t.Fatalf("failing build must surface its error, got %v", err)
+	}
+	if _, hit, err = e.InternComponent(keyC, build(true)); err != nil || hit {
+		t.Fatalf("a failed build must not intern: hit=%v err=%v", hit, err)
+	}
 	st := e.Stats()
-	if st.Components != 2 || st.Hits != 1 || st.Misses != 2 {
-		t.Fatalf("stats = %+v, want 2 components, 1 hit, 2 misses", st)
+	if st.Components != 3 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 3 components, 1 hit", st)
 	}
 
 	bounded := New(WithShards(1), WithMaxEntries(2))
 	for i := 0; i < 5; i++ {
 		k := ComponentKey{Sum: hypergraph.EdgeDigestNames([]string{"X", string(rune('a' + i))}), Count: 1}
-		bounded.InternComponent(k, func() ComponentAnalysis { return ComponentAnalysis{Acyclic: true} })
+		bounded.InternComponent(k, func() (ComponentAnalysis, error) { return ComponentAnalysis{Acyclic: true}, nil })
 	}
 	st = bounded.Stats()
 	if st.Components > 2 || st.Evictions == 0 {
@@ -463,5 +475,61 @@ func TestKeyedDigestMemo(t *testing.T) {
 	}
 	if e.EdgeDigest(names) != hypergraph.KeyedEdgeDigest(42, names) {
 		t.Fatal("keyed engines must use the seeded edge digest")
+	}
+}
+
+// TestKeyedDigestWalkedOncePerIdentity is the regression test for the
+// keyed-digest rewalk bug: a keyed engine used to recompute the O(total
+// edge size) confirmation digest on *every* query, so the warm path lost
+// its ~constant cost exactly in the hardened deployments that need the
+// digest. The walk must run once per hypergraph identity, however many
+// queries repeat it.
+func TestKeyedDigestWalkedOncePerIdentity(t *testing.T) {
+	e := New(WithShards(1), WithKeyedDigest(7))
+	h := hypergraph.New([][]string{{"A", "B"}, {"B", "C"}, {"C", "D"}})
+	for i := 0; i < 100; i++ {
+		if !e.IsAcyclic(h) {
+			t.Fatal("chain must be acyclic")
+		}
+	}
+	if st := e.Stats(); st.KeyedWalks != 1 {
+		t.Fatalf("KeyedWalks = %d after 100 warm queries of one identity, want 1", st.KeyedWalks)
+	}
+
+	// A content-equal copy is a new identity: it pays one walk of its own,
+	// then lands on the same memo entry (the digests agree).
+	h2 := hypergraph.New([][]string{{"A", "B"}, {"B", "C"}, {"C", "D"}})
+	if !e.IsAcyclic(h2) {
+		t.Fatal("copy must be acyclic")
+	}
+	st := e.Stats()
+	if st.KeyedWalks != 2 {
+		t.Fatalf("KeyedWalks = %d after a content-equal copy, want 2", st.KeyedWalks)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("content-equal copies must share one memo entry, got %d", st.Entries)
+	}
+
+	// An unkeyed engine never walks.
+	plain := New(WithShards(1))
+	plain.IsAcyclic(h)
+	if got := plain.Stats().KeyedWalks; got != 0 {
+		t.Fatalf("unkeyed engine reported %d keyed walks", got)
+	}
+}
+
+// BenchmarkKeyedWarmQuery pins the fix's effect: the warm keyed path is a
+// digest-cache probe plus a memo probe, independent of schema size.
+func BenchmarkKeyedWarmQuery(b *testing.B) {
+	e := New(WithKeyedDigest(11))
+	edges := make([][]string, 400)
+	for i := range edges {
+		edges[i] = []string{fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1)}
+	}
+	h := hypergraph.New(edges)
+	e.IsAcyclic(h) // warm both the memo and the digest cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.IsAcyclic(h)
 	}
 }

@@ -141,6 +141,11 @@ const cancelStride = 4096
 // granularity is a rule application plus its occurrence scans, so the
 // worst-case latency is one stride plus a single subset probe.
 func RunCtx(ctx context.Context, h *hypergraph.Hypergraph, sacred bitset.Set) (*Result, error) {
+	// Fail fast on an already-dead context, matching mcs.RunCtx: reductions
+	// too small to reach a stride boundary still observe cancellation.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	st := newState(h, sacred)
 	// Every edge starts dirty: it may be subsumed from the outset.
 	dirty := make([]int, 0, len(st.edges))

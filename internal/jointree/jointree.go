@@ -14,6 +14,7 @@
 package jointree
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -67,11 +68,29 @@ func Build(h *hypergraph.Hypergraph) (*JoinTree, bool) {
 // differential suite pins it against Verify on randomized instances — so
 // this is the construction of choice for large hypergraphs.
 func BuildMCS(h *hypergraph.Hypergraph) (*JoinTree, bool) {
-	r := mcs.Run(h)
-	if !r.Acyclic {
-		return nil, false
+	t, ok, err := BuildMCSCtx(context.Background(), h)
+	if err != nil {
+		// Background contexts are never cancelled; BuildMCSCtx has no other
+		// error path.
+		panic(err)
 	}
-	return &JoinTree{H: h, Parent: r.Parent}, true
+	return t, ok
+}
+
+// BuildMCSCtx is BuildMCS with cooperative cancellation: the underlying
+// search polls ctx every ~4096 units of work (see mcs.RunCtx) and returns
+// (nil, false, ctx.Err()) when cancelled, so a 10⁶-edge construction stops
+// within a bounded stride of its caller's deadline instead of running to
+// completion.
+func BuildMCSCtx(ctx context.Context, h *hypergraph.Hypergraph) (*JoinTree, bool, error) {
+	r, err := mcs.RunCtx(ctx, h)
+	if err != nil {
+		return nil, false, err
+	}
+	if !r.Acyclic {
+		return nil, false, nil
+	}
+	return &JoinTree{H: h, Parent: r.Parent}, true, nil
 }
 
 // BuildMST constructs a candidate join tree as a maximum-weight spanning
@@ -316,6 +335,64 @@ func (t *JoinTree) PostOrder() []int {
 		rec(r)
 	}
 	return out
+}
+
+// Levels partitions the forest's edges into dependency levels — the
+// subtree schedule the parallel reducer runs on. up[k] holds the edges
+// whose subtrees have height k (leaves at 0), so every edge's children lie
+// in strictly lower up-levels and one level's upward semijoin folds are
+// mutually independent; down[k] holds the edges at depth k (roots at 0),
+// the mirror-image property for the downward pass. Both passes are
+// iterative (no recursion), so 10⁶-edge chains don't exhaust the stack.
+// Within a level, edges appear in ascending index order.
+func (t *JoinTree) Levels() (up, down [][]int) {
+	m := len(t.Parent)
+	if m == 0 {
+		return nil, nil
+	}
+	ch := t.Children()
+	// BFS from the roots: parents before children, yielding depths directly
+	// and (reversed) a bottom-up order for heights.
+	depth := make([]int, m)
+	order := make([]int, 0, m)
+	for i, p := range t.Parent {
+		if p == -1 {
+			order = append(order, i)
+		}
+	}
+	maxD := 0
+	for k := 0; k < len(order); k++ {
+		v := order[k]
+		for _, c := range ch[v] {
+			depth[c] = depth[v] + 1
+			if depth[c] > maxD {
+				maxD = depth[c]
+			}
+			order = append(order, c)
+		}
+	}
+	height := make([]int, m)
+	maxH := 0
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		h := 0
+		for _, c := range ch[v] {
+			if height[c]+1 > h {
+				h = height[c] + 1
+			}
+		}
+		height[v] = h
+		if h > maxH {
+			maxH = h
+		}
+	}
+	up = make([][]int, maxH+1)
+	down = make([][]int, maxD+1)
+	for v := 0; v < m; v++ {
+		up[height[v]] = append(up[height[v]], v)
+		down[depth[v]] = append(down[depth[v]], v)
+	}
+	return up, down
 }
 
 // SemijoinStep is one statement of a semijoin program: object Target is

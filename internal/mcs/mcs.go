@@ -162,6 +162,13 @@ const cancelStride = 4096
 // edge-selection loop, so the worst-case latency is one stride plus the
 // processing of a single edge.
 func RunCtx(ctx context.Context, h *hypergraph.Hypergraph) (*Result, error) {
+	// Fail fast on an already-dead context: callers that fan many searches
+	// out (batch engines, workspace settling) rely on the first cancelled
+	// search aborting the rest, including searches too small to ever reach
+	// a stride boundary.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m := h.NumEdges()
 	res := &Result{H: h, Acyclic: true}
 	if m == 0 {

@@ -1,0 +1,115 @@
+// Package pool provides the bounded worker-token pool shared by the
+// parallel layers: the engine's inter-query batch fan-out, the exec
+// kernels' intra-query data parallelism, and the workspace's per-component
+// re-analysis all draw goroutine tokens from one Pool, so nesting them —
+// a batch worker running a parallel reduction whose semijoins chunk their
+// probe loops — cannot oversubscribe the configured parallelism.
+//
+// The design is cooperative and non-blocking: a caller always counts as
+// one worker and only *extra* goroutines need tokens (TryAcquire), so work
+// never waits for a token — when the pool is exhausted the work simply runs
+// inline on the caller. That makes nested parallel regions self-balancing
+// (inner regions inherit whatever budget the outer ones left) and makes a
+// nil *Pool a valid serial executor, which keeps every call site free of
+// special cases.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded budget of concurrent workers. The zero value is not
+// usable; construct with New. A nil *Pool is valid everywhere and means
+// "serial": Parallelism reports 1, TryAcquire always refuses, Do runs
+// inline.
+type Pool struct {
+	par int
+	sem chan struct{} // par-1 buffered tokens; the caller is the par-th worker
+}
+
+// New returns a pool admitting up to n concurrent workers (the caller plus
+// n-1 token-holding goroutines). Values < 1 fall back to
+// runtime.GOMAXPROCS(0).
+func New(n int) *Pool {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{par: n}
+	if n > 1 {
+		p.sem = make(chan struct{}, n-1)
+		for i := 0; i < n-1; i++ {
+			p.sem <- struct{}{}
+		}
+	}
+	return p
+}
+
+// Parallelism returns the configured worker bound (1 for a nil pool).
+func (p *Pool) Parallelism() int {
+	if p == nil {
+		return 1
+	}
+	return p.par
+}
+
+// TryAcquire takes one worker token without blocking, reporting whether one
+// was available. Every successful TryAcquire must be paired with a Release.
+func (p *Pool) TryAcquire() bool {
+	if p == nil || p.sem == nil {
+		return false
+	}
+	select {
+	case <-p.sem:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a token taken by TryAcquire.
+func (p *Pool) Release() {
+	p.sem <- struct{}{}
+}
+
+// Do runs f(0..n-1) with the caller plus as many token-holding goroutines
+// as the pool can spare (at most n-1), handing indices out through an
+// atomic cursor so uneven per-item cost balances automatically. It returns
+// after every index has been processed. f must be safe for concurrent
+// invocation on distinct indices; cancellation, if needed, lives inside f
+// (record an error and make the remaining indices cheap no-ops).
+func (p *Pool) Do(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.par <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	loop := func() {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			f(i)
+		}
+	}
+	var wg sync.WaitGroup
+	spawned := 0
+	for spawned < p.par-1 && spawned < n-1 && p.TryAcquire() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer p.Release()
+			loop()
+		}()
+		spawned++
+	}
+	loop()
+	wg.Wait()
+}

@@ -1,0 +1,126 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestNilPoolIsSerial: the nil pool is the zero-configuration serial
+// executor every call site relies on.
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if got := p.Parallelism(); got != 1 {
+		t.Fatalf("nil pool Parallelism() = %d, want 1", got)
+	}
+	if p.TryAcquire() {
+		t.Fatal("nil pool handed out a token")
+	}
+	var order []int
+	p.Do(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool Do ran out of order: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("nil pool Do covered %d of 5 indices", len(order))
+	}
+}
+
+// TestTokenBudget: a pool of n admits exactly n-1 extra workers.
+func TestTokenBudget(t *testing.T) {
+	p := New(4)
+	if p.Parallelism() != 4 {
+		t.Fatalf("Parallelism() = %d, want 4", p.Parallelism())
+	}
+	for i := 0; i < 3; i++ {
+		if !p.TryAcquire() {
+			t.Fatalf("token %d refused below the budget", i)
+		}
+	}
+	if p.TryAcquire() {
+		t.Fatal("4th token granted: caller + 3 extras already exhaust a pool of 4")
+	}
+	p.Release()
+	if !p.TryAcquire() {
+		t.Fatal("released token not reacquirable")
+	}
+}
+
+// TestDoCoversEveryIndexOnce across pool sizes, including n much larger
+// than the index count and vice versa.
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8, 32} {
+		for _, n := range []int{0, 1, 7, 100, 1000} {
+			p := New(workers)
+			counts := make([]int32, n)
+			p.Do(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestNestedDoDegradesInline: a Do inside a Do must neither deadlock nor
+// run more than the budget concurrently — inner regions inherit whatever
+// tokens the outer one left and otherwise run inline on their caller.
+func TestNestedDoDegradesInline(t *testing.T) {
+	const budget = 4
+	p := New(budget)
+	var cur, peak atomic.Int32
+	enter := func() {
+		c := cur.Add(1)
+		for {
+			m := peak.Load()
+			if c <= m || peak.CompareAndSwap(m, c) {
+				break
+			}
+		}
+	}
+	var outer [16]int32
+	p.Do(16, func(i int) {
+		enter()
+		defer cur.Add(-1)
+		p.Do(8, func(j int) {
+			atomic.AddInt32(&outer[i], 1)
+		})
+	})
+	for i, c := range outer {
+		if c != 8 {
+			t.Fatalf("outer %d: inner Do covered %d of 8", i, c)
+		}
+	}
+	if got := peak.Load(); got > budget {
+		t.Fatalf("observed %d concurrent workers, budget is %d", got, budget)
+	}
+}
+
+// TestDoHammer is the race-detector workout: many rounds of concurrent
+// Do calls against one shared pool, with nested regions, all mutating
+// shared state through atomics. Run under -race (the CI race job picks
+// this package up) it guards the token accounting and the cursor handoff.
+func TestDoHammer(t *testing.T) {
+	p := New(runtime.GOMAXPROCS(0) + 2)
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				p.Do(20, func(i int) {
+					p.Do(3, func(j int) { total.Add(1) })
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if want := int64(8 * 50 * 20 * 3); total.Load() != want {
+		t.Fatalf("hammer total = %d, want %d", total.Load(), want)
+	}
+}

@@ -30,7 +30,8 @@ type (
 	// of a Workspace. Match with errors.As.
 	ErrUnknownEdge = dynamic.ErrUnknownEdge
 	// ErrNodeExists reports a Workspace.RenameNode target name that is
-	// already interned. Match with errors.As.
+	// currently present in the workspace (departed names are released and
+	// may be reused). Match with errors.As.
 	ErrNodeExists = dynamic.ErrNodeExists
 )
 
@@ -60,4 +61,15 @@ func NewWorkspaceFrom(h *Hypergraph, opts ...WorkspaceOption) (*Workspace, error
 // engine.WithKeyedDigest when the tenants are untrusted.
 func WithWorkspaceEngine(e *Engine) WorkspaceOption {
 	return dynamic.WithEngine(e)
+}
+
+// WithWorkspaceParallelism makes the workspace settle dirty components with
+// up to n concurrent workers (values < 1 mean GOMAXPROCS) and routes the
+// epoch handles' Reduce and Eval facets through the parallel executors.
+// Results are identical to the serial workspace — only wall-clock time
+// changes. When the workspace also uses WithWorkspaceEngine, prefer sharing
+// the engine's pool sizing (Engine WithWorkers) so the two layers do not
+// oversubscribe the host.
+func WithWorkspaceParallelism(n int) WorkspaceOption {
+	return dynamic.WithParallelism(n)
 }

@@ -20,14 +20,15 @@ var updateExports = flag.Bool("update", false, "rewrite testdata/api_exports.gol
 // TestPublicAPIExports pins the exported surface of the redesigned API — the
 // root facade plus the session (internal/analysis), batch (internal/engine),
 // dynamic (internal/dynamic), and execution (internal/exec) layers whose
-// types reach users through aliases — against
+// types reach users through aliases, and the serving layer (internal/server)
+// whose exported surface is the wire contract — against
 // a golden snapshot, so signature changes can't slip through a PR silently.
 // Regenerate intentionally with:
 //
 //	go test -run TestPublicAPIExports -update .
 func TestPublicAPIExports(t *testing.T) {
 	var b strings.Builder
-	for _, dir := range []string{".", "internal/analysis", "internal/dynamic", "internal/engine", "internal/exec"} {
+	for _, dir := range []string{".", "internal/analysis", "internal/dynamic", "internal/engine", "internal/exec", "internal/server"} {
 		decls := exportedDecls(t, dir)
 		sort.Strings(decls)
 		fmt.Fprintf(&b, "## %s\n\n", dir)

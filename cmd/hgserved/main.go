@@ -1,0 +1,36 @@
+// Command hgserved serves the library's analyses over HTTP/JSON: analyze,
+// join trees, classification, semijoin reduction, Yannakakis evaluation,
+// and mutable workspace-edit sessions, behind server-enforced deadlines,
+// per-tenant quotas, global admission control, and per-request panic
+// isolation. `hgtool serve` is the same server under the multi-tool entry
+// point.
+//
+// Usage:
+//
+//	hgserved [-addr host:port] [-grace 5s] [-inflight 64]
+//	         [-rate 50] [-burst 25] [-timeout 2s] [-max-timeout 10s]
+//	         [-workers N] [-digest-seed S]
+//
+// The process exits on SIGINT/SIGTERM after draining in-flight requests
+// inside the -grace window. Endpoint and error-body documentation lives on
+// repro's package docs ("Serving") and internal/server.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := server.RunCLI(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "hgserved:", err)
+		os.Exit(1)
+	}
+}

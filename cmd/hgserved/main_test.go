@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestServeSmoke boots the real CLI entry point on an ephemeral port,
+// drives one analysis round-trip, and shuts down through the graceful-drain
+// path — the same lifecycle a SIGTERM triggers in main.
+func TestServeSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out lockedBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- server.RunCLI(ctx, []string{"-addr", "127.0.0.1:0", "-grace", "2s"}, &out, io.Discard)
+	}()
+
+	// The CLI prints the bound address once the listener is up.
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if s := out.String(); strings.Contains(s, "listening on ") {
+			addr = strings.TrimSpace(strings.TrimPrefix(s, "listening on "))
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("server never reported its address")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := strings.NewReader(`{"schema":"A B C\nC D E\nA E F\nA C E"}`)
+	resp, err = http.Post(base+"/v1/analyze", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !bytes.Contains(b, []byte(`"acyclic":true`)) {
+		t.Fatalf("analyze: %d %s", resp.StatusCode, b)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not exit after cancellation")
+	}
+}
+
+// lockedBuffer makes the CLI's stdout safe to poll from the test goroutine.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}

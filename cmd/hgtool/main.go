@@ -17,6 +17,7 @@
 //	hgtool dot      [-f file]             Graphviz rendering of the incidence graph
 //	hgtool eval     [-f file] -d dir -x A,B [-par N]   Yannakakis evaluation over CSV data
 //	hgtool edit     [-f file] [-s script] mutable-workspace session applying an edit script
+//	hgtool serve    [-addr host:port] ...  the hgserved HTTP/JSON analysis server
 //
 // Without -f, the hypergraph is read from standard input (except for edit,
 // where -f optionally seeds the workspace and the script comes from -s or
@@ -50,12 +51,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro"
 	"repro/internal/report"
+	"repro/internal/server"
 )
 
 func main() {
@@ -64,6 +68,16 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	if cmd == "serve" {
+		// serve is the hgserved HTTP server under the multi-tool entry
+		// point; it owns its flags and runs until SIGINT/SIGTERM.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := server.RunCLI(ctx, os.Args[2:], os.Stdout, os.Stderr); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	file := fs.String("f", "", "input file (default: stdin)")
 	sacred := fs.String("x", "", "comma-separated sacred nodes (eval: output attributes)")
@@ -127,7 +141,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hgtool {analyze|reduce|tableau|cc|jointree|witness|dot|eval|edit} [-f file] [-x A,B] [-d dir] [-s script]")
+	fmt.Fprintln(os.Stderr, "usage: hgtool {analyze|reduce|tableau|cc|jointree|witness|dot|eval|edit|serve} [-f file] [-x A,B] [-d dir] [-s script]")
 }
 
 func fatal(err error) {

@@ -226,6 +226,58 @@
 // bounds it with per-shard least-recently-used eviction, so adversarial
 // schema churn cannot grow it without limit.
 //
+// # Serving
+//
+// cmd/hgserved (alias: hgtool serve) exposes the whole surface over
+// HTTP/JSON for many concurrent tenants, backed by one shared Engine so
+// warm analyses answer from the fingerprint memo across tenants:
+//
+//	POST /v1/analyze                    {"schema": "A B C\nC D E"} → verdict + sizes
+//	POST /v1/jointree                   join-tree parents, roots, full-reducer program
+//	POST /v1/classify                   α/β/γ/Berge (≤ 64 edges; the γ test is exponential)
+//	POST /v1/reduce                     schema + tables → full-reduction row counts per step
+//	POST /v1/eval                       schema + tables + attrs → joined, projected rows
+//	POST /v1/workspaces                 open a session (optionally seeded with a schema)
+//	GET  /v1/workspaces/{id}            epoch, sizes, component count, verdict
+//	POST /v1/workspaces/{id}/edges      AddEdge; DELETE .../edges/{edge} removes
+//	POST /v1/workspaces/{id}/rename     RenameNode
+//	POST /v1/workspaces/{id}/query      {"op": "verdict"|"jointree"|..., "epoch": n?}
+//	GET  /healthz, /statsz              liveness (503 while draining) and counters
+//
+// The serving layer is engineered robustness-first; its behavior under
+// overload, faults, and shutdown is part of the contract:
+//
+//   - Deadlines: every request runs under a server-enforced timeout
+//     (default 2 s; X-Deadline-Ms requests a shorter or longer one, clamped
+//     to a server maximum). The deadline rides the same context plumbing
+//     the library uses — mcs.RunCtx/gyo.RunCtx poll inside traversals, exec
+//     kernels check every ~4096 rows — so a timeout interrupts work
+//     mid-flight and answers 408 rather than hanging.
+//   - Admission control: a bounded in-flight budget plus per-tenant token
+//     buckets (tenants identify via X-Tenant). Excess load is shed
+//     immediately with 429 + Retry-After — the server never queues
+//     unboundedly (BENCH_serve.json records the measured shed profile).
+//   - Panic isolation: each request runs behind a recover barrier; worker
+//     panics inside parallel regions propagate to the request goroutine
+//     rather than crashing the process. A panicking request answers 500
+//     with an incident id and the process keeps serving.
+//   - Typed errors: every failure maps the library's structured errors to
+//     a JSON body {"error": {"code", "message", ...detail fields}} and a
+//     documented status — *ErrParse → 400 with line/col, *ErrUnknownNode →
+//     400 with the name, *ErrUnknownEdge → 404, deadline → 408,
+//     *ErrNodeExists and *ErrStaleEpoch → 409 (stale carries handle +
+//     current epochs), oversized body → 413, ErrCyclicSchema → 422,
+//     shed/quota → 429, internal → 500 with the incident id.
+//   - Graceful shutdown: on SIGINT/SIGTERM the server stops admitting
+//     (503), drains in-flight requests under a grace deadline, then exits.
+//
+// internal/fault is the deterministic fault-injection harness behind the
+// server's chaos suite: named sites in the engine, exec kernels, workspace
+// settling, and the worker pool can be armed with delays, errors, panics,
+// or pool starvation (with hit-count windows), and the tests prove the
+// server degrades — sheds, times out, answers typed errors — instead of
+// crashing or leaking goroutines.
+//
 // See the examples/ directory for runnable programs and DESIGN.md for the
 // paper-to-package map.
 package repro

@@ -1,0 +1,179 @@
+// Serve: the wire protocol of the analysis server. Boots an in-process
+// hgserved on an ephemeral port and drives it the way tenants would —
+// analyze and join-tree queries over JSON, the typed error bodies (a parse
+// error carrying line/col, a deadline turned into a 408), per-tenant
+// admission control shedding a burst with Retry-After, a workspace session
+// whose epochs make concurrent edits explicit over the wire, and a graceful
+// drain. The same server ships as cmd/hgserved and `hgtool serve`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
+	// An in-process server with a deliberately tight per-tenant quota
+	// (4 tokens, refilling at 1/s) so this example can demonstrate
+	// shedding deterministically. Quotas are per tenant, so each section
+	// below identifies as its own tenant and stays within budget — only
+	// the burst section exceeds it, on purpose.
+	s := server.New(server.Config{
+		MaxInFlight: 8,
+		TenantRate:  1,
+		TenantBurst: 4,
+	}, nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(l)
+	defer hs.Close()
+	base := "http://" + l.Addr().String()
+
+	post := func(path, body, tenant string, hdr map[string]string) (int, map[string]any, string, error) {
+		req, err := http.NewRequest("POST", base+path, strings.NewReader(body))
+		if err != nil {
+			return 0, nil, "", err
+		}
+		req.Header.Set("X-Tenant", tenant)
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, nil, "", err
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		var m map[string]any
+		json.Unmarshal(raw, &m)
+		return resp.StatusCode, m, resp.Header.Get("Retry-After"), nil
+	}
+
+	// The paper's Figure 1 over the wire: one analyze, one join tree.
+	fig1 := `{"schema": "A B C\nC D E\nA E F\nA C E"}`
+	code, m, _, err := post("/v1/analyze", fig1, "alice", nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "analyze fig1: %d acyclic=%v (%v nodes, %v edges)\n",
+		code, m["acyclic"], m["nodes"], m["edges"])
+	code, m, _, err = post("/v1/jointree", fig1, "alice", nil)
+	if err != nil {
+		return err
+	}
+	prog, _ := m["program"].([]any)
+	fmt.Fprintf(w, "jointree fig1: %d roots=%v, %d reducer steps\n", code, m["roots"], len(prog))
+
+	// Errors are typed JSON bodies, not strings: a malformed schema answers
+	// 400 with the parser's line and column in the body.
+	code, m, _, err = post("/v1/analyze", `{"schema": ""}`, "alice", nil)
+	if err != nil {
+		return err
+	}
+	if e, ok := m["error"].(map[string]any); ok {
+		fmt.Fprintf(w, "bad schema: %d code=%v line=%v col=%v\n", code, e["code"], e["line"], e["col"])
+	}
+
+	// Deadlines are server-enforced: X-Deadline-Ms rides the request
+	// context into the traversals, so a request that cannot finish in
+	// budget answers 408 instead of hanging. To show one deterministically,
+	// the fault harness stalls this request 50ms against a 5ms budget.
+	fault.Activate(fault.ServerHandle, fault.Injection{
+		Kind: fault.KindDelay, Delay: 50 * time.Millisecond,
+	})
+	code, m, _, err = post("/v1/analyze", `{"schema": "EX1 EX2\nEX2 EX3"}`,
+		"carol", map[string]string{"X-Deadline-Ms": "5"})
+	fault.Reset()
+	if err != nil {
+		return err
+	}
+	if e, ok := m["error"].(map[string]any); ok {
+		fmt.Fprintf(w, "5ms budget vs 50ms stall: %d code=%v\n", code, e["code"])
+	}
+
+	// Admission control: tenant "bursty" has 4 tokens refilling at 1/s, so
+	// a 6-request burst sheds the excess with 429 + Retry-After — without
+	// touching any other tenant's budget.
+	ok, shed, retry := 0, 0, ""
+	for i := 0; i < 6; i++ {
+		code, _, ra, err := post("/v1/analyze", fig1, "bursty", nil)
+		if err != nil {
+			return err
+		}
+		switch code {
+		case 200:
+			ok++
+		case 429:
+			shed, retry = shed+1, ra
+		}
+	}
+	fmt.Fprintf(w, "tenant burst of 6: %d ok, %d shed (Retry-After: %ss)\n", ok, shed, retry)
+
+	// A workspace session: edits bump the epoch, and a query pinned to a
+	// stale epoch is refused with 409 instead of silently answering about
+	// a schema that no longer exists.
+	_, m, _, err = post("/v1/workspaces", `{"schema": "A B C\nC D E"}`, "dana", nil)
+	if err != nil {
+		return err
+	}
+	ws := fmt.Sprint(m["id"])
+	_, g, _, err := post("/v1/workspaces/"+ws+"/query", `{"op": "verdict"}`, "dana", nil)
+	if err != nil {
+		return err
+	}
+	epoch := int(g["epoch"].(float64))
+	fmt.Fprintf(w, "workspace %s at epoch %d: acyclic=%v\n", ws, epoch, g["acyclic"])
+	if _, _, _, err := post("/v1/workspaces/"+ws+"/edges", `{"nodes": ["E", "F"]}`, "dana", nil); err != nil {
+		return err
+	}
+	code, m, _, err = post("/v1/workspaces/"+ws+"/query",
+		fmt.Sprintf(`{"op": "jointree", "epoch": %d}`, epoch), "dana", nil)
+	if err != nil {
+		return err
+	}
+	if e, ok := m["error"].(map[string]any); ok {
+		fmt.Fprintf(w, "stale query: %d code=%v (pinned epoch %v, workspace at %v)\n",
+			code, e["code"], e["handle"], e["current"])
+	}
+
+	// Graceful drain: in-flight work finishes, new work answers 503.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); post("/v1/analyze", fig1, "erin", nil) }()
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		return err
+	}
+	wg.Wait()
+	code, _, _, err = post("/v1/analyze", fig1, "erin", nil)
+	if err != nil {
+		return err
+	}
+	st := s.Stats()
+	fmt.Fprintf(w, "after drain: analyze answers %d; served %d ok, %d quota-denied, %d deadline, 0 crashes (%d panics)\n",
+		code, st.OK, st.QuotaDenied, st.Deadlines, st.Panics)
+	return nil
+}

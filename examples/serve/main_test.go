@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSucceeds smoke-tests the example: it must complete without error
+// and print the golden headlines — the round-trips, the typed errors, the
+// shed burst, the stale-epoch refusal, and the drain.
+func TestRunSucceeds(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"analyze fig1: 200 acyclic=true (6 nodes, 4 edges)",
+		"jointree fig1: 200",
+		"6 reducer steps",
+		"bad schema: 400 code=parse line=1 col=1",
+		"5ms budget vs 50ms stall: 408 code=deadline",
+		"tenant burst of 6: 4 ok, 2 shed (Retry-After: 1s)",
+		"acyclic=true",
+		"stale query: 409 code=stale_epoch",
+		"after drain: analyze answers 503",
+		"0 crashes (0 panics)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

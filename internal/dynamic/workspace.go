@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/hypergraph"
 	"repro/internal/mcs"
 	"repro/internal/pool"
@@ -700,6 +701,12 @@ func (ws *Workspace) settleLocked(ctx context.Context) error {
 // workspaces holding the same component. A cancelled search reports the
 // context error and leaves the component untouched (and uninterned).
 func (ws *Workspace) recompute(ctx context.Context, c *component) error {
+	// Chaos site: fires once per dirty-component re-analysis. When the
+	// workspace settles in parallel this runs on pool.Do workers, which makes
+	// it the probe for cross-goroutine panic propagation.
+	if err := fault.Hit(fault.DynamicSettle); err != nil {
+		return err
+	}
 	members := make([]int, 0, len(c.edges))
 	for eid := range c.edges {
 		members = append(members, eid)

@@ -33,12 +33,15 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/acyclic"
 	"repro/internal/analysis"
+	"repro/internal/fault"
 	"repro/internal/hypergraph"
 	"repro/internal/jointree"
 	"repro/internal/pool"
@@ -267,6 +270,9 @@ func (e *Engine) Stats() Stats {
 // FNV-128 collisions are negligible, but the digest is not a defense
 // against adversarially crafted schemas (see Fingerprint128).
 func (e *Engine) entryFor(h *hypergraph.Hypergraph) *entry {
+	// Chaos site on the path of every memoized query. No error return here,
+	// so only delay and panic plans can fire (see fault.EngineAnalyze).
+	_ = fault.Hit(fault.EngineAnalyze)
 	fp := h.Fingerprint128()
 	var keyed uint64
 	if e.keyed {
@@ -398,6 +404,9 @@ type ComponentAnalysis struct {
 // share the WithMaxEntries bound (per shard, accounted separately from
 // whole-hypergraph sessions) and the same least-recently-touched eviction.
 func (e *Engine) InternComponent(ck ComponentKey, build func() (ComponentAnalysis, error)) (res ComponentAnalysis, hit bool, err error) {
+	if err := fault.Hit(fault.EngineIntern); err != nil {
+		return ComponentAnalysis{}, false, err
+	}
 	key := ck.fold()
 	s := &e.shards[key&e.mask]
 	s.mu.Lock()
@@ -580,8 +589,9 @@ func (e *Engine) fanOut(ctx context.Context, n int, f func(i int)) error {
 		return ctx.Err()
 	}
 	var cursor atomic.Int64
+	var panicked atomic.Pointer[batchPanic]
 	loop := func() {
-		for ctx.Err() == nil {
+		for ctx.Err() == nil && panicked.Load() == nil {
 			i := int(cursor.Add(1)) - 1
 			if i >= n {
 				return
@@ -595,10 +605,37 @@ func (e *Engine) fanOut(ctx context.Context, n int, f func(i int)) error {
 		go func() {
 			defer wg.Done()
 			defer e.pool.Release()
+			defer func() {
+				if v := recover(); v != nil {
+					panicked.CompareAndSwap(nil, &batchPanic{val: v, stack: debug.Stack()})
+				}
+			}()
 			loop()
 		}()
 	}
-	loop()
+	// Mirror pool.Do's panic isolation: any worker's panic (including the
+	// caller's own loop slice) is captured, the remaining workers drain at
+	// their next item boundary, and the panic re-raises on the caller's
+	// goroutine — so a serving layer's per-request recover sees batch
+	// failures the same way it sees serial ones, instead of the process
+	// dying on an unrecovered goroutine panic.
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				panicked.CompareAndSwap(nil, &batchPanic{val: v, stack: debug.Stack()})
+			}
+		}()
+		loop()
+	}()
 	wg.Wait()
+	if bp := panicked.Load(); bp != nil {
+		panic(fmt.Sprintf("engine: batch worker panic: %v\n%s", bp.val, bp.stack))
+	}
 	return ctx.Err()
+}
+
+// batchPanic records the first panic captured on a batch fan-out worker.
+type batchPanic struct {
+	val   any
+	stack []byte
 }

@@ -533,3 +533,26 @@ func BenchmarkKeyedWarmQuery(b *testing.B) {
 		e.IsAcyclic(h)
 	}
 }
+
+// TestBatchWorkerPanicPropagates: a panic inside a batch item must re-raise
+// on the caller of the batch (with the worker's stack in the message), not
+// kill the process from a bare goroutine — the serving layer recovers
+// per-request and batch workers must honor that boundary.
+func TestBatchWorkerPanicPropagates(t *testing.T) {
+	e := New(WithWorkers(4))
+	hs := workload(32)
+	hs[9] = nil // nil hypergraph: the analysis panics when touched
+	caught := func() (v any) {
+		defer func() { v = recover() }()
+		_, _ = e.IsAcyclicBatch(context.Background(), hs)
+		return nil
+	}()
+	if caught == nil {
+		t.Fatal("batch worker panic did not propagate to the caller")
+	}
+	// The engine survives: the same batch without the poison completes.
+	hs[9] = hs[0]
+	if _, err := e.IsAcyclicBatch(context.Background(), hs); err != nil {
+		t.Fatalf("engine broken after panic: %v", err)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+
+	"repro/internal/fault"
 )
 
 // cancelStride is how many rows a kernel processes between context checks.
@@ -60,6 +62,12 @@ func keyIndex(ctx context.Context, t *Table, idx []int) (map[uint64][]int32, err
 // is nonempty and the empty table otherwise — the internal/relation
 // convention the differential suite pins. The two tables must share a Dict.
 func Semijoin(ctx context.Context, r, s *Table) (*Table, error) {
+	// Chaos site: fires once per semijoin step of a reduction (the parallel
+	// kernel hits the same site), so injected failures exercise the
+	// mid-program error path, not just the entry validation.
+	if err := fault.Hit(fault.ExecReduceStep); err != nil {
+		return nil, err
+	}
 	if r.dict != s.dict {
 		return nil, fmt.Errorf("exec: semijoin across distinct dictionaries")
 	}

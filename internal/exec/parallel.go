@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/jointree"
 	"repro/internal/pool"
 )
@@ -204,6 +205,11 @@ func buildIndex(ctx context.Context, t *Table, idx []int, p *pool.Pool) (*probeI
 func semijoinPar(ctx context.Context, r, s *Table, p *pool.Pool) (*Table, error) {
 	if p.Parallelism() == 1 || r.rows < parThreshold {
 		return Semijoin(ctx, r, s)
+	}
+	// Same chaos site as the serial kernel (the fallback above reaches it
+	// through Semijoin), so every reduction step hits it exactly once.
+	if err := fault.Hit(fault.ExecReduceStep); err != nil {
+		return nil, err
 	}
 	if r.dict != s.dict {
 		return nil, fmt.Errorf("exec: semijoin across distinct dictionaries")
@@ -594,6 +600,11 @@ func ReduceParallel(ctx context.Context, d *Database, tree *jointree.JoinTree, p
 func EvalParallel(ctx context.Context, d *Database, tree *jointree.JoinTree, attrs []string, p *pool.Pool) (*EvalResult, error) {
 	if p.Parallelism() == 1 {
 		return Eval(ctx, d, tree, attrs)
+	}
+	// Same chaos site as EvalWithProgram (the fallback above reaches it
+	// through Eval), so every evaluation hits it exactly once.
+	if err := fault.Hit(fault.ExecEvalJoin); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	if len(d.Tables) == 0 {

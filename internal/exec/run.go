@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/jointree"
 )
 
@@ -100,6 +101,11 @@ func Eval(ctx context.Context, d *Database, tree *jointree.JoinTree, attrs []str
 // one for a different tree can leave danglers that surface as wrong join
 // results.
 func EvalWithProgram(ctx context.Context, d *Database, tree *jointree.JoinTree, prog []jointree.SemijoinStep, attrs []string) (*EvalResult, error) {
+	// Chaos site: head of the serial Yannakakis pipeline (EvalParallel hits
+	// the same site on its own path).
+	if err := fault.Hit(fault.ExecEvalJoin); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	if len(d.Tables) == 0 {
 		return nil, fmt.Errorf("exec: empty schema")

@@ -35,9 +35,26 @@ type JoinTree struct {
 // is removed because it became a subset of F, F becomes E's parent. It
 // returns ok=false when h is cyclic (no join tree exists).
 func Build(h *hypergraph.Hypergraph) (*JoinTree, bool) {
-	r := gyo.Reduce(h, bitset.Set{})
+	t, ok, err := BuildCtx(context.Background(), h)
+	if err != nil {
+		// Background contexts are never cancelled; BuildCtx has no other
+		// error path.
+		panic(err)
+	}
+	return t, ok
+}
+
+// BuildCtx is Build with cooperative cancellation: the Graham reduction polls
+// ctx every ~4096 units of work (see gyo.RunCtx) and returns
+// (nil, false, ctx.Err()) when cancelled, so server deadlines reach the GYO
+// construction path the same way BuildMCSCtx covers the MCS path.
+func BuildCtx(ctx context.Context, h *hypergraph.Hypergraph) (*JoinTree, bool, error) {
+	r, err := gyo.RunCtx(ctx, h, bitset.Set{})
+	if err != nil {
+		return nil, false, err
+	}
 	if !r.Vanished() {
-		return nil, false
+		return nil, false, nil
 	}
 	parent := make([]int, h.NumEdges())
 	for i := range parent {
@@ -56,7 +73,7 @@ func Build(h *hypergraph.Hypergraph) (*JoinTree, bool) {
 		// inputs; reaching this is a bug, not an input error.
 		panic(fmt.Sprintf("jointree: GYO construction produced invalid tree: %v", err))
 	}
-	return t, true
+	return t, true, nil
 }
 
 // BuildMCS constructs a join tree from the maximum-cardinality-search

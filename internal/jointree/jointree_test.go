@@ -1,6 +1,7 @@
 package jointree
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -24,6 +25,18 @@ func TestBuildFig1(t *testing.T) {
 	}
 	if len(jt.PostOrder()) != 4 {
 		t.Fatalf("postorder = %v", jt.PostOrder())
+	}
+}
+
+func TestBuildCtxObservesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := BuildCtx(ctx, hypergraph.Fig1()); err != context.Canceled {
+		t.Fatalf("BuildCtx on dead context: err = %v, want context.Canceled", err)
+	}
+	// And the ctx-less wrapper still works on the same input.
+	if _, ok := Build(hypergraph.Fig1()); !ok {
+		t.Fatal("Build(Fig1) must succeed")
 	}
 }
 

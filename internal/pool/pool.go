@@ -15,9 +15,13 @@
 package pool
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // Pool is a bounded budget of concurrent workers. The zero value is not
@@ -60,6 +64,11 @@ func (p *Pool) TryAcquire() bool {
 	if p == nil || p.sem == nil {
 		return false
 	}
+	// Chaos site: a starved pool must refuse tokens, forcing every parallel
+	// region onto its degrade-inline path (never a deadlock or a spin).
+	if fault.Starved(fault.PoolAcquire) {
+		return false
+	}
 	select {
 	case <-p.sem:
 		return true
@@ -79,6 +88,13 @@ func (p *Pool) Release() {
 // after every index has been processed. f must be safe for concurrent
 // invocation on distinct indices; cancellation, if needed, lives inside f
 // (record an error and make the remaining indices cheap no-ops).
+//
+// Panic isolation: a panic in f on a spawned worker does not crash the
+// process the way an unrecovered goroutine panic would — Do captures the
+// first worker panic, waits for the remaining workers, and re-raises it on
+// the caller's goroutine (wrapped with the worker's stack), so callers that
+// guard against panics — a serving layer isolating requests — see parallel
+// execution fail exactly like serial execution: as a panic they can recover.
 func (p *Pool) Do(n int, f func(i int)) {
 	if n <= 0 {
 		return
@@ -90,8 +106,12 @@ func (p *Pool) Do(n int, f func(i int)) {
 		return
 	}
 	var cursor atomic.Int64
+	var panicked atomic.Pointer[workerPanic]
 	loop := func() {
 		for {
+			if panicked.Load() != nil {
+				return // a sibling already failed; stop handing out work
+			}
 			i := int(cursor.Add(1)) - 1
 			if i >= n {
 				return
@@ -106,10 +126,34 @@ func (p *Pool) Do(n int, f func(i int)) {
 		go func() {
 			defer wg.Done()
 			defer p.Release()
+			defer func() {
+				if v := recover(); v != nil {
+					panicked.CompareAndSwap(nil, &workerPanic{val: v, stack: debug.Stack()})
+				}
+			}()
 			loop()
 		}()
 		spawned++
 	}
-	loop()
+	// The caller's own slice of the loop is captured the same way, so a
+	// panic on either side stops the siblings at their next item boundary,
+	// every worker is drained, and exactly one panic re-raises here.
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				panicked.CompareAndSwap(nil, &workerPanic{val: v, stack: debug.Stack()})
+			}
+		}()
+		loop()
+	}()
 	wg.Wait()
+	if wp := panicked.Load(); wp != nil {
+		panic(fmt.Sprintf("pool: worker panic: %v\n%s", wp.val, wp.stack))
+	}
+}
+
+// workerPanic records the first panic captured on a spawned Do worker.
+type workerPanic struct {
+	val   any
+	stack []byte
 }

@@ -2,6 +2,7 @@ package pool
 
 import (
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -122,5 +123,57 @@ func TestDoHammer(t *testing.T) {
 	wg.Wait()
 	if want := int64(8 * 50 * 20 * 3); total.Load() != want {
 		t.Fatalf("hammer total = %d, want %d", total.Load(), want)
+	}
+}
+
+// TestDoPropagatesWorkerPanic: a panic in f on a spawned worker must not
+// crash the process (an unrecovered goroutine panic would); Do re-raises it
+// on the caller's goroutine after draining the siblings, so a recover()
+// around Do sees it — the contract the serving layer's per-request panic
+// isolation depends on.
+func TestDoPropagatesWorkerPanic(t *testing.T) {
+	p := New(4)
+	const n = 64
+	var ran atomic.Int64
+	caught := func() (v any) {
+		defer func() { v = recover() }()
+		p.Do(n, func(i int) {
+			ran.Add(1)
+			if i == 7 {
+				panic("worker exploded")
+			}
+		})
+		return nil
+	}()
+	if caught == nil {
+		t.Fatal("worker panic did not propagate to the caller")
+	}
+	if s, ok := caught.(string); !ok || !strings.Contains(s, "worker exploded") {
+		t.Fatalf("re-raised panic = %v, want the worker's value wrapped", caught)
+	}
+	if ran.Load() > n {
+		t.Fatalf("indices ran %d times, more than n=%d", ran.Load(), n)
+	}
+	// The pool's tokens were all returned: a fresh Do still parallelizes.
+	var again atomic.Int64
+	p.Do(n, func(i int) { again.Add(1) })
+	if again.Load() != n {
+		t.Fatalf("pool broken after panic: ran %d of %d", again.Load(), n)
+	}
+}
+
+// TestDoPropagatesCallerSlicePanic: the caller's own loop slice is captured
+// the same way, so siblings drain instead of racing the cursor forever.
+func TestDoPropagatesCallerSlicePanic(t *testing.T) {
+	p := New(4)
+	caught := func() (v any) {
+		defer func() { v = recover() }()
+		p.Do(32, func(i int) {
+			panic("every index panics") // whoever runs first, caller included
+		})
+		return nil
+	}()
+	if caught == nil {
+		t.Fatal("panic did not propagate")
 	}
 }

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/dynamic"
+	"repro/internal/hypergraph"
+)
+
+// ErrorBody is the one JSON error shape every failure returns. Code is the
+// stable, documented discriminator clients branch on (messages are free to
+// change); the optional detail fields are populated per code, mirroring the
+// structured error taxonomy of the library so nothing is lost crossing the
+// wire: a *hypergraph.ErrParse keeps its line and column, a
+// *dynamic.ErrStaleEpoch keeps both epochs, a panic keeps its incident id.
+type ErrorBody struct {
+	Code     string `json:"code"`
+	Message  string `json:"message"`
+	Line     int    `json:"line,omitempty"`     // code "parse"
+	Col      int    `json:"col,omitempty"`      // code "parse"
+	Name     string `json:"name,omitempty"`     // codes "unknown_node", "node_exists"
+	EdgeID   int    `json:"edgeId,omitempty"`   // code "unknown_edge"
+	Handle   uint64 `json:"handle,omitempty"`   // code "stale_epoch"
+	Current  uint64 `json:"current,omitempty"`  // code "stale_epoch"
+	Incident string `json:"incident,omitempty"` // code "internal"
+}
+
+// errorResponse is the wire envelope: {"error": {...}}.
+type errorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// The documented code strings. Tests pin these; changing one is a breaking
+// API change.
+const (
+	CodeParse          = "parse"            // 400: schema text failed to parse
+	CodeUnknownNode    = "unknown_node"     // 400: a named node does not occur
+	CodeBadJSON        = "bad_json"         // 400: request body is not the documented JSON
+	CodeBadRequest     = "bad_request"      // 400: well-formed JSON that the library rejects (schema/data mismatch)
+	CodeUnknownEdge    = "unknown_edge"     // 404: workspace edge id not alive
+	CodeNotFound       = "not_found"        // 404: unknown workspace id
+	CodeDeadline       = "deadline"         // 408: server-enforced deadline fired
+	CodeNodeExists     = "node_exists"      // 409: rename target already present
+	CodeStaleEpoch     = "stale_epoch"      // 409: workspace edited past the handle
+	CodeBodyTooLarge   = "body_too_large"   // 413: request body over the limit
+	CodeCyclic         = "cyclic"           // 422: operation requires an acyclic hypergraph
+	CodeSchemaTooLarge = "schema_too_large" // 422: classify on a schema over the cap
+	CodeOverloaded     = "overloaded"       // 429: global in-flight limit reached
+	CodeTenantQuota    = "tenant_quota"     // 429: per-tenant token bucket empty
+	CodeInternal       = "internal"         // 500: panic or unclassified failure; carries an incident id
+	CodeDraining       = "draining"         // 503: server is shutting down
+)
+
+// Local sentinel errors for conditions that arise in the server itself.
+var errUnknownWorkspace = errors.New("server: unknown workspace")
+
+// errSchemaTooLarge rejects classification of schemas whose γ-acyclicity
+// test — exponential and not cancellable — the deadline could not stop.
+type errSchemaTooLarge struct{ edges, cap_ int }
+
+func (e *errSchemaTooLarge) Error() string {
+	return fmt.Sprintf("server: classification capped at %d edges, schema has %d", e.cap_, e.edges)
+}
+
+// errBadJSON wraps a JSON decoding failure so it maps to 400 instead of 500.
+type errBadJSON struct{ err error }
+
+func (e *errBadJSON) Error() string { return "server: bad request body: " + e.err.Error() }
+func (e *errBadJSON) Unwrap() error { return e.err }
+
+// errBadRequest wraps well-formed requests the library rejects (e.g. a table
+// whose attributes do not match its schema edge) so they map to 400.
+type errBadRequest struct{ err error }
+
+func (e *errBadRequest) Error() string { return e.err.Error() }
+func (e *errBadRequest) Unwrap() error { return e.err }
+
+// classify maps an error from any layer — parser, analysis, workspace,
+// executor, or the ctx plumbing — to its documented status code and typed
+// body. Unrecognized errors report 500 with a fresh incident id (minted by
+// the caller), never a raw message-only 500: the chaos suite's invariant is
+// that every failure on the wire is one of the documented shapes.
+func classify(err error) (int, ErrorBody, bool) {
+	var parseErr *hypergraph.ErrParse
+	var unknownNode *hypergraph.ErrUnknownNode
+	var stale *dynamic.ErrStaleEpoch
+	var unknownEdge *dynamic.ErrUnknownEdge
+	var nodeExists *dynamic.ErrNodeExists
+	var tooLarge *errSchemaTooLarge
+	var badJSON *errBadJSON
+	var badReq *errBadRequest
+	var maxBytes *http.MaxBytesError
+	switch {
+	case errors.As(err, &parseErr):
+		return http.StatusBadRequest, ErrorBody{
+			Code: CodeParse, Message: parseErr.Error(), Line: parseErr.Line, Col: parseErr.Col,
+		}, true
+	case errors.As(err, &unknownNode):
+		return http.StatusBadRequest, ErrorBody{
+			Code: CodeUnknownNode, Message: unknownNode.Error(), Name: unknownNode.Name,
+		}, true
+	case errors.As(err, &maxBytes):
+		// Before the bad-JSON case: a decode that died on the body cap is a
+		// 413, not a 400 (the wrap chain carries both).
+		return http.StatusRequestEntityTooLarge, ErrorBody{Code: CodeBodyTooLarge, Message: err.Error()}, true
+	case errors.As(err, &badJSON):
+		return http.StatusBadRequest, ErrorBody{Code: CodeBadJSON, Message: err.Error()}, true
+	case errors.As(err, &badReq):
+		return http.StatusBadRequest, ErrorBody{Code: CodeBadRequest, Message: err.Error()}, true
+	case errors.Is(err, errUnknownWorkspace):
+		return http.StatusNotFound, ErrorBody{Code: CodeNotFound, Message: err.Error()}, true
+	case errors.As(err, &unknownEdge):
+		return http.StatusNotFound, ErrorBody{
+			Code: CodeUnknownEdge, Message: unknownEdge.Error(), EdgeID: unknownEdge.ID,
+		}, true
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout, ErrorBody{Code: CodeDeadline, Message: err.Error()}, true
+	case errors.As(err, &nodeExists):
+		return http.StatusConflict, ErrorBody{
+			Code: CodeNodeExists, Message: nodeExists.Error(), Name: nodeExists.Name,
+		}, true
+	case errors.As(err, &stale):
+		return http.StatusConflict, ErrorBody{
+			Code: CodeStaleEpoch, Message: stale.Error(), Handle: stale.Handle, Current: stale.Current,
+		}, true
+	case errors.Is(err, hypergraph.ErrCyclic):
+		return http.StatusUnprocessableEntity, ErrorBody{Code: CodeCyclic, Message: err.Error()}, true
+	case errors.As(err, &tooLarge):
+		return http.StatusUnprocessableEntity, ErrorBody{Code: CodeSchemaTooLarge, Message: err.Error()}, true
+	}
+	return 0, ErrorBody{}, false
+}

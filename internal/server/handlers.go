@@ -1,0 +1,399 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/dynamic"
+	"repro/internal/exec"
+	"repro/internal/hypergraph"
+	"repro/internal/jointree"
+	"repro/internal/relation"
+)
+
+// Request and response shapes. Schemas travel as the library's text format
+// (one edge per line; see hypergraph.Parse), data as per-object attribute
+// lists plus string rows.
+
+type schemaRequest struct {
+	Schema string `json:"schema"`
+}
+
+type tableJSON struct {
+	Attrs []string   `json:"attrs"`
+	Rows  [][]string `json:"rows"`
+}
+
+type evalRequest struct {
+	Schema string      `json:"schema"`
+	Tables []tableJSON `json:"tables"`
+	Attrs  []string    `json:"attrs"`
+}
+
+type stepJSON struct {
+	Target int `json:"target"`
+	Source int `json:"source"`
+}
+
+// decode reads the JSON request body into v. Decoding failures map to 400
+// "bad_json" — except a body-cap hit, which classify turns into 413.
+func decode(r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var maxBytes *http.MaxBytesError
+		if errors.As(err, &maxBytes) {
+			return maxBytes
+		}
+		return &errBadJSON{err: err}
+	}
+	return nil
+}
+
+// parseSchema turns request text into a hypergraph; *hypergraph.ErrParse
+// surfaces as 400 "parse" with line and column.
+func parseSchema(text string) (*hypergraph.Hypergraph, error) {
+	h, _, err := hypergraph.Parse(text)
+	return h, err
+}
+
+func (s *Server) handleAnalyze(r *http.Request) (any, error) {
+	var req schemaRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	h, err := parseSchema(req.Schema)
+	if err != nil {
+		return nil, err
+	}
+	a := s.eng.Analyze(h)
+	acyclic, err := a.VerdictCtx(r.Context())
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"acyclic": acyclic,
+		"nodes":   h.NumNodes(),
+		"edges":   h.NumEdges(),
+	}, nil
+}
+
+func (s *Server) handleJoinTree(r *http.Request) (any, error) {
+	var req schemaRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	h, err := parseSchema(req.Schema)
+	if err != nil {
+		return nil, err
+	}
+	a := s.eng.Analyze(h)
+	jt, err := a.JoinTreeCtx(r.Context())
+	if err != nil {
+		return nil, err
+	}
+	prog, err := a.FullReducerCtx(r.Context())
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"parent":  jt.Parent,
+		"roots":   jt.Roots(),
+		"program": stepsJSON(prog),
+	}, nil
+}
+
+func (s *Server) handleClassify(r *http.Request) (any, error) {
+	var req schemaRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	h, err := parseSchema(req.Schema)
+	if err != nil {
+		return nil, err
+	}
+	// The γ test is exponential and runs outside the ctx plumbing, so size
+	// is the only effective admission control for this endpoint.
+	if h.NumEdges() > s.cfg.MaxClassifyEdges {
+		return nil, &errSchemaTooLarge{edges: h.NumEdges(), cap_: s.cfg.MaxClassifyEdges}
+	}
+	c := s.eng.Analyze(h).Classification()
+	return map[string]bool{
+		"alpha": c.Alpha, "beta": c.Beta, "gamma": c.Gamma, "berge": c.Berge,
+	}, nil
+}
+
+// buildDatabase binds request tables to the schema. Both the per-table
+// constructor and the binder reject shape mismatches with plain errors, so
+// they are wrapped as 400 "bad_request" — the data, not the server, is wrong.
+func buildDatabase(h *hypergraph.Hypergraph, tables []tableJSON) (*exec.Database, error) {
+	rels := make([]*relation.Relation, len(tables))
+	for i, t := range tables {
+		rel, err := relation.New(t.Attrs, t.Rows...)
+		if err != nil {
+			return nil, &errBadRequest{err: fmt.Errorf("table %d: %w", i, err)}
+		}
+		rels[i] = rel
+	}
+	d, err := exec.FromRelations(h, rels)
+	if err != nil {
+		return nil, &errBadRequest{err: err}
+	}
+	return d, nil
+}
+
+func (s *Server) handleReduce(r *http.Request) (any, error) {
+	var req evalRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	h, err := parseSchema(req.Schema)
+	if err != nil {
+		return nil, err
+	}
+	d, err := buildDatabase(h, req.Tables)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.eng.Analyze(h).Reduce(r.Context(), d)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"rowsIn":  res.RowsIn,
+		"rowsOut": res.RowsOut,
+		"steps":   len(res.Steps),
+	}, nil
+}
+
+func (s *Server) handleEval(r *http.Request) (any, error) {
+	var req evalRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	h, err := parseSchema(req.Schema)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the projection attributes against the schema here: the
+	// executor reports unknown attributes with plain errors, but the server
+	// contract is a typed 400 "unknown_node" carrying the name.
+	if _, err := h.Set(req.Attrs...); err != nil {
+		return nil, err
+	}
+	d, err := buildDatabase(h, req.Tables)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.eng.Analyze(h).Eval(r.Context(), d, req.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"attrs":    res.Out.Attrs(),
+		"rows":     res.Out.ToRelation().Rows(),
+		"joinRows": res.JoinRows,
+		"rowsIn":   res.Reduce.RowsIn,
+		"rowsOut":  res.Reduce.RowsOut,
+	}, nil
+}
+
+// Workspace sessions. POST /v1/workspaces creates one (optionally seeded
+// with a schema); the id routes edits and epoch-pinned queries to it. The
+// registry is never pruned — sessions live until the process exits, which
+// matches the tool's interactive-session lifetime; a production deployment
+// would put an idle TTL here.
+
+func (s *Server) handleWorkspaceCreate(r *http.Request) (any, error) {
+	// An empty body is a valid "empty workspace" request; anything else
+	// malformed is still a 400.
+	var req schemaRequest
+	if err := decode(r, &req); err != nil && !errors.Is(err, io.EOF) {
+		return nil, err
+	}
+	opts := []dynamic.Option{dynamic.WithEngine(s.eng), dynamic.WithParallelism(s.cfg.Workers)}
+	var ws *dynamic.Workspace
+	if req.Schema != "" {
+		h, err := parseSchema(req.Schema)
+		if err != nil {
+			return nil, err
+		}
+		ws, err = dynamic.NewFrom(h, opts...)
+		if err != nil {
+			return nil, &errBadRequest{err: err}
+		}
+	} else {
+		ws = dynamic.New(opts...)
+	}
+	s.mu.Lock()
+	s.nextWS++
+	id := fmt.Sprintf("ws-%d", s.nextWS)
+	s.spaces[id] = ws
+	s.mu.Unlock()
+	return map[string]any{"id": id, "epoch": ws.Epoch()}, nil
+}
+
+func (s *Server) workspace(r *http.Request) (*dynamic.Workspace, error) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ws := s.spaces[id]
+	s.mu.Unlock()
+	if ws == nil {
+		return nil, fmt.Errorf("%w: %q", errUnknownWorkspace, id)
+	}
+	return ws, nil
+}
+
+func (s *Server) handleWorkspaceGet(r *http.Request) (any, error) {
+	ws, err := s.workspace(r)
+	if err != nil {
+		return nil, err
+	}
+	a, err := ws.AnalysisCtx(r.Context())
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"epoch":      a.Epoch(),
+		"edges":      ws.NumEdges(),
+		"nodes":      ws.NumNodes(),
+		"components": ws.NumComponents(),
+		"acyclic":    a.Verdict(),
+	}, nil
+}
+
+type addEdgeRequest struct {
+	Nodes []string `json:"nodes"`
+}
+
+func (s *Server) handleAddEdge(r *http.Request) (any, error) {
+	ws, err := s.workspace(r)
+	if err != nil {
+		return nil, err
+	}
+	var req addEdgeRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	id, err := ws.AddEdge(req.Nodes...)
+	if err != nil {
+		// AddEdge only fails validation (no nodes, empty names): client error.
+		return nil, &errBadRequest{err: err}
+	}
+	return map[string]any{"edge": id, "epoch": ws.Epoch()}, nil
+}
+
+func (s *Server) handleRemoveEdge(r *http.Request) (any, error) {
+	ws, err := s.workspace(r)
+	if err != nil {
+		return nil, err
+	}
+	eid, err := strconv.Atoi(r.PathValue("edge"))
+	if err != nil {
+		return nil, &errBadRequest{err: fmt.Errorf("edge id %q is not a number", r.PathValue("edge"))}
+	}
+	if err := ws.RemoveEdge(eid); err != nil {
+		return nil, err // *ErrUnknownEdge -> 404
+	}
+	return map[string]any{"epoch": ws.Epoch()}, nil
+}
+
+type renameRequest struct {
+	Old string `json:"old"`
+	New string `json:"new"`
+}
+
+func (s *Server) handleRename(r *http.Request) (any, error) {
+	ws, err := s.workspace(r)
+	if err != nil {
+		return nil, err
+	}
+	var req renameRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	if req.New == "" {
+		return nil, &errBadRequest{err: errors.New("rename target must be non-empty")}
+	}
+	if err := ws.RenameNode(req.Old, req.New); err != nil {
+		return nil, err // *ErrUnknownNode -> 400, *ErrNodeExists -> 409
+	}
+	return map[string]any{"epoch": ws.Epoch()}, nil
+}
+
+type queryRequest struct {
+	Op string `json:"op"`
+	// Epoch, when set, pins the query to that workspace epoch: a workspace
+	// that has been edited past it answers 409 "stale_epoch" with both
+	// epochs instead of silently serving newer state.
+	Epoch *uint64 `json:"epoch,omitempty"`
+}
+
+func (s *Server) handleQuery(r *http.Request) (any, error) {
+	ws, err := s.workspace(r)
+	if err != nil {
+		return nil, err
+	}
+	var req queryRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	a, err := ws.AnalysisCtx(r.Context())
+	if err != nil {
+		return nil, err
+	}
+	if req.Epoch != nil && *req.Epoch != a.Epoch() {
+		return nil, &dynamic.ErrStaleEpoch{Handle: *req.Epoch, Current: a.Epoch()}
+	}
+	switch req.Op {
+	case "verdict":
+		return map[string]any{"epoch": a.Epoch(), "acyclic": a.Verdict()}, nil
+	case "jointree":
+		jt, err := a.JoinTree()
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"epoch": a.Epoch(), "parent": jt.Parent, "roots": jt.Roots()}, nil
+	case "fullreducer":
+		prog, err := a.FullReducer()
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"epoch": a.Epoch(), "program": stepsJSON(prog)}, nil
+	case "classification":
+		if n := a.NumEdges(); n > s.cfg.MaxClassifyEdges {
+			return nil, &errSchemaTooLarge{edges: n, cap_: s.cfg.MaxClassifyEdges}
+		}
+		c, err := a.Classification()
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{
+			"epoch": a.Epoch(),
+			"alpha": c.Alpha, "beta": c.Beta, "gamma": c.Gamma, "berge": c.Berge,
+		}, nil
+	case "snapshot":
+		h, err := a.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		edges := make([][]string, h.NumEdges())
+		for i := range edges {
+			var names []string
+			h.EdgeView(i).ForEach(func(id int) { names = append(names, h.NodeName(id)) })
+			edges[i] = names
+		}
+		return map[string]any{"epoch": a.Epoch(), "edges": edges}, nil
+	}
+	return nil, &errBadRequest{err: fmt.Errorf("unknown op %q", req.Op)}
+}
+
+func stepsJSON(prog []jointree.SemijoinStep) []stepJSON {
+	out := make([]stepJSON, len(prog))
+	for i, s := range prog {
+		out[i] = stepJSON{Target: s.Target, Source: s.Source}
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// quotas is the per-tenant admission layer: one token bucket per tenant
+// name, refilled at rate tokens/second up to burst. The clock is injected so
+// the quota tests are deterministic (production uses time.Now).
+//
+// Buckets are created on first use and never expire; tenants are identified
+// by a header, so the population is bounded by the deployment's real tenant
+// set plus whatever an attacker invents — each bucket is two words, and the
+// global in-flight limit (not the quota map) is what bounds work.
+type quotas struct {
+	mu    sync.Mutex
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity (and initial fill)
+	now   func() time.Time
+	m     map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(rate float64, burst int, now func() time.Time) *quotas {
+	return &quotas{rate: rate, burst: float64(burst), now: now, m: make(map[string]*bucket)}
+}
+
+// allow spends one token from tenant's bucket. When the bucket is empty it
+// refuses and reports how many whole seconds until a token accrues — the
+// Retry-After the handler sends with the 429.
+func (q *quotas) allow(tenant string) (retryAfter int, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.now()
+	b := q.m[tenant]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: t}
+		q.m[tenant] = b
+	} else {
+		b.tokens = math.Min(q.burst, b.tokens+t.Sub(b.last).Seconds()*q.rate)
+		b.last = t
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	need := (1 - b.tokens) / q.rate
+	retry := int(math.Ceil(need))
+	if retry < 1 {
+		retry = 1
+	}
+	return retry, false
+}

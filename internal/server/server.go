@@ -1,0 +1,402 @@
+// Package server is the robustness layer of the analysis service: an
+// HTTP/JSON surface over the library's session API (analyze, join trees,
+// classification, reduction, Yannakakis evaluation, mutable workspace
+// sessions) engineered so that overload, bad input, deadlines, and even
+// panics degrade into documented, typed responses instead of crashes or
+// hangs.
+//
+// The layering, outermost first, for every request:
+//
+//  1. Drain gate — a draining server answers 503 "draining" immediately and
+//     in-flight work is counted, so Drain can hand the process a clean
+//     shutdown point.
+//  2. Panic isolation — a recover() wraps the whole request; a panic
+//     anywhere below (handler, executor, pool worker — the pool re-raises
+//     worker panics on the caller) becomes a 500 with a fresh incident id
+//     and the process survives.
+//  3. Per-tenant quota — a token bucket per X-Tenant header (429
+//     "tenant_quota" + Retry-After when empty), so one tenant's burst
+//     cannot starve the others.
+//  4. Global admission — a bounded in-flight count (429 "overloaded" +
+//     Retry-After when full), so concurrency is capped before any work
+//     starts.
+//  5. Deadline — every request runs under a context deadline (default
+//     DefaultTimeout, overridable per request via X-Deadline-Ms, clamped to
+//     MaxTimeout) that rides the library's ctx plumbing: MCS and Graham
+//     reductions poll it every ~4096 work units, the exec kernels every
+//     ~4096 rows, so a deadline stops real work mid-flight (408
+//     "deadline").
+//  6. Body cap — request bodies over MaxBodyBytes report 413.
+//
+// Failures map to the one JSON error envelope (see ErrorBody); the status
+// and code for every library error is pinned by the error-fidelity tests.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/engine"
+	"repro/internal/fault"
+)
+
+// Config sizes the robustness envelope. The zero value is usable: every
+// field falls back to the documented default.
+type Config struct {
+	// MaxInFlight bounds globally concurrent requests (default 64).
+	MaxInFlight int
+	// TenantRate is each tenant's sustained admission rate in requests per
+	// second (default 50).
+	TenantRate float64
+	// TenantBurst is each tenant's bucket capacity (default 25).
+	TenantBurst int
+	// DefaultTimeout is the per-request deadline when the client sends no
+	// X-Deadline-Ms (default 2s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested deadlines (default 10s).
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxClassifyEdges caps the classify endpoint: the γ-acyclicity test is
+	// exponential and not cancellable, so deadlines alone cannot bound it
+	// (default 64).
+	MaxClassifyEdges int
+	// Workers sizes the engine's worker pool (default GOMAXPROCS).
+	Workers int
+	// DigestSeed, when nonzero, keys the engine's memo digests (SipHash)
+	// so untrusted tenants cannot craft fingerprint collisions.
+	DigestSeed uint64
+	// Logger receives panic incidents and lifecycle lines; nil discards.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.TenantRate <= 0 {
+		c.TenantRate = 50
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = 25
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxClassifyEdges <= 0 {
+		c.MaxClassifyEdges = 64
+	}
+	return c
+}
+
+// Stats is a snapshot of the server's counters (see Server.Stats).
+type Stats struct {
+	Total       uint64 `json:"total"`       // requests admitted past the drain gate
+	OK          uint64 `json:"ok"`          // 2xx responses
+	ClientErr   uint64 `json:"clientErr"`   // 4xx responses (excluding sheds)
+	Shed        uint64 `json:"shed"`        // 429 "overloaded"
+	QuotaDenied uint64 `json:"quotaDenied"` // 429 "tenant_quota"
+	Deadlines   uint64 `json:"deadlines"`   // 408 "deadline"
+	Panics      uint64 `json:"panics"`      // recovered panics (500 + incident)
+	Internal    uint64 `json:"internal"`    // 500s total (panics plus unclassified errors)
+	InFlight    int    `json:"inFlight"`    // currently admitted requests
+}
+
+// Server is one service instance: a memoizing engine shared by all tenants,
+// a registry of mutable workspace sessions, and the admission machinery.
+// Construct with New; all methods are safe for concurrent use.
+type Server struct {
+	cfg    Config
+	eng    *engine.Engine
+	quota  *quotas
+	sem    chan struct{} // global in-flight tokens
+	logger *log.Logger
+
+	gate gate // drain gate: counts in-flight, refuses when draining
+
+	mu     sync.Mutex
+	nextWS int
+	spaces map[string]*dynamic.Workspace
+
+	incidents atomic.Uint64
+
+	total, ok2xx, clientErr        atomic.Uint64
+	shed, quotaDenied              atomic.Uint64
+	deadlines, panics, internal5xx atomic.Uint64
+}
+
+// New builds a Server from cfg (zero value: all defaults). now is the quota
+// clock; pass nil for time.Now (tests inject a fake).
+func New(cfg Config, now func() time.Time) *Server {
+	cfg = cfg.withDefaults()
+	if now == nil {
+		now = time.Now
+	}
+	opts := []engine.Option{engine.WithWorkers(cfg.Workers)}
+	if cfg.DigestSeed != 0 {
+		opts = append(opts, engine.WithKeyedDigest(cfg.DigestSeed))
+	}
+	return &Server{
+		cfg:    cfg,
+		eng:    engine.New(opts...),
+		quota:  newQuotas(cfg.TenantRate, cfg.TenantBurst, now),
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+		logger: cfg.Logger,
+		spaces: make(map[string]*dynamic.Workspace),
+	}
+}
+
+// Stats returns a snapshot of the counters /statsz serves.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Total:       s.total.Load(),
+		OK:          s.ok2xx.Load(),
+		ClientErr:   s.clientErr.Load(),
+		Shed:        s.shed.Load(),
+		QuotaDenied: s.quotaDenied.Load(),
+		Deadlines:   s.deadlines.Load(),
+		Panics:      s.panics.Load(),
+		Internal:    s.internal5xx.Load(),
+		InFlight:    len(s.sem),
+	}
+}
+
+// Handler returns the full route table. Method and path dispatch use the
+// standard mux; everything under /v1/ runs inside the robustness envelope.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.guard(s.handleAnalyze))
+	mux.HandleFunc("POST /v1/jointree", s.guard(s.handleJoinTree))
+	mux.HandleFunc("POST /v1/classify", s.guard(s.handleClassify))
+	mux.HandleFunc("POST /v1/reduce", s.guard(s.handleReduce))
+	mux.HandleFunc("POST /v1/eval", s.guard(s.handleEval))
+	mux.HandleFunc("POST /v1/workspaces", s.guard(s.handleWorkspaceCreate))
+	mux.HandleFunc("GET /v1/workspaces/{id}", s.guard(s.handleWorkspaceGet))
+	mux.HandleFunc("POST /v1/workspaces/{id}/edges", s.guard(s.handleAddEdge))
+	mux.HandleFunc("DELETE /v1/workspaces/{id}/edges/{edge}", s.guard(s.handleRemoveEdge))
+	mux.HandleFunc("POST /v1/workspaces/{id}/rename", s.guard(s.handleRename))
+	mux.HandleFunc("POST /v1/workspaces/{id}/query", s.guard(s.handleQuery))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return mux
+}
+
+// handlerFunc is the shape of every endpoint: take a request (its context
+// carries the deadline), return a JSON-encodable result or an error the
+// taxonomy maps. Handlers never write to the ResponseWriter themselves, so
+// the panic recovery above them can always still produce a response.
+type handlerFunc func(r *http.Request) (any, error)
+
+// guard wraps a handler in the admission/deadline/recovery envelope
+// documented on the package.
+func (s *Server) guard(h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.gate.enter() {
+			s.writeError(w, http.StatusServiceUnavailable,
+				ErrorBody{Code: CodeDraining, Message: "server: shutting down"})
+			return
+		}
+		defer s.gate.leave()
+		s.total.Add(1)
+
+		// Panic isolation: anything below — handler code, executor kernels,
+		// pool workers (the pool re-raises worker panics here) — lands in
+		// this recover, mints an incident id, and answers 500. The process
+		// survives; the incident id correlates the response with the log.
+		defer func() {
+			if v := recover(); v != nil {
+				id := fmt.Sprintf("inc-%06d", s.incidents.Add(1))
+				s.panics.Add(1)
+				s.internal5xx.Add(1)
+				if s.logger != nil {
+					s.logger.Printf("panic %s: %v\n%s", id, v, debug.Stack())
+				}
+				s.writeError(w, http.StatusInternalServerError,
+					ErrorBody{Code: CodeInternal, Message: "internal error", Incident: id})
+			}
+		}()
+
+		tenant := r.Header.Get("X-Tenant")
+		if tenant == "" {
+			tenant = "anon"
+		}
+		if retry, ok := s.quota.allow(tenant); !ok {
+			s.quotaDenied.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			s.writeError(w, http.StatusTooManyRequests,
+				ErrorBody{Code: CodeTenantQuota, Message: "tenant " + tenant + " over quota"})
+			return
+		}
+
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests,
+				ErrorBody{Code: CodeOverloaded, Message: "server at capacity"})
+			return
+		}
+
+		d := s.cfg.DefaultTimeout
+		if ms := r.Header.Get("X-Deadline-Ms"); ms != "" {
+			if n, err := strconv.Atoi(ms); err == nil && n > 0 {
+				d = time.Duration(n) * time.Millisecond
+				if d > s.cfg.MaxTimeout {
+					d = s.cfg.MaxTimeout
+				}
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		r = r.WithContext(ctx)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+		// Chaos site: after admission and deadline setup, before the
+		// endpoint — where the fault suite injects delays, errors, and
+		// panics that must surface through this envelope.
+		if err := fault.Hit(fault.ServerHandle); err != nil {
+			s.fail(w, err)
+			return
+		}
+
+		res, err := h(r)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		s.ok2xx.Add(1)
+		s.writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// fail maps err through the taxonomy and writes the typed body; errors the
+// taxonomy does not recognize become 500s with incident ids, so nothing
+// reaches the wire untyped.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	status, body, ok := classify(err)
+	if !ok {
+		id := fmt.Sprintf("inc-%06d", s.incidents.Add(1))
+		if s.logger != nil {
+			s.logger.Printf("unclassified error %s: %v", id, err)
+		}
+		s.internal5xx.Add(1)
+		s.writeError(w, http.StatusInternalServerError,
+			ErrorBody{Code: CodeInternal, Message: "internal error", Incident: id})
+		return
+	}
+	switch {
+	case status == http.StatusRequestTimeout:
+		s.deadlines.Add(1)
+	case status >= 400 && status < 500:
+		s.clientErr.Add(1)
+	}
+	s.writeError(w, status, body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, body ErrorBody) {
+	s.writeJSON(w, status, errorResponse{Error: body})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil && s.logger != nil {
+		s.logger.Printf("encode response: %v", err)
+	}
+}
+
+// handleHealthz bypasses admission (health checks must not consume quota):
+// 200 while serving, 503 once draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.gate.isDraining() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ok": false, "draining": true})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Drain flips the server into draining mode — new requests answer 503, the
+// health check fails — and blocks until in-flight requests finish or ctx
+// expires (reporting ctx.Err() with work still in flight). Idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	return s.gate.drain(ctx)
+}
+
+// gate counts in-flight requests and refuses new ones while draining. It is
+// a mutex-guarded counter instead of a WaitGroup because enter() must
+// atomically check "draining?" and increment — WaitGroup.Add racing
+// WaitGroup.Wait is a misuse.
+type gate struct {
+	mu       sync.Mutex
+	draining bool
+	n        int
+	idle     chan struct{} // closed when draining and n hits 0
+}
+
+func (g *gate) enter() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return false
+	}
+	g.n++
+	return true
+}
+
+func (g *gate) leave() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n--
+	if g.draining && g.n == 0 && g.idle != nil {
+		close(g.idle)
+		g.idle = nil
+	}
+}
+
+func (g *gate) isDraining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+func (g *gate) drain(ctx context.Context) error {
+	g.mu.Lock()
+	g.draining = true
+	if g.n == 0 {
+		g.mu.Unlock()
+		return nil
+	}
+	if g.idle == nil {
+		g.idle = make(chan struct{})
+	}
+	idle := g.idle
+	g.mu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,574 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// fig1Text is the paper's Figure 1 schema in the wire text format.
+const fig1Text = "A B C\nC D E\nA E F\nA C E"
+
+// triangleText is the canonical cyclic schema.
+const triangleText = "A B\nB C\nC A"
+
+func newTestServer(t *testing.T, cfg Config, now func() time.Time) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg, now)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// do issues one request and returns the response with its body drained.
+func do(t *testing.T, method, url, body string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func schemaBody(schema string) string {
+	b, _ := json.Marshal(map[string]string{"schema": schema})
+	return string(b)
+}
+
+// decodeError unwraps the {"error": {...}} envelope.
+func decodeError(t *testing.T, body []byte) ErrorBody {
+	t.Helper()
+	var env errorResponse
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("error body is not the documented envelope: %v (body %q)", err, body)
+	}
+	return env.Error
+}
+
+func TestAnalyzeAndJoinTreeHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	resp, body := do(t, "POST", ts.URL+"/v1/analyze", schemaBody(fig1Text), nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("analyze: status %d body %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Acyclic bool `json:"acyclic"`
+		Nodes   int  `json:"nodes"`
+		Edges   int  `json:"edges"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Acyclic || out.Nodes != 6 || out.Edges != 4 {
+		t.Fatalf("analyze(fig1) = %+v", out)
+	}
+	resp, body = do(t, "POST", ts.URL+"/v1/jointree", schemaBody(fig1Text), nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("jointree: status %d body %s", resp.StatusCode, body)
+	}
+	var jt struct {
+		Parent  []int      `json:"parent"`
+		Program []stepJSON `json:"program"`
+	}
+	if err := json.Unmarshal(body, &jt); err != nil {
+		t.Fatal(err)
+	}
+	if len(jt.Parent) != 4 || len(jt.Program) != 6 {
+		t.Fatalf("jointree(fig1) = %+v (want 4 edges, 6 reducer steps)", jt)
+	}
+}
+
+func TestEvalHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	req := map[string]any{
+		"schema": "A B\nB C",
+		"tables": []map[string]any{
+			{"attrs": []string{"A", "B"}, "rows": [][]string{{"1", "2"}}},
+			{"attrs": []string{"B", "C"}, "rows": [][]string{{"2", "3"}, {"9", "9"}}},
+		},
+		"attrs": []string{"A", "C"},
+	}
+	b, _ := json.Marshal(req)
+	resp, body := do(t, "POST", ts.URL+"/v1/eval", string(b), nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("eval: status %d body %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Attrs   []string   `json:"attrs"`
+		Rows    [][]string `json:"rows"`
+		RowsOut int        `json:"rowsOut"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 || out.Rows[0][0] != "1" || out.Rows[0][1] != "3" {
+		t.Fatalf("eval rows = %v, want [[1 3]]", out.Rows)
+	}
+	if out.RowsOut != 2 {
+		t.Fatalf("rowsOut = %d, want 2 (dangling (9,9) reduced away)", out.RowsOut)
+	}
+}
+
+// TestErrorFidelity pins every documented error to its status code and JSON
+// shape. Each row drives a real request through the full envelope.
+func TestErrorFidelity(t *testing.T) {
+	defer fault.Reset()
+	s, ts := newTestServer(t, Config{MaxClassifyEdges: 2, MaxBodyBytes: 256}, nil)
+
+	// A workspace with known content for the workspace-error rows:
+	// ws-1 at epoch 1 after one AddEdge.
+	resp, body := do(t, "POST", ts.URL+"/v1/workspaces", schemaBody("A B"), nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("workspace create: %d %s", resp.StatusCode, body)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	wsURL := ts.URL + "/v1/workspaces/" + created.ID
+	if resp, body = do(t, "POST", wsURL+"/edges", `{"nodes":["B","C"]}`, nil); resp.StatusCode != 200 {
+		t.Fatalf("add edge: %d %s", resp.StatusCode, body)
+	}
+
+	type check func(t *testing.T, e ErrorBody)
+	rows := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		hdr    map[string]string
+		arm    func()
+		status int
+		code   string
+		extra  check
+	}{
+		{
+			name: "parse", method: "POST", path: "/v1/analyze",
+			body: schemaBody(""), status: 400, code: CodeParse,
+			extra: func(t *testing.T, e ErrorBody) {
+				if e.Line != 1 || e.Col != 1 {
+					t.Errorf("parse position = %d:%d, want 1:1", e.Line, e.Col)
+				}
+			},
+		},
+		{
+			name: "unknown_node", method: "POST", path: "/v1/eval",
+			body:   `{"schema":"A B","tables":[{"attrs":["A","B"],"rows":[]}],"attrs":["Z"]}`,
+			status: 400, code: CodeUnknownNode,
+			extra: func(t *testing.T, e ErrorBody) {
+				if e.Name != "Z" {
+					t.Errorf("unknown node name = %q, want Z", e.Name)
+				}
+			},
+		},
+		{
+			name: "bad_json", method: "POST", path: "/v1/analyze",
+			body: "{", status: 400, code: CodeBadJSON,
+		},
+		{
+			name: "bad_request", method: "POST", path: "/v1/eval",
+			// Two-edge schema, one table: shape mismatch the library rejects.
+			body:   `{"schema":"A B\nB C","tables":[{"attrs":["A","B"],"rows":[]}],"attrs":["A"]}`,
+			status: 400, code: CodeBadRequest,
+		},
+		{
+			name: "cyclic", method: "POST", path: "/v1/jointree",
+			body: schemaBody(triangleText), status: 422, code: CodeCyclic,
+		},
+		{
+			name: "schema_too_large", method: "POST", path: "/v1/classify",
+			body: schemaBody(fig1Text), status: 422, code: CodeSchemaTooLarge,
+		},
+		{
+			name: "stale_epoch", method: "POST", path: "/v1/workspaces/" + created.ID + "/query",
+			body: `{"op":"verdict","epoch":0}`, status: 409, code: CodeStaleEpoch,
+			extra: func(t *testing.T, e ErrorBody) {
+				if e.Handle != 0 || e.Current == 0 {
+					t.Errorf("stale epochs = handle %d current %d, want handle 0 and a later current", e.Handle, e.Current)
+				}
+			},
+		},
+		{
+			name: "unknown_edge", method: "DELETE", path: "/v1/workspaces/" + created.ID + "/edges/99",
+			status: 404, code: CodeUnknownEdge,
+			extra: func(t *testing.T, e ErrorBody) {
+				if e.EdgeID != 99 {
+					t.Errorf("edge id = %d, want 99", e.EdgeID)
+				}
+			},
+		},
+		{
+			name: "node_exists", method: "POST", path: "/v1/workspaces/" + created.ID + "/rename",
+			body: `{"old":"A","new":"C"}`, status: 409, code: CodeNodeExists,
+			extra: func(t *testing.T, e ErrorBody) {
+				if e.Name != "C" {
+					t.Errorf("conflicting name = %q, want C", e.Name)
+				}
+			},
+		},
+		{
+			name: "not_found", method: "GET", path: "/v1/workspaces/nope",
+			status: 404, code: CodeNotFound,
+		},
+		{
+			name: "body_too_large", method: "POST", path: "/v1/analyze",
+			body:   schemaBody(strings.Repeat("A B\n", 200)),
+			status: 413, code: CodeBodyTooLarge,
+		},
+		{
+			name: "deadline", method: "POST", path: "/v1/analyze",
+			// A unique schema (cold memo) plus an injected 60ms stall against
+			// a 1ms deadline: the ctx plumbing must fail the request.
+			body: schemaBody("DL1 DL2\nDL2 DL3"),
+			hdr:  map[string]string{"X-Deadline-Ms": "1"},
+			arm: func() {
+				fault.Activate(fault.ServerHandle, fault.Injection{
+					Kind: fault.KindDelay, Delay: 60 * time.Millisecond, Count: 1,
+				})
+			},
+			status: 408, code: CodeDeadline,
+		},
+		{
+			name: "internal_panic", method: "POST", path: "/v1/analyze",
+			body: schemaBody(fig1Text),
+			arm: func() {
+				fault.Activate(fault.ServerHandle, fault.Injection{
+					Kind: fault.KindPanic, Panic: "boom", Count: 1,
+				})
+			},
+			status: 500, code: CodeInternal,
+			extra: func(t *testing.T, e ErrorBody) {
+				if e.Incident == "" {
+					t.Error("500 without incident id")
+				}
+			},
+		},
+	}
+	for _, row := range rows {
+		t.Run(row.name, func(t *testing.T) {
+			fault.Reset()
+			if row.arm != nil {
+				row.arm()
+			}
+			resp, body := do(t, row.method, ts.URL+row.path, row.body, row.hdr)
+			if resp.StatusCode != row.status {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, row.status, body)
+			}
+			e := decodeError(t, body)
+			if e.Code != row.code {
+				t.Fatalf("code = %q, want %q (body %s)", e.Code, row.code, body)
+			}
+			if e.Message == "" {
+				t.Error("error body without message")
+			}
+			if row.extra != nil {
+				row.extra(t, e)
+			}
+		})
+	}
+
+	// The process survived the injected panic: a follow-up request succeeds.
+	fault.Reset()
+	if resp, body := do(t, "POST", ts.URL+"/v1/analyze", schemaBody(fig1Text), nil); resp.StatusCode != 200 {
+		t.Fatalf("server did not survive the panic: %d %s", resp.StatusCode, body)
+	}
+	if got := s.Stats().Panics; got != 1 {
+		t.Errorf("panic counter = %d, want 1", got)
+	}
+}
+
+// TestErrorFidelityConcurrent drives a burst through a windowed panic plan:
+// exactly Count requests must answer 500-with-incident, every other request
+// 200, and the server must stay coherent throughout.
+func TestErrorFidelityConcurrent(t *testing.T) {
+	defer fault.Reset()
+	_, ts := newTestServer(t, Config{
+		MaxInFlight: 128, TenantRate: 100000, TenantBurst: 100000,
+	}, nil)
+	const total, panics = 60, 5
+	fault.Reset()
+	fault.Activate(fault.ServerHandle, fault.Injection{
+		Kind: fault.KindPanic, Panic: "chaos", After: 10, Count: panics,
+	})
+	var wg sync.WaitGroup
+	codes := make([]int, total)
+	incidents := make([]string, total)
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := do(t, "POST", ts.URL+"/v1/analyze", schemaBody(fig1Text), nil)
+			codes[i] = resp.StatusCode
+			if resp.StatusCode == 500 {
+				incidents[i] = decodeError(t, body).Incident
+			}
+		}(i)
+	}
+	wg.Wait()
+	got500, got200 := 0, 0
+	seen := map[string]bool{}
+	for i, c := range codes {
+		switch c {
+		case 200:
+			got200++
+		case 500:
+			got500++
+			if incidents[i] == "" {
+				t.Error("500 without incident id under load")
+			}
+			if seen[incidents[i]] {
+				t.Errorf("incident id %q reused", incidents[i])
+			}
+			seen[incidents[i]] = true
+		default:
+			t.Errorf("unexpected status %d under load", c)
+		}
+	}
+	if got500 != panics || got200 != total-panics {
+		t.Fatalf("got %d panics / %d ok, want %d / %d", got500, got200, panics, total-panics)
+	}
+}
+
+func TestAdmissionControlSheds(t *testing.T) {
+	defer fault.Reset()
+	s, ts := newTestServer(t, Config{MaxInFlight: 2, TenantRate: 100000, TenantBurst: 100000}, nil)
+	// Stall every admitted request so the in-flight limit fills.
+	fault.Reset()
+	fault.Activate(fault.ServerHandle, fault.Injection{
+		Kind: fault.KindDelay, Delay: 300 * time.Millisecond,
+	})
+	const total = 8
+	var wg sync.WaitGroup
+	codes := make([]int, total)
+	retry := make([]string, total)
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := do(t, "POST", ts.URL+"/v1/analyze", schemaBody(fig1Text), nil)
+			codes[i] = resp.StatusCode
+			retry[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+	shed := 0
+	for i, c := range codes {
+		switch c {
+		case 200:
+		case 429:
+			shed++
+			if retry[i] == "" {
+				t.Error("429 without Retry-After")
+			}
+		default:
+			t.Errorf("unexpected status %d", c)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("no requests shed with MaxInFlight=2 and 8 concurrent stalls")
+	}
+	if got := s.Stats().Shed; got != uint64(shed) {
+		t.Errorf("shed counter = %d, want %d", got, shed)
+	}
+}
+
+func TestTenantQuota(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	now := func() time.Time { return clock }
+	_, ts := newTestServer(t, Config{TenantRate: 1, TenantBurst: 2}, now)
+	hdrA := map[string]string{"X-Tenant": "alice"}
+	hdrB := map[string]string{"X-Tenant": "bob"}
+	// Alice's burst of 2 is admitted, the third refuses with Retry-After.
+	for i := 0; i < 2; i++ {
+		if resp, body := do(t, "POST", ts.URL+"/v1/analyze", schemaBody(fig1Text), hdrA); resp.StatusCode != 200 {
+			t.Fatalf("request %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := do(t, "POST", ts.URL+"/v1/analyze", schemaBody(fig1Text), hdrA)
+	if resp.StatusCode != 429 {
+		t.Fatalf("third request: %d, want 429", resp.StatusCode)
+	}
+	if e := decodeError(t, body); e.Code != CodeTenantQuota {
+		t.Fatalf("code = %q, want %q", e.Code, CodeTenantQuota)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Errorf("Retry-After = %q, want 1", resp.Header.Get("Retry-After"))
+	}
+	// Bob is unaffected by Alice's exhaustion.
+	if resp, _ := do(t, "POST", ts.URL+"/v1/analyze", schemaBody(fig1Text), hdrB); resp.StatusCode != 200 {
+		t.Fatalf("bob: %d, want 200", resp.StatusCode)
+	}
+	// One simulated second later Alice has a token again.
+	clock = clock.Add(time.Second)
+	if resp, _ := do(t, "POST", ts.URL+"/v1/analyze", schemaBody(fig1Text), hdrA); resp.StatusCode != 200 {
+		t.Fatalf("after refill: %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestWorkspaceSessionLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	resp, body := do(t, "POST", ts.URL+"/v1/workspaces", "", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("create empty: %d %s", resp.StatusCode, body)
+	}
+	var created struct {
+		ID    string `json:"id"`
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	wsURL := ts.URL + "/v1/workspaces/" + created.ID
+
+	// Build the triangle edge by edge, watch the verdict flip, then break
+	// the cycle and watch it flip back.
+	var lastEdge int
+	for i, e := range []string{`["A","B"]`, `["B","C"]`, `["C","A"]`} {
+		resp, body = do(t, "POST", wsURL+"/edges", `{"nodes":`+e+`}`, nil)
+		if resp.StatusCode != 200 {
+			t.Fatalf("add edge %d: %d %s", i, resp.StatusCode, body)
+		}
+		var added struct {
+			Edge int `json:"edge"`
+		}
+		if err := json.Unmarshal(body, &added); err != nil {
+			t.Fatal(err)
+		}
+		lastEdge = added.Edge
+	}
+	resp, body = do(t, "POST", wsURL+"/query", `{"op":"verdict"}`, nil)
+	var verdict struct {
+		Epoch   uint64 `json:"epoch"`
+		Acyclic bool   `json:"acyclic"`
+	}
+	if err := json.Unmarshal(body, &verdict); err != nil {
+		t.Fatal(err)
+	}
+	if verdict.Acyclic {
+		t.Fatal("triangle reported acyclic")
+	}
+	if resp, body = do(t, "DELETE", fmt.Sprintf("%s/edges/%d", wsURL, lastEdge), "", nil); resp.StatusCode != 200 {
+		t.Fatalf("remove edge: %d %s", resp.StatusCode, body)
+	}
+	resp, body = do(t, "POST", wsURL+"/query", `{"op":"verdict"}`, nil)
+	if err := json.Unmarshal(body, &verdict); err != nil {
+		t.Fatal(err)
+	}
+	if !verdict.Acyclic {
+		t.Fatal("path A-B-C reported cyclic after breaking the triangle")
+	}
+	// Epoch pinning on the current epoch succeeds.
+	pinned := fmt.Sprintf(`{"op":"verdict","epoch":%d}`, verdict.Epoch)
+	if resp, body = do(t, "POST", wsURL+"/query", pinned, nil); resp.StatusCode != 200 {
+		t.Fatalf("pinned query: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	defer fault.Reset()
+	s, ts := newTestServer(t, Config{}, nil)
+	fault.Reset()
+	fault.Activate(fault.ServerHandle, fault.Injection{
+		Kind: fault.KindDelay, Delay: 200 * time.Millisecond, Count: 1,
+	})
+	inFlight := make(chan int, 1)
+	go func() {
+		resp, _ := do(t, "POST", ts.URL+"/v1/analyze", schemaBody(fig1Text), nil)
+		inFlight <- resp.StatusCode
+	}()
+	time.Sleep(50 * time.Millisecond) // let the slow request be admitted
+
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		drainDone <- s.Drain(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond) // let Drain flip the gate
+
+	// New work is refused while draining; the health check fails over.
+	if resp, body := do(t, "POST", ts.URL+"/v1/analyze", schemaBody(fig1Text), nil); resp.StatusCode != 503 {
+		t.Fatalf("request during drain: %d %s", resp.StatusCode, body)
+	} else if e := decodeError(t, body); e.Code != CodeDraining {
+		t.Fatalf("drain code = %q", e.Code)
+	}
+	if resp, _ := do(t, "GET", ts.URL+"/healthz", "", nil); resp.StatusCode != 503 {
+		t.Fatalf("healthz during drain: %d, want 503", resp.StatusCode)
+	}
+
+	// The in-flight request completes and the drain resolves cleanly.
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if code := <-inFlight; code != 200 {
+		t.Fatalf("in-flight request during drain: %d, want 200", code)
+	}
+}
+
+func TestDrainTimesOutWithWorkStuck(t *testing.T) {
+	defer fault.Reset()
+	s, ts := newTestServer(t, Config{}, nil)
+	fault.Reset()
+	fault.Activate(fault.ServerHandle, fault.Injection{
+		Kind: fault.KindDelay, Delay: 500 * time.Millisecond, Count: 1,
+	})
+	done := make(chan struct{})
+	go func() {
+		do(t, "POST", ts.URL+"/v1/analyze", schemaBody(fig1Text), nil)
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("drain with stuck work: %v, want context.DeadlineExceeded", err)
+	}
+	<-done
+}
+
+func TestStatszAndHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	if resp, body := do(t, "GET", ts.URL+"/healthz", "", nil); resp.StatusCode != 200 || !bytes.Contains(body, []byte("true")) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+	do(t, "POST", ts.URL+"/v1/analyze", schemaBody(fig1Text), nil)
+	resp, body := do(t, "GET", ts.URL+"/statsz", "", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("statsz: %d", resp.StatusCode)
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 1 || st.OK != 1 {
+		t.Fatalf("stats after one request = %+v", st)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/jointree"
 	"repro/internal/mcs"
 	"repro/internal/relation"
+	"repro/internal/spectrum"
 	"repro/internal/tableau"
 )
 
@@ -60,6 +61,15 @@ type (
 	// Classification places a hypergraph in the acyclicity hierarchy
 	// (α ⊃ β ⊃ γ ⊃ Berge).
 	Classification = acyclic.Classification
+	// SpectrumResult is the full acyclicity-spectrum classification of a
+	// hypergraph: per-class verdicts with locally-checkable certificates
+	// (elimination orders and reduction sequences on accept, hereditary
+	// cores on reject) plus the overall degree. See internal/spectrum;
+	// obtained from Analysis.Spectrum.
+	SpectrumResult = spectrum.Result
+	// SpectrumDegree is a rung of the acyclicity hierarchy, from cyclic
+	// through Berge-acyclic (spectrum.DegreeCyclic .. spectrum.DegreeBerge).
+	SpectrumDegree = spectrum.Degree
 	// MCSResult is the outcome of a maximum cardinality search: verdict,
 	// selection orders, join-tree parents or reject certificate.
 	MCSResult = mcs.Result

@@ -19,7 +19,8 @@ var updateExports = flag.Bool("update", false, "rewrite testdata/api_exports.gol
 
 // TestPublicAPIExports pins the exported surface of the redesigned API — the
 // root facade plus the session (internal/analysis), batch (internal/engine),
-// dynamic (internal/dynamic), and execution (internal/exec) layers whose
+// dynamic (internal/dynamic), execution (internal/exec), and spectrum
+// (internal/spectrum) layers whose
 // types reach users through aliases, and the serving layer (internal/server)
 // whose exported surface is the wire contract — against
 // a golden snapshot, so signature changes can't slip through a PR silently.
@@ -28,7 +29,7 @@ var updateExports = flag.Bool("update", false, "rewrite testdata/api_exports.gol
 //	go test -run TestPublicAPIExports -update .
 func TestPublicAPIExports(t *testing.T) {
 	var b strings.Builder
-	for _, dir := range []string{".", "internal/analysis", "internal/dynamic", "internal/engine", "internal/exec", "internal/server"} {
+	for _, dir := range []string{".", "internal/analysis", "internal/dynamic", "internal/engine", "internal/exec", "internal/server", "internal/spectrum"} {
 		decls := exportedDecls(t, dir)
 		sort.Strings(decls)
 		fmt.Fprintf(&b, "## %s\n\n", dir)

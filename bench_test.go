@@ -18,6 +18,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/jointree"
 	"repro/internal/mcs"
+	"repro/internal/spectrum"
 	"repro/internal/tableau"
 )
 
@@ -680,4 +681,42 @@ func BenchmarkWorkspaceEdit(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSpectrumClassify — E-SPEC: the polynomial full-spectrum
+// classification (α via MCS, β via nest-point elimination, γ via
+// leaf/twin reduction, Berge via union-find) at the server-scale sizes the
+// retired serving cap used to refuse. The γ-acyclic family exercises the
+// accept path of every tester; the random family exercises the reject
+// paths (cores instead of elimination orders).
+func BenchmarkSpectrumClassify(b *testing.B) {
+	ctx := context.Background()
+	for _, m := range []int{10_000, 100_000} {
+		h := gen.GammaAcyclic(rand.New(rand.NewSource(int64(m))), m, m*3/5)
+		b.Run(fmt.Sprintf("gamma/edges=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := spectrum.Classify(ctx, h)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.Gamma.Acyclic {
+					b.Fatal("generated γ-acyclic instance misclassified")
+				}
+			}
+		})
+	}
+	for _, m := range []int{10_000} {
+		h := gen.Random(rand.New(rand.NewSource(int64(m))), gen.RandomSpec{
+			Nodes: m / 2, Edges: m, MinArity: 2, MaxArity: 5,
+		})
+		b.Run(fmt.Sprintf("random/edges=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := spectrum.Classify(ctx, h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -28,6 +28,38 @@ func TestAnalyzeOutput(t *testing.T) {
 	}
 }
 
+func TestClassifyOutput(t *testing.T) {
+	var b strings.Builder
+	if err := classifyCmd(&b, fig1()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"degree: alpha-acyclic", "nest-free core", "irreducible core",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("classify(fig1) output missing %q:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	if err := classifyCmd(&b, triangle()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "degree: cyclic") {
+		t.Errorf("classify(triangle) output missing cyclic degree:\n%s", b.String())
+	}
+	b.Reset()
+	chain := repro.NewHypergraph([][]string{{"A", "B"}, {"B", "C"}})
+	if err := classifyCmd(&b, chain); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"degree: berge-acyclic", "elimination order", "reduction sequence"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("classify(chain) output missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
 func TestReduceOutput(t *testing.T) {
 	h := fig1()
 	var b strings.Builder

@@ -18,6 +18,7 @@
 package acyclic
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitset"
@@ -25,6 +26,35 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/mcs"
 )
+
+// specCancelStride is how many search steps the exponential specification
+// testers take between context polls. The steps are heavyweight (a subset
+// materialization or a recursive extension each), so the stride is much
+// finer than the 4096-unit convention of the polynomial testers.
+const specCancelStride = 64
+
+// specTicker threads a context through the exponential searches: tick
+// reports true when the search should unwind, and err holds the reason.
+// Callers must check err before trusting a negative search result.
+type specTicker struct {
+	ctx  context.Context
+	work int
+	err  error
+}
+
+func (t *specTicker) tick() bool {
+	if t.err != nil {
+		return true
+	}
+	t.work++
+	if t.work%specCancelStride == 0 {
+		if err := t.ctx.Err(); err != nil {
+			t.err = err
+			return true
+		}
+	}
+	return false
+}
 
 // IsAcyclic reports α-acyclicity (the paper's notion) via the linear-time
 // maximum cardinality search of internal/mcs; gyo.IsAcyclic is the Graham
@@ -49,12 +79,26 @@ func IsAcyclicByDefinition(h *hypergraph.Hypergraph) (bool, error) {
 // node-generated set of edges for N is connected, has at least two edges,
 // and has no articulation set. found is false for acyclic hypergraphs.
 func CyclicWitnessByDefinition(h *hypergraph.Hypergraph) (witness bitset.Set, found bool, err error) {
+	return CyclicWitnessByDefinitionCtx(context.Background(), h)
+}
+
+// CyclicWitnessByDefinitionCtx is CyclicWitnessByDefinition observing ctx:
+// the subset enumeration polls the context mid-search, so a deadline stops
+// the exponential sweep instead of riding it out.
+func CyclicWitnessByDefinitionCtx(ctx context.Context, h *hypergraph.Hypergraph) (witness bitset.Set, found bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return bitset.Set{}, false, err
+	}
 	ids := h.NodeSet().Elems()
 	n := len(ids)
 	if n > maxDefinitionNodes {
 		return bitset.Set{}, false, fmt.Errorf("acyclic: definition-based test capped at %d nodes, have %d", maxDefinitionNodes, n)
 	}
+	tk := specTicker{ctx: ctx}
 	for mask := 1; mask < 1<<n; mask++ {
+		if tk.tick() {
+			return bitset.Set{}, false, tk.err
+		}
 		var N bitset.Set
 		for b := 0; b < n; b++ {
 			if mask&(1<<b) != 0 {
@@ -209,12 +253,25 @@ const maxBetaDefinitionEdges = 16
 // IsBetaAcyclicByDefinition checks β-acyclicity literally: every subfamily
 // of edges is α-acyclic. Exponential in the edge count (capped at 16 edges).
 func IsBetaAcyclicByDefinition(h *hypergraph.Hypergraph) (bool, error) {
+	return IsBetaAcyclicByDefinitionCtx(context.Background(), h)
+}
+
+// IsBetaAcyclicByDefinitionCtx is IsBetaAcyclicByDefinition observing ctx
+// across the subfamily enumeration.
+func IsBetaAcyclicByDefinitionCtx(ctx context.Context, h *hypergraph.Hypergraph) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	m := h.NumEdges()
 	if m > maxBetaDefinitionEdges {
 		return false, fmt.Errorf("acyclic: definition-based β test capped at %d edges, have %d", maxBetaDefinitionEdges, m)
 	}
 	all := h.Edges()
+	tk := specTicker{ctx: ctx}
 	for mask := 1; mask < 1<<m; mask++ {
+		if tk.tick() {
+			return false, tk.err
+		}
 		var edges []bitset.Set
 		var nodes bitset.Set
 		for b := 0; b < m; b++ {
@@ -236,23 +293,39 @@ func IsBetaAcyclicByDefinition(h *hypergraph.Hypergraph) (bool, error) {
 // x_i belonging to no other edge of the sequence. The search is exponential;
 // intended for small hypergraphs.
 func IsGammaAcyclic(h *hypergraph.Hypergraph) bool {
-	return !hasGammaCycle(h)
+	ok, _ := IsGammaAcyclicCtx(context.Background(), h)
+	return ok
 }
 
-func hasGammaCycle(h *hypergraph.Hypergraph) bool {
+// IsGammaAcyclicCtx is IsGammaAcyclic observing ctx: the recursive sequence
+// search polls the context as it extends candidates, so a deadline stops
+// the exponential search mid-branch. A cancelled search reports the context
+// error; the boolean is meaningless then.
+func IsGammaAcyclicCtx(ctx context.Context, h *hypergraph.Hypergraph) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	tk := &specTicker{ctx: ctx}
 	m := h.NumEdges()
 	for start := 0; start < m; start++ {
-		if searchGamma(h, start, []int{start}, nil) {
-			return true
+		if searchGamma(h, tk, start, []int{start}, nil) {
+			return false, nil
+		}
+		if tk.err != nil {
+			return false, tk.err
 		}
 	}
-	return false
+	return true, nil
 }
 
 // searchGamma extends the sequence seq (edge indices) with connecting nodes
 // xs (len(xs) == len(seq)-1) and reports whether a γ-cycle through
-// seq[0] exists.
-func searchGamma(h *hypergraph.Hypergraph, start int, seq []int, xs []int) bool {
+// seq[0] exists. On cancellation it unwinds returning false with tk.err
+// set; the caller must check tk.err before trusting a negative answer.
+func searchGamma(h *hypergraph.Hypergraph, tk *specTicker, start int, seq []int, xs []int) bool {
+	if tk.tick() {
+		return false
+	}
 	last := seq[len(seq)-1]
 	// Try closing the cycle: need len(seq) >= 3 and x_m ∈ S_m ∩ S_1 distinct
 	// from earlier x's. x_m is exempt from the "no other edge" condition.
@@ -300,7 +373,7 @@ func searchGamma(h *hypergraph.Hypergraph, start int, seq []int, xs []int) bool 
 			}
 			seq2 := append(append([]int{}, seq...), next)
 			xs2 := append(append([]int{}, xs...), x)
-			if searchGamma(h, start, seq2, xs2) {
+			if searchGamma(h, tk, start, seq2, xs2) {
 				found = true
 			}
 		})

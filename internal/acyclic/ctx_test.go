@@ -1,0 +1,68 @@
+package acyclic
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/hypergraph"
+)
+
+// TestSpecTestersObserveCancellation pins the ctx plumbing of the
+// exponential specification testers: a cancelled context stops each search
+// with the context error, and a live context reproduces the ctx-less
+// wrappers' verdicts.
+func TestSpecTestersObserveCancellation(t *testing.T) {
+	h := gen.CycleGraph(12)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := CyclicWitnessByDefinitionCtx(cancelled, h); err == nil {
+		t.Error("CyclicWitnessByDefinitionCtx ignored cancelled context")
+	}
+	if _, err := IsBetaAcyclicByDefinitionCtx(cancelled, h); err == nil {
+		t.Error("IsBetaAcyclicByDefinitionCtx ignored cancelled context")
+	}
+	if _, err := IsGammaAcyclicCtx(cancelled, h); err == nil {
+		t.Error("IsGammaAcyclicCtx ignored cancelled context")
+	}
+
+	ctx := context.Background()
+	if _, found, err := CyclicWitnessByDefinitionCtx(ctx, h); err != nil || !found {
+		t.Errorf("witness on cycle graph: found=%v err=%v, want a witness", found, err)
+	}
+	if ok, err := IsBetaAcyclicByDefinitionCtx(ctx, h); err != nil || ok {
+		t.Errorf("β-by-definition on cycle graph = %v, %v; want false", ok, err)
+	}
+	if ok, err := IsGammaAcyclicCtx(ctx, h); err != nil || ok {
+		t.Errorf("γ on cycle graph = %v, %v; want false", ok, err)
+	}
+}
+
+// TestGammaSpecDeadlineMidSearch arms a deadline short enough to fire while
+// the γ search is still extending sequences on a dense schema, proving the
+// stride polling reaches mid-recursion and not just the entry check.
+func TestGammaSpecDeadlineMidSearch(t *testing.T) {
+	// A complete-ish 14-edge schema: γ-acyclic it is not, but the search
+	// must enumerate long candidate sequences before concluding anything.
+	var edges [][]string
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names) && len(edges) < 14; j++ {
+			edges = append(edges, []string{names[i], names[j]})
+		}
+	}
+	h := hypergraph.New(edges)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	start := time.Now()
+	_, err := IsGammaAcyclicCtx(ctx, h)
+	if err == nil {
+		// The search may legitimately finish fast on some machines; only a
+		// slow run without an error is a plumbing failure.
+		if time.Since(start) > time.Second {
+			t.Fatal("expired deadline never surfaced from the γ search")
+		}
+		t.Skip("search finished before the deadline fired")
+	}
+}

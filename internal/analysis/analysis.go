@@ -40,6 +40,7 @@ import (
 	"repro/internal/jointree"
 	"repro/internal/mcs"
 	"repro/internal/pool"
+	"repro/internal/spectrum"
 )
 
 // facetLatch coordinates at-most-once *successful* computation of a facet
@@ -113,8 +114,8 @@ type Analysis struct {
 	jt     *jointree.JoinTree
 	jtErr  error
 
-	clOnce sync.Once
-	cl     acyclic.Classification
+	specLatch facetLatch
+	spec      *spectrum.Result
 
 	grLatch facetLatch
 	gr      *gyo.Result
@@ -149,7 +150,7 @@ type Stats struct {
 	MCSRuns int32
 	// GrahamRuns counts Graham reduction traces.
 	GrahamRuns int32
-	// HierarchyRuns counts β/γ/Berge classification passes.
+	// HierarchyRuns counts spectrum (β/γ/Berge) classification passes.
 	HierarchyRuns int32
 	// WitnessRuns counts independent-path witness searches.
 	WitnessRuns int32
@@ -303,21 +304,87 @@ func (a *Analysis) JoinTreeCtx(ctx context.Context) (*jointree.JoinTree, error) 
 	return a.jt, a.jtErr
 }
 
-// Classification places the hypergraph in the acyclicity hierarchy
-// (α ⊇ β ⊇ γ ⊇ Berge). The α component reuses the verdict's MCS run; the
-// stricter notions run their own (γ is exponential — intended for small-to-
-// moderate schemas), all at most once per handle.
-func (a *Analysis) Classification() acyclic.Classification {
-	a.clOnce.Do(func() {
-		a.stats.hierarchy.Add(1)
-		a.cl = acyclic.Classification{
-			Alpha: a.Verdict(),
-			Beta:  acyclic.IsBetaAcyclic(a.h),
-			Gamma: acyclic.IsGammaAcyclic(a.h),
-			Berge: acyclic.IsBergeAcyclic(a.h),
+// Spectrum returns the full acyclicity-spectrum classification — per-class
+// verdicts with their certificates and the overall degree — computed by the
+// polynomial testers of internal/spectrum, at most once per handle. The α
+// component reuses the verdict's MCS run. The result is shared and must be
+// treated as read-only.
+func (a *Analysis) Spectrum() *spectrum.Result {
+	r, err := a.SpectrumCtx(context.Background())
+	if err != nil {
+		// Background contexts are never cancelled; SpectrumCtx has no other
+		// error path.
+		panic(err)
+	}
+	return r
+}
+
+// SpectrumCtx is Spectrum with cooperative cancellation: the testers poll
+// ctx every ~4096 work units, a cancelled run leaves the facet uncomputed
+// for the next caller to retry, and callers coalescing onto an in-flight
+// run observe their own deadline.
+func (a *Analysis) SpectrumCtx(ctx context.Context) (*spectrum.Result, error) {
+	r, err := a.mcsRunCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	err = a.specLatch.run(ctx, func(ctx context.Context) error {
+		res, err := spectrum.ClassifyWithAlpha(ctx, a.h, r.Acyclic)
+		if err != nil {
+			return err
 		}
+		a.stats.hierarchy.Add(1)
+		a.spec = res
+		return nil
 	})
-	return a.cl
+	if err != nil {
+		return nil, err
+	}
+	return a.spec, nil
+}
+
+// Classification places the hypergraph in the acyclicity hierarchy
+// (α ⊇ β ⊇ γ ⊇ Berge), backed by the polynomial spectrum facet — the
+// exponential definition testers in internal/acyclic survive only as the
+// differential reference. The α component reuses the verdict's MCS run; the
+// whole spectrum computes at most once per handle.
+func (a *Analysis) Classification() acyclic.Classification {
+	cl, err := a.ClassificationCtx(context.Background())
+	if err != nil {
+		// Background contexts are never cancelled; SpectrumCtx has no other
+		// error path.
+		panic(err)
+	}
+	return cl
+}
+
+// ClassificationCtx is Classification with cooperative cancellation (see
+// SpectrumCtx).
+func (a *Analysis) ClassificationCtx(ctx context.Context) (acyclic.Classification, error) {
+	r, err := a.SpectrumCtx(ctx)
+	if err != nil {
+		return acyclic.Classification{}, err
+	}
+	return acyclic.Classification{
+		Alpha: r.Alpha,
+		Beta:  r.Beta.Acyclic,
+		Gamma: r.Gamma.Acyclic,
+		Berge: r.Berge,
+	}, nil
+}
+
+// strategyCtx picks the execution strategy from the schema's degree:
+// γ-acyclic (or stronger) schemas take the aggressive reduction kernels.
+// The spectrum is cached on the handle, so repeated calls derive nothing.
+func (a *Analysis) strategyCtx(ctx context.Context) (exec.Strategy, error) {
+	r, err := a.SpectrumCtx(ctx)
+	if err != nil {
+		return exec.StrategyStandard, err
+	}
+	if r.Degree >= spectrum.DegreeGamma {
+		return exec.StrategyAggressive, nil
+	}
+	return exec.StrategyStandard, nil
 }
 
 // GrahamTrace returns the Graham (GYO) reduction of the hypergraph with no
@@ -425,7 +492,13 @@ func (a *Analysis) Reduce(ctx context.Context, d *exec.Database) (*exec.ReduceRe
 		}
 		return exec.ReduceParallel(ctx, d, jt, a.pool)
 	}
-	return exec.Reduce(ctx, d, prog)
+	// Serial path: γ-acyclic schemas take the aggressive reduction kernels
+	// (identical results, dense single-attribute semijoins).
+	strat, err := a.strategyCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return exec.ReduceWithStrategy(ctx, d, prog, strat)
 }
 
 // Eval answers π_attrs(⋈ all objects) over the columnar database d with the
@@ -453,7 +526,11 @@ func (a *Analysis) Eval(ctx context.Context, d *exec.Database, attrs []string) (
 	if a.pool.Parallelism() > 1 {
 		return exec.EvalParallel(ctx, d, jt, attrs, a.pool)
 	}
-	return exec.EvalWithProgram(ctx, d, jt, prog, attrs)
+	strat, err := a.strategyCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return exec.EvalWithProgramStrategy(ctx, d, jt, prog, attrs, strat)
 }
 
 // Witness returns the Theorem 6.1 independent-path witness for a cyclic

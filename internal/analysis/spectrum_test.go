@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/gen"
+	"repro/internal/gendb"
+	"repro/internal/spectrum"
+)
+
+// TestSpectrumFacet pins the new facet's contracts: the classification is a
+// view of the spectrum result, the certificates pass the independent
+// checkers, and the whole spectrum computes exactly once per handle no
+// matter how many facets consume it.
+func TestSpectrumFacet(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	schemas := []struct {
+		name string
+		a    *Analysis
+	}{
+		{"gamma", New(gen.GammaAcyclic(rng, 30, 20))},
+		{"cyclic", New(gen.CycleGraph(5))},
+		{"path", New(gen.PathGraph(8))},
+		{"random", New(gen.Random(rng, gen.RandomSpec{Nodes: 10, Edges: 8, MinArity: 2, MaxArity: 4}))},
+	}
+	for _, tc := range schemas {
+		r := tc.a.Spectrum()
+		cl := tc.a.Classification()
+		if cl.Alpha != r.Alpha || cl.Beta != r.Beta.Acyclic || cl.Gamma != r.Gamma.Acyclic || cl.Berge != r.Berge {
+			t.Errorf("%s: Classification %v disagrees with Spectrum %+v", tc.name, cl, r)
+		}
+		if err := spectrum.VerifyBeta(tc.a.Hypergraph(), r.Beta); err != nil {
+			t.Errorf("%s: beta certificate rejected: %v", tc.name, err)
+		}
+		if err := spectrum.VerifyGamma(tc.a.Hypergraph(), r.Gamma); err != nil {
+			t.Errorf("%s: gamma certificate rejected: %v", tc.name, err)
+		}
+		tc.a.Spectrum()
+		if _, err := tc.a.SpectrumCtx(context.Background()); err != nil {
+			t.Errorf("%s: SpectrumCtx: %v", tc.name, err)
+		}
+		if runs := tc.a.Stats().HierarchyRuns; runs != 1 {
+			t.Errorf("%s: spectrum ran %d times, want 1", tc.name, runs)
+		}
+	}
+}
+
+// TestSpectrumFacetCancellation checks that a cancelled spectrum run leaves
+// the facet uncomputed for a later retry instead of poisoning it.
+func TestSpectrumFacetCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	a := New(gen.GammaAcyclic(rng, 4000, 3000))
+	ctx, cancel := context.WithCancel(context.Background())
+	// Let the MCS facet land first so the cancellation hits the spectrum
+	// latch itself.
+	if _, err := a.VerdictCtx(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := a.SpectrumCtx(ctx); err == nil {
+		t.Fatal("cancelled SpectrumCtx returned no error")
+	}
+	if runs := a.Stats().HierarchyRuns; runs != 0 {
+		t.Fatalf("cancelled run counted: HierarchyRuns=%d", runs)
+	}
+	if _, err := a.SpectrumCtx(context.Background()); err != nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+	if runs := a.Stats().HierarchyRuns; runs != 1 {
+		t.Fatalf("retry did not latch: HierarchyRuns=%d", runs)
+	}
+}
+
+// TestDegreeAwareReduceMatchesStandard pins the session-level strategy
+// dispatch: a serial session over a γ-acyclic schema (which selects the
+// aggressive kernels) must produce exactly the reduction the plain standard
+// executor produces.
+func TestDegreeAwareReduceMatchesStandard(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	h := gen.AcyclicChainIDs(20, 3, 1)
+	a := New(h)
+	if a.Spectrum().Degree < spectrum.DegreeGamma {
+		t.Skip("chain schema unexpectedly below gamma; strategy dispatch untested")
+	}
+	d := gendb.Random(rng, h, gen.InstanceSpec{Rows: 50, DomainSize: 3})
+	got, err := a.Reduce(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := a.FullReducer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.Reduce(context.Background(), d, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RowsIn != want.RowsIn || got.RowsOut != want.RowsOut || len(got.Steps) != len(want.Steps) {
+		t.Fatalf("degree-aware reduce diverges: got %d->%d in %d steps, want %d->%d in %d steps",
+			got.RowsIn, got.RowsOut, len(got.Steps), want.RowsIn, want.RowsOut, len(want.Steps))
+	}
+	for i := range want.Steps {
+		if got.Steps[i].Step != want.Steps[i].Step || got.Steps[i].RowsOut != want.Steps[i].RowsOut {
+			t.Fatalf("step %d diverges: got %+v, want %+v", i, got.Steps[i], want.Steps[i])
+		}
+	}
+	for j := range want.DB.Tables {
+		if !got.DB.Tables[j].Equal(want.DB.Tables[j]) {
+			t.Fatalf("object %d differs between strategies", j)
+		}
+	}
+}

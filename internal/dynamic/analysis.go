@@ -13,6 +13,7 @@ import (
 	"repro/internal/gyo"
 	"repro/internal/hypergraph"
 	"repro/internal/jointree"
+	"repro/internal/spectrum"
 )
 
 // Analysis is the epoch-bound analysis handle of a Workspace: a view of the
@@ -143,10 +144,17 @@ func (a *Analysis) fullReducerLocked() ([]jointree.SemijoinStep, error) {
 }
 
 // Classification places the epoch's hypergraph in the acyclicity hierarchy
-// (α ⊇ β ⊇ γ ⊇ Berge). The α component is the incremental verdict; the
-// stricter notions run over the epoch snapshot (γ is exponential — intended
-// for small-to-moderate schemas), all at most once per handle.
+// (α ⊇ β ⊇ γ ⊇ Berge). It is ClassificationCtx without cancellation.
 func (a *Analysis) Classification() (acyclic.Classification, error) {
+	return a.ClassificationCtx(context.Background())
+}
+
+// ClassificationCtx places the epoch's hypergraph in the acyclicity
+// hierarchy, backed by the polynomial spectrum testers over the epoch
+// snapshot — the α component is the incremental verdict, the stricter
+// notions run at most once per handle and observe ctx every ~4096 work
+// units. A cancelled run leaves the facet uncomputed for a later retry.
+func (a *Analysis) ClassificationCtx(ctx context.Context) (acyclic.Classification, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if err := a.ws.stale(a.epoch); err != nil {
@@ -157,11 +165,15 @@ func (a *Analysis) Classification() (acyclic.Classification, error) {
 		if err != nil {
 			return acyclic.Classification{}, err
 		}
+		r, err := spectrum.ClassifyWithAlpha(ctx, snap, a.acyclic)
+		if err != nil {
+			return acyclic.Classification{}, err
+		}
 		a.cl = &acyclic.Classification{
-			Alpha: a.acyclic,
-			Beta:  acyclic.IsBetaAcyclic(snap),
-			Gamma: acyclic.IsGammaAcyclic(snap),
-			Berge: acyclic.IsBergeAcyclic(snap),
+			Alpha: r.Alpha,
+			Beta:  r.Beta.Acyclic,
+			Gamma: r.Gamma.Acyclic,
+			Berge: r.Berge,
 		}
 	}
 	return *a.cl, nil

@@ -26,9 +26,10 @@
 // ctx.Err() alongside the partial results.
 //
 // Acyclicity and join trees run on the linear-time MCS engine
-// (internal/mcs); Classify delegates to internal/acyclic and inherits its
-// exponential γ test, so classification batches are meant for
-// small-to-moderate schemas.
+// (internal/mcs); Classify delegates to the polynomial spectrum testers
+// (internal/spectrum) through the session facet, so the full degree —
+// certificates included — is memoized per fingerprint and classification
+// is viable at server scale.
 package engine
 
 import (
@@ -519,9 +520,10 @@ func (e *Engine) JoinTree(h *hypergraph.Hypergraph) (*jointree.JoinTree, bool) {
 	return jt, err == nil
 }
 
-// Classify places h in the acyclicity hierarchy (α ⊇ β ⊇ γ ⊇ Berge),
-// memoized. The γ test is exponential; intended for small-to-moderate
-// schemas.
+// Classify places h in the acyclicity hierarchy (α ⊇ β ⊇ γ ⊇ Berge) via
+// the polynomial spectrum testers, memoized per fingerprint — the degree
+// (with certificates) computes once per identity no matter how many
+// callers ask. For the certificates themselves use Analyze(h).Spectrum().
 func (e *Engine) Classify(h *hypergraph.Hypergraph) acyclic.Classification {
 	return e.entryFor(h).an.Classification()
 }
@@ -558,10 +560,15 @@ func (e *Engine) JoinTreeBatch(ctx context.Context, hs []*hypergraph.Hypergraph)
 }
 
 // ClassifyBatch computes one classification per input. Cancellation
-// semantics match IsAcyclicBatch.
+// semantics match IsAcyclicBatch: the spectrum testers observe ctx inside
+// each traversal, and a slot whose traversal was cancelled stays zero.
 func (e *Engine) ClassifyBatch(ctx context.Context, hs []*hypergraph.Hypergraph) ([]acyclic.Classification, error) {
 	out := make([]acyclic.Classification, len(hs))
-	err := e.fanOut(ctx, len(hs), func(i int) { out[i] = e.Classify(hs[i]) })
+	err := e.fanOut(ctx, len(hs), func(i int) {
+		if cl, err := e.entryFor(hs[i]).an.ClassificationCtx(ctx); err == nil {
+			out[i] = cl
+		}
+	})
 	return out, err
 }
 

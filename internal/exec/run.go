@@ -37,35 +37,10 @@ type ReduceResult struct {
 // Cancellation is observed inside the kernels every ~4096 rows; on
 // cancellation the partial work is discarded and ctx.Err() returned.
 func Reduce(ctx context.Context, d *Database, prog []jointree.SemijoinStep) (*ReduceResult, error) {
-	start := time.Now()
-	work := make([]*Table, len(d.Tables))
-	copy(work, d.Tables)
-	res := &ReduceResult{Steps: make([]StepStats, 0, len(prog)), RowsIn: d.NumRows()}
-	for _, s := range prog {
-		if s.Target < 0 || s.Target >= len(work) || s.Source < 0 || s.Source >= len(work) {
-			return nil, fmt.Errorf("exec: semijoin step %v out of range for %d objects", s, len(work))
-		}
-		stepStart := time.Now()
-		in := work[s.Target].rows
-		next, err := Semijoin(ctx, work[s.Target], work[s.Source])
-		if err != nil {
-			return nil, err
-		}
-		work[s.Target] = next
-		res.Steps = append(res.Steps, StepStats{
-			Step:    s,
-			RowsIn:  in,
-			RowsOut: next.rows,
-			Elapsed: time.Since(stepStart),
-		})
-	}
-	// Direct construction: d was validated when built, and Semijoin
+	// Direct construction inside: d was validated when built, and Semijoin
 	// preserves each table's attributes and dictionary, so re-running
-	// NewDatabase's per-edge validation here would be pure overhead.
-	res.DB = &Database{Schema: d.Schema, Tables: work}
-	res.RowsOut = res.DB.NumRows()
-	res.Elapsed = time.Since(start)
-	return res, nil
+	// NewDatabase's per-edge validation would be pure overhead.
+	return ReduceWithStrategy(ctx, d, prog, StrategyStandard)
 }
 
 // EvalResult is the outcome of a full Yannakakis evaluation.
@@ -101,6 +76,13 @@ func Eval(ctx context.Context, d *Database, tree *jointree.JoinTree, attrs []str
 // one for a different tree can leave danglers that surface as wrong join
 // results.
 func EvalWithProgram(ctx context.Context, d *Database, tree *jointree.JoinTree, prog []jointree.SemijoinStep, attrs []string) (*EvalResult, error) {
+	return EvalWithProgramStrategy(ctx, d, tree, prog, attrs, StrategyStandard)
+}
+
+// EvalWithProgramStrategy is EvalWithProgram with an explicit kernel
+// strategy for the embedded reduction phase (see Strategy); the join phase
+// is strategy-independent, so the result is identical under every strategy.
+func EvalWithProgramStrategy(ctx context.Context, d *Database, tree *jointree.JoinTree, prog []jointree.SemijoinStep, attrs []string, strat Strategy) (*EvalResult, error) {
 	// Chaos site: head of the serial Yannakakis pipeline (EvalParallel hits
 	// the same site on its own path).
 	if err := fault.Hit(fault.ExecEvalJoin); err != nil {
@@ -128,7 +110,7 @@ func EvalWithProgram(ctx context.Context, d *Database, tree *jointree.JoinTree, 
 		}
 		want[a] = true
 	}
-	red, err := Reduce(ctx, d, prog)
+	red, err := ReduceWithStrategy(ctx, d, prog, strat)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,156 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/jointree"
+)
+
+// Strategy selects the kernel family a reduction run uses. The session layer
+// picks it from the schema's acyclicity degree: γ-acyclic schemas take the
+// aggressive strategy, everything else the standard one. Both strategies
+// produce identical results — same rows, same order, same per-step
+// statistics — so the choice is purely a performance lever.
+type Strategy uint8
+
+const (
+	// StrategyStandard is the hash-probe semijoin kernel family.
+	StrategyStandard Strategy = iota
+	// StrategyAggressive additionally routes single-shared-attribute
+	// semijoin steps through a dense epoch-stamp filter over the dictionary
+	// value-id domain: O(|r|+|s|) with no hashing, at the cost of an
+	// O(dict size) scratch array reused across the steps of one run. Sound
+	// for any schema; gated on high degrees because the scratch pays off
+	// when the reducer is dominated by simple chain-like connections, the
+	// shape γ-acyclic schemas guarantee.
+	StrategyAggressive
+)
+
+// String renders the strategy name.
+func (s Strategy) String() string {
+	if s == StrategyAggressive {
+		return "aggressive"
+	}
+	return "standard"
+}
+
+// stamps is the reusable scratch of the aggressive semijoin: one mark per
+// dictionary value id, versioned by epoch so successive steps skip the
+// clear.
+type stamps struct {
+	epoch uint32
+	mark  []uint32
+}
+
+// next sizes the mark array for n value ids and returns a fresh epoch.
+func (st *stamps) next(n int) uint32 {
+	if len(st.mark) < n {
+		grown := make([]uint32, n)
+		copy(grown, st.mark)
+		st.mark = grown
+	}
+	st.epoch++
+	if st.epoch == 0 { // epoch wrapped: stale marks could alias, clear once
+		for i := range st.mark {
+			st.mark[i] = 0
+		}
+		st.epoch = 1
+	}
+	return st.epoch
+}
+
+// takeRows materializes the subset of r's rows listed in keep, sharing the
+// immutable input when nothing was filtered — the same convention as
+// Semijoin.
+func takeRows(r *Table, keep []int32) *Table {
+	if len(keep) == r.rows {
+		return r
+	}
+	out := &Table{dict: r.dict, attrs: r.attrs, cols: make([][]int32, len(r.cols)), rows: len(keep)}
+	for c := range r.cols {
+		col := make([]int32, len(keep))
+		for k, i := range keep {
+			col[k] = r.cols[c][i]
+		}
+		out.cols[c] = col
+	}
+	return out
+}
+
+// semijoinSingle is r ⋉ s over exactly one shared attribute (columns rCol /
+// sCol), via the dense stamp filter: mark every value id s holds, keep the
+// rows of r whose value is marked. Equivalent to the hash kernel on the
+// same inputs.
+func semijoinSingle(ctx context.Context, r, s *Table, rCol, sCol int, st *stamps) (*Table, error) {
+	epoch := st.next(r.dict.Len())
+	scol := s.cols[sCol]
+	for i := 0; i < s.rows; i++ {
+		if err := checkEvery(ctx, i); err != nil {
+			return nil, err
+		}
+		st.mark[scol[i]] = epoch
+	}
+	rcol := r.cols[rCol]
+	keep := make([]int32, 0, r.rows)
+	for i := 0; i < r.rows; i++ {
+		if err := checkEvery(ctx, i); err != nil {
+			return nil, err
+		}
+		if st.mark[rcol[i]] == epoch {
+			keep = append(keep, int32(i))
+		}
+	}
+	return takeRows(r, keep), nil
+}
+
+// stepSemijoin runs one reduction step under the chosen strategy. Exactly
+// one fault.ExecReduceStep hit fires per step regardless of the path taken,
+// so chaos schedules are strategy-independent.
+func stepSemijoin(ctx context.Context, r, s *Table, strat Strategy, st *stamps) (*Table, error) {
+	if strat == StrategyAggressive && r.dict != nil && r.dict == s.dict {
+		rIdx, sIdx := sharedCols(r, s)
+		if len(rIdx) == 1 {
+			if err := fault.Hit(fault.ExecReduceStep); err != nil {
+				return nil, err
+			}
+			return semijoinSingle(ctx, r, s, rIdx[0], sIdx[0], st)
+		}
+	}
+	return Semijoin(ctx, r, s)
+}
+
+// ReduceWithStrategy is Reduce with an explicit kernel strategy; Reduce is
+// ReduceWithStrategy under StrategyStandard. The result is identical under
+// every strategy.
+func ReduceWithStrategy(ctx context.Context, d *Database, prog []jointree.SemijoinStep, strat Strategy) (*ReduceResult, error) {
+	start := time.Now()
+	work := make([]*Table, len(d.Tables))
+	copy(work, d.Tables)
+	res := &ReduceResult{Steps: make([]StepStats, 0, len(prog)), RowsIn: d.NumRows()}
+	var scratch stamps
+	for _, s := range prog {
+		if s.Target < 0 || s.Target >= len(work) || s.Source < 0 || s.Source >= len(work) {
+			return nil, fmt.Errorf("exec: semijoin step %v out of range for %d objects", s, len(work))
+		}
+		stepStart := time.Now()
+		in := work[s.Target].rows
+		next, err := stepSemijoin(ctx, work[s.Target], work[s.Source], strat, &scratch)
+		if err != nil {
+			return nil, err
+		}
+		work[s.Target] = next
+		res.Steps = append(res.Steps, StepStats{
+			Step:    s,
+			RowsIn:  in,
+			RowsOut: next.rows,
+			Elapsed: time.Since(stepStart),
+		})
+	}
+	res.DB = &Database{Schema: d.Schema, Tables: work}
+	res.RowsOut = res.DB.NumRows()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,76 @@
+package exec_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/gen"
+	"repro/internal/gendb"
+	"repro/internal/jointree"
+)
+
+// TestAggressiveStrategyMatchesStandard pins the aggressive reduction
+// kernels against the standard ones across the acyclic corpus: identical
+// reduced tables (content and row order), identical per-step statistics.
+// The strategy is a performance lever, never a semantic one.
+func TestAggressiveStrategyMatchesStandard(t *testing.T) {
+	ctx := context.Background()
+	for i, h := range acyclicCorpus(t) {
+		rng := rand.New(rand.NewSource(int64(5000 + i)))
+		d := gendb.Random(rng, h, gen.InstanceSpec{Rows: 40, DomainSize: 3})
+		jt, ok := jointree.BuildMCS(h)
+		if !ok {
+			t.Fatalf("corpus schema %d not acyclic", i)
+		}
+		prog := jt.FullReducer()
+		std, err := exec.Reduce(ctx, d, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg, err := exec.ReduceWithStrategy(ctx, d, prog, exec.StrategyAggressive)
+		if err != nil {
+			t.Fatalf("schema %d aggressive: %v", i, err)
+		}
+		label := fmt.Sprintf("schema %d", i)
+		identicalSteps(t, label, std.Steps, agg.Steps)
+		for j := range std.DB.Tables {
+			identicalTables(t, fmt.Sprintf("%s object %d", label, j),
+				std.DB.Tables[j], agg.DB.Tables[j])
+		}
+
+		nodes := h.Nodes()
+		attrs := []string{nodes[rng.Intn(len(nodes))]}
+		stdEval, err := exec.Eval(ctx, d, jt, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggEval, err := exec.EvalWithProgramStrategy(ctx, d, jt, prog, attrs, exec.StrategyAggressive)
+		if err != nil {
+			t.Fatalf("schema %d aggressive eval: %v", i, err)
+		}
+		identicalTables(t, label+" eval", stdEval.Out, aggEval.Out)
+		if stdEval.JoinRows != aggEval.JoinRows {
+			t.Fatalf("%s: JoinRows differ: standard %d, aggressive %d", label, stdEval.JoinRows, aggEval.JoinRows)
+		}
+	}
+}
+
+// TestAggressiveStrategyCancellation checks that the dense stamp kernel
+// observes cancellation like every other kernel.
+func TestAggressiveStrategyCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := gen.AcyclicChainIDs(40, 3, 1)
+	d := gendb.Random(rng, h, gen.InstanceSpec{Rows: 3000, DomainSize: 4})
+	jt, ok := jointree.BuildMCS(h)
+	if !ok {
+		t.Fatal("chain schema not acyclic")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := exec.ReduceWithStrategy(ctx, d, jt.FullReducer(), exec.StrategyAggressive); err == nil {
+		t.Fatal("aggressive reduce ignored cancelled context")
+	}
+}

@@ -1,0 +1,73 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/hypergraph"
+)
+
+// GammaAcyclic returns a random guaranteed γ-acyclic hypergraph with m
+// edges over n nodes, built by the incremental construction from Leitert's
+// p2c-Union-Join-Graph generator: starting from a single node–edge pair,
+// each step adds either a new node — as a false twin of an existing node
+// (joining exactly its edges) or as a leaf of one existing edge — or a new
+// edge — as a leaf containing one existing node or as a false twin of an
+// existing edge (containing exactly its nodes). Each step is the inverse of
+// a rule of the γ reduction, so the result reduces back to empty and is
+// γ-acyclic by construction; twin steps mean the result is generally
+// neither reduced nor duplicate-free, which is exactly what exercises the
+// reduction's twin rules. Requires n >= 1 and m >= 1.
+func GammaAcyclic(rng *rand.Rand, m, n int) *hypergraph.Hypergraph {
+	allV := rng.Perm(n)
+	allE := rng.Perm(m)
+	vList := make([][]int32, n) // node -> edge indices
+	eList := make([][]int32, m) // edge -> node ids
+	v0, e0 := int32(allV[0]), int32(allE[0])
+	vList[v0] = []int32{e0}
+	eList[e0] = []int32{v0}
+	vCount, eCount := 1, 1
+	for vCount < n || eCount < m {
+		remaining := (n - vCount) + (m - eCount)
+		newIsV := rng.Intn(remaining) < n-vCount
+		// Uniform parent among the vCount+eCount placed items: a placed
+		// node (parIsV) or a placed edge.
+		par := rng.Intn(vCount + eCount)
+		parIsV := par < vCount
+		parV, parE := int32(0), int32(0)
+		if parIsV {
+			parV = int32(allV[par])
+		} else {
+			parE = int32(allE[par-vCount])
+		}
+		if newIsV {
+			vID := int32(allV[vCount])
+			vCount++
+			if parIsV {
+				// False twin: copy the parent node's edge list.
+				vList[vID] = append([]int32(nil), vList[parV]...)
+				for _, e := range vList[vID] {
+					eList[e] = append(eList[e], vID)
+				}
+			} else {
+				// Leaf node in one existing edge.
+				vList[vID] = []int32{parE}
+				eList[parE] = append(eList[parE], vID)
+			}
+		} else {
+			eID := int32(allE[eCount])
+			eCount++
+			if parIsV {
+				// Leaf edge containing one existing node.
+				eList[eID] = []int32{parV}
+				vList[parV] = append(vList[parV], eID)
+			} else {
+				// False twin: copy the parent edge's node list.
+				eList[eID] = append([]int32(nil), eList[parE]...)
+				for _, v := range eList[eID] {
+					vList[v] = append(vList[v], eID)
+				}
+			}
+		}
+	}
+	return hypergraph.FromIDs(n, eList)
+}

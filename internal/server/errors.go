@@ -3,7 +3,6 @@ package server
 import (
 	"context"
 	"errors"
-	"fmt"
 	"net/http"
 
 	"repro/internal/dynamic"
@@ -36,34 +35,25 @@ type errorResponse struct {
 // The documented code strings. Tests pin these; changing one is a breaking
 // API change.
 const (
-	CodeParse          = "parse"            // 400: schema text failed to parse
-	CodeUnknownNode    = "unknown_node"     // 400: a named node does not occur
-	CodeBadJSON        = "bad_json"         // 400: request body is not the documented JSON
-	CodeBadRequest     = "bad_request"      // 400: well-formed JSON that the library rejects (schema/data mismatch)
-	CodeUnknownEdge    = "unknown_edge"     // 404: workspace edge id not alive
-	CodeNotFound       = "not_found"        // 404: unknown workspace id
-	CodeDeadline       = "deadline"         // 408: server-enforced deadline fired
-	CodeNodeExists     = "node_exists"      // 409: rename target already present
-	CodeStaleEpoch     = "stale_epoch"      // 409: workspace edited past the handle
-	CodeBodyTooLarge   = "body_too_large"   // 413: request body over the limit
-	CodeCyclic         = "cyclic"           // 422: operation requires an acyclic hypergraph
-	CodeSchemaTooLarge = "schema_too_large" // 422: classify on a schema over the cap
-	CodeOverloaded     = "overloaded"       // 429: global in-flight limit reached
-	CodeTenantQuota    = "tenant_quota"     // 429: per-tenant token bucket empty
-	CodeInternal       = "internal"         // 500: panic or unclassified failure; carries an incident id
-	CodeDraining       = "draining"         // 503: server is shutting down
+	CodeParse        = "parse"          // 400: schema text failed to parse
+	CodeUnknownNode  = "unknown_node"   // 400: a named node does not occur
+	CodeBadJSON      = "bad_json"       // 400: request body is not the documented JSON
+	CodeBadRequest   = "bad_request"    // 400: well-formed JSON that the library rejects (schema/data mismatch)
+	CodeUnknownEdge  = "unknown_edge"   // 404: workspace edge id not alive
+	CodeNotFound     = "not_found"      // 404: unknown workspace id
+	CodeDeadline     = "deadline"       // 408: server-enforced deadline fired
+	CodeNodeExists   = "node_exists"    // 409: rename target already present
+	CodeStaleEpoch   = "stale_epoch"    // 409: workspace edited past the handle
+	CodeBodyTooLarge = "body_too_large" // 413: request body over the limit
+	CodeCyclic       = "cyclic"         // 422: operation requires an acyclic hypergraph
+	CodeOverloaded   = "overloaded"     // 429: global in-flight limit reached
+	CodeTenantQuota  = "tenant_quota"   // 429: per-tenant token bucket empty
+	CodeInternal     = "internal"       // 500: panic or unclassified failure; carries an incident id
+	CodeDraining     = "draining"       // 503: server is shutting down
 )
 
 // Local sentinel errors for conditions that arise in the server itself.
 var errUnknownWorkspace = errors.New("server: unknown workspace")
-
-// errSchemaTooLarge rejects classification of schemas whose γ-acyclicity
-// test — exponential and not cancellable — the deadline could not stop.
-type errSchemaTooLarge struct{ edges, cap_ int }
-
-func (e *errSchemaTooLarge) Error() string {
-	return fmt.Sprintf("server: classification capped at %d edges, schema has %d", e.cap_, e.edges)
-}
 
 // errBadJSON wraps a JSON decoding failure so it maps to 400 instead of 500.
 type errBadJSON struct{ err error }
@@ -89,7 +79,6 @@ func classify(err error) (int, ErrorBody, bool) {
 	var stale *dynamic.ErrStaleEpoch
 	var unknownEdge *dynamic.ErrUnknownEdge
 	var nodeExists *dynamic.ErrNodeExists
-	var tooLarge *errSchemaTooLarge
 	var badJSON *errBadJSON
 	var badReq *errBadRequest
 	var maxBytes *http.MaxBytesError
@@ -128,8 +117,6 @@ func classify(err error) (int, ErrorBody, bool) {
 		}, true
 	case errors.Is(err, hypergraph.ErrCyclic):
 		return http.StatusUnprocessableEntity, ErrorBody{Code: CodeCyclic, Message: err.Error()}, true
-	case errors.As(err, &tooLarge):
-		return http.StatusUnprocessableEntity, ErrorBody{Code: CodeSchemaTooLarge, Message: err.Error()}, true
 	}
 	return 0, ErrorBody{}, false
 }

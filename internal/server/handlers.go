@@ -8,11 +8,13 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/acyclic"
 	"repro/internal/dynamic"
 	"repro/internal/exec"
 	"repro/internal/hypergraph"
 	"repro/internal/jointree"
 	"repro/internal/relation"
+	"repro/internal/spectrum"
 )
 
 // Request and response shapes. Schemas travel as the library's text format
@@ -114,15 +116,55 @@ func (s *Server) handleClassify(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	// The γ test is exponential and runs outside the ctx plumbing, so size
-	// is the only effective admission control for this endpoint.
-	if h.NumEdges() > s.cfg.MaxClassifyEdges {
-		return nil, &errSchemaTooLarge{edges: h.NumEdges(), cap_: s.cfg.MaxClassifyEdges}
+	// The polynomial spectrum testers poll ctx in-traversal, so the request
+	// deadline is the admission control — no size cap needed.
+	res, err := s.eng.Analyze(h).SpectrumCtx(r.Context())
+	if err != nil {
+		return nil, err
 	}
-	c := s.eng.Analyze(h).Classification()
-	return map[string]bool{
-		"alpha": c.Alpha, "beta": c.Beta, "gamma": c.Gamma, "berge": c.Berge,
-	}, nil
+	return spectrumJSON(res), nil
+}
+
+// spectrumJSON renders a spectrum result for the wire: the four verdicts,
+// the overall degree, and a summary of each certificate (the full
+// elimination orders and step sequences stay server-side; counts are enough
+// to tell which certificate backs a verdict).
+func spectrumJSON(res *spectrum.Result) map[string]any {
+	certs := map[string]any{}
+	if res.Beta.Acyclic {
+		certs["beta"] = map[string]any{"kind": "elimination-order", "nodes": len(res.Beta.Order)}
+	} else {
+		certs["beta"] = map[string]any{"kind": "nest-free-core", "nodes": len(res.Beta.Core)}
+	}
+	if res.Gamma.Acyclic {
+		certs["gamma"] = map[string]any{"kind": "reduction-steps", "steps": len(res.Gamma.Steps)}
+	} else {
+		certs["gamma"] = map[string]any{
+			"kind": "irreducible-core", "nodes": len(res.Gamma.CoreNodes), "edges": len(res.Gamma.CoreEdges),
+		}
+	}
+	return map[string]any{
+		"alpha": res.Alpha, "beta": res.Beta.Acyclic, "gamma": res.Gamma.Acyclic, "berge": res.Berge,
+		"degree":       res.Degree.String(),
+		"certificates": certs,
+	}
+}
+
+// degreeString names the longest true prefix of a classification — the wire
+// rendering for paths that hold a Classification without certificates.
+func degreeString(c acyclic.Classification) string {
+	d := spectrum.DegreeCyclic
+	switch {
+	case c.Alpha && c.Beta && c.Gamma && c.Berge:
+		d = spectrum.DegreeBerge
+	case c.Alpha && c.Beta && c.Gamma:
+		d = spectrum.DegreeGamma
+	case c.Alpha && c.Beta:
+		d = spectrum.DegreeBeta
+	case c.Alpha:
+		d = spectrum.DegreeAlpha
+	}
+	return d.String()
 }
 
 // buildDatabase binds request tables to the schema. Both the per-table
@@ -363,16 +405,14 @@ func (s *Server) handleQuery(r *http.Request) (any, error) {
 		}
 		return map[string]any{"epoch": a.Epoch(), "program": stepsJSON(prog)}, nil
 	case "classification":
-		if n := a.NumEdges(); n > s.cfg.MaxClassifyEdges {
-			return nil, &errSchemaTooLarge{edges: n, cap_: s.cfg.MaxClassifyEdges}
-		}
-		c, err := a.Classification()
+		c, err := a.ClassificationCtx(r.Context())
 		if err != nil {
 			return nil, err
 		}
 		return map[string]any{
 			"epoch": a.Epoch(),
 			"alpha": c.Alpha, "beta": c.Beta, "gamma": c.Gamma, "berge": c.Berge,
+			"degree": degreeString(c),
 		}, nil
 	case "snapshot":
 		h, err := a.Snapshot()

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// incidentRingCap bounds the in-memory incident history: the ring keeps the
+// most recent incidents and overwrites the oldest, so a panic storm cannot
+// grow server memory. Incident ids stay globally unique (the counter never
+// resets) even after the ring wraps.
+const incidentRingCap = 64
+
+// Incident is one recorded failure that minted an incident id: a recovered
+// panic or an error the taxonomy could not classify. The id in the 500
+// response body correlates with this record, so an operator can go from a
+// client report to the stack without grepping logs.
+type Incident struct {
+	ID      string    `json:"id"`
+	Time    time.Time `json:"time"`
+	Method  string    `json:"method"`
+	Path    string    `json:"path"`
+	Tenant  string    `json:"tenant"`
+	Summary string    `json:"summary"`         // panic value or error text
+	Stack   string    `json:"stack,omitempty"` // goroutine stack; panics only
+}
+
+// incidentRing is the bounded, concurrency-safe record store behind
+// /statsz's incidents section.
+type incidentRing struct {
+	mu   sync.Mutex
+	buf  [incidentRingCap]Incident
+	next int // total records ever; buf index is next % cap
+}
+
+func (r *incidentRing) record(inc Incident) {
+	r.mu.Lock()
+	r.buf[r.next%incidentRingCap] = inc
+	r.next++
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained incidents, newest first.
+func (r *incidentRing) snapshot() []Incident {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if n > incidentRingCap {
+		n = incidentRingCap
+	}
+	out := make([]Incident, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[((r.next-1-i)%incidentRingCap+incidentRingCap)%incidentRingCap])
+	}
+	return out
+}
+
+// Incidents returns the retained incident records, newest first — the same
+// view /statsz serves.
+func (s *Server) Incidents() []Incident {
+	return s.ring.snapshot()
+}

@@ -66,10 +66,6 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxBodyBytes caps request bodies (default 1 MiB).
 	MaxBodyBytes int64
-	// MaxClassifyEdges caps the classify endpoint: the γ-acyclicity test is
-	// exponential and not cancellable, so deadlines alone cannot bound it
-	// (default 64).
-	MaxClassifyEdges int
 	// Workers sizes the engine's worker pool (default GOMAXPROCS).
 	Workers int
 	// DigestSeed, when nonzero, keys the engine's memo digests (SipHash)
@@ -97,9 +93,6 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
-	}
-	if c.MaxClassifyEdges <= 0 {
-		c.MaxClassifyEdges = 64
 	}
 	return c
 }
@@ -134,6 +127,7 @@ type Server struct {
 	spaces map[string]*dynamic.Workspace
 
 	incidents atomic.Uint64
+	ring      incidentRing
 
 	total, ok2xx, clientErr        atomic.Uint64
 	shed, quotaDenied              atomic.Uint64
@@ -220,11 +214,12 @@ func (s *Server) guard(h handlerFunc) http.HandlerFunc {
 		// survives; the incident id correlates the response with the log.
 		defer func() {
 			if v := recover(); v != nil {
-				id := fmt.Sprintf("inc-%06d", s.incidents.Add(1))
+				stack := debug.Stack()
+				id := s.mintIncident(r, fmt.Sprint(v), string(stack))
 				s.panics.Add(1)
 				s.internal5xx.Add(1)
 				if s.logger != nil {
-					s.logger.Printf("panic %s: %v\n%s", id, v, debug.Stack())
+					s.logger.Printf("panic %s: %v\n%s", id, v, stack)
 				}
 				s.writeError(w, http.StatusInternalServerError,
 					ErrorBody{Code: CodeInternal, Message: "internal error", Incident: id})
@@ -272,13 +267,13 @@ func (s *Server) guard(h handlerFunc) http.HandlerFunc {
 		// endpoint — where the fault suite injects delays, errors, and
 		// panics that must surface through this envelope.
 		if err := fault.Hit(fault.ServerHandle); err != nil {
-			s.fail(w, err)
+			s.fail(w, r, err)
 			return
 		}
 
 		res, err := h(r)
 		if err != nil {
-			s.fail(w, err)
+			s.fail(w, r, err)
 			return
 		}
 		s.ok2xx.Add(1)
@@ -286,13 +281,30 @@ func (s *Server) guard(h handlerFunc) http.HandlerFunc {
 	}
 }
 
+// mintIncident allocates the next incident id and records the failure —
+// with its request summary and optional stack — in the bounded ring /statsz
+// serves.
+func (s *Server) mintIncident(r *http.Request, summary, stack string) string {
+	id := fmt.Sprintf("inc-%06d", s.incidents.Add(1))
+	s.ring.record(Incident{
+		ID:      id,
+		Time:    time.Now(),
+		Method:  r.Method,
+		Path:    r.URL.Path,
+		Tenant:  r.Header.Get("X-Tenant"),
+		Summary: summary,
+		Stack:   stack,
+	})
+	return id
+}
+
 // fail maps err through the taxonomy and writes the typed body; errors the
 // taxonomy does not recognize become 500s with incident ids, so nothing
 // reaches the wire untyped.
-func (s *Server) fail(w http.ResponseWriter, err error) {
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 	status, body, ok := classify(err)
 	if !ok {
-		id := fmt.Sprintf("inc-%06d", s.incidents.Add(1))
+		id := s.mintIncident(r, err.Error(), "")
 		if s.logger != nil {
 			s.logger.Printf("unclassified error %s: %v", id, err)
 		}
@@ -333,8 +345,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
+// handleStatsz serves the counters plus the incident ring: the id from any
+// 500 body can be looked up here while the ring retains it.
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.Stats())
+	s.writeJSON(w, http.StatusOK, struct {
+		Stats
+		Incidents []Incident `json:"incidents"`
+	}{s.Stats(), s.ring.snapshot()})
 }
 
 // Drain flips the server into draining mode — new requests answer 503, the

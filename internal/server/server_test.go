@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/gen"
 )
 
 // fig1Text is the paper's Figure 1 schema in the wire text format.
@@ -139,7 +141,7 @@ func TestEvalHappyPath(t *testing.T) {
 // shape. Each row drives a real request through the full envelope.
 func TestErrorFidelity(t *testing.T) {
 	defer fault.Reset()
-	s, ts := newTestServer(t, Config{MaxClassifyEdges: 2, MaxBodyBytes: 256}, nil)
+	s, ts := newTestServer(t, Config{MaxBodyBytes: 256}, nil)
 
 	// A workspace with known content for the workspace-error rows:
 	// ws-1 at epoch 1 after one AddEdge.
@@ -202,10 +204,6 @@ func TestErrorFidelity(t *testing.T) {
 		{
 			name: "cyclic", method: "POST", path: "/v1/jointree",
 			body: schemaBody(triangleText), status: 422, code: CodeCyclic,
-		},
-		{
-			name: "schema_too_large", method: "POST", path: "/v1/classify",
-			body: schemaBody(fig1Text), status: 422, code: CodeSchemaTooLarge,
 		},
 		{
 			name: "stale_epoch", method: "POST", path: "/v1/workspaces/" + created.ID + "/query",
@@ -571,4 +569,174 @@ func TestStatszAndHealthz(t *testing.T) {
 	if st.Total != 1 || st.OK != 1 {
 		t.Fatalf("stats after one request = %+v", st)
 	}
+}
+
+// classifyResponse mirrors the /v1/classify wire shape.
+type classifyResponse struct {
+	Alpha        bool   `json:"alpha"`
+	Beta         bool   `json:"beta"`
+	Gamma        bool   `json:"gamma"`
+	Berge        bool   `json:"berge"`
+	Degree       string `json:"degree"`
+	Certificates map[string]struct {
+		Kind  string `json:"kind"`
+		Nodes int    `json:"nodes"`
+		Edges int    `json:"edges"`
+		Steps int    `json:"steps"`
+	} `json:"certificates"`
+}
+
+// TestClassifySpectrum pins the spectrum-backed classify endpoint on one
+// known schema per rung of the hierarchy: the four verdicts, the degree
+// string, and the certificate summary that backs each verdict.
+func TestClassifySpectrum(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	cases := []struct {
+		name, schema, degree string
+	}{
+		{"berge", "A B\nB C", "berge-acyclic"},
+		{"gamma", "A B\nA B C", "gamma-acyclic"},
+		{"beta", "A B\nB C\nA B C", "beta-acyclic"},
+		{"alpha", "A B\nB C\nC A\nA B C", "alpha-acyclic"},
+		{"cyclic", triangleText, "cyclic"},
+	}
+	for _, tc := range cases {
+		resp, body := do(t, "POST", ts.URL+"/v1/classify", schemaBody(tc.schema), nil)
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: classify: %d %s", tc.name, resp.StatusCode, body)
+		}
+		var out classifyResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("%s: %v (body %s)", tc.name, err, body)
+		}
+		if out.Degree != tc.degree {
+			t.Errorf("%s: degree = %q, want %q (body %s)", tc.name, out.Degree, tc.degree, body)
+		}
+		beta, gamma := out.Certificates["beta"], out.Certificates["gamma"]
+		if out.Beta {
+			if beta.Kind != "elimination-order" || beta.Nodes == 0 {
+				t.Errorf("%s: beta certificate = %+v, want a non-empty elimination order", tc.name, beta)
+			}
+		} else if beta.Kind != "nest-free-core" || beta.Nodes == 0 {
+			t.Errorf("%s: beta certificate = %+v, want a non-empty nest-free core", tc.name, beta)
+		}
+		if out.Gamma {
+			if gamma.Kind != "reduction-steps" || gamma.Steps == 0 {
+				t.Errorf("%s: gamma certificate = %+v, want a non-empty step sequence", tc.name, gamma)
+			}
+		} else if gamma.Kind != "irreducible-core" || gamma.Nodes == 0 || gamma.Edges == 0 {
+			t.Errorf("%s: gamma certificate = %+v, want a non-empty irreducible core", tc.name, gamma)
+		}
+	}
+}
+
+// TestClassifyLargeSchemaUnderDeadline is the server-scale pin for the
+// polynomial path: a 10⁴-edge schema — which the retired MaxClassifyEdges
+// cap would have refused with 422 — classifies fully under the default 2s
+// deadline.
+func TestClassifyLargeSchemaUnderDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	h := gen.GammaAcyclic(rand.New(rand.NewSource(7)), 10000, 6000)
+	resp, body := do(t, "POST", ts.URL+"/v1/classify", schemaBody(h.Format()), nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("classify(10k edges): %d %s", resp.StatusCode, body[:min(len(body), 200)])
+	}
+	var out classifyResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Alpha || !out.Beta || !out.Gamma {
+		t.Fatalf("generated γ-acyclic schema classified %+v", out)
+	}
+}
+
+// TestStatszIncidents pins the incident ring: a recovered panic's incident
+// id must be queryable via /statsz with its request context and stack, and
+// via the embedding API.
+func TestStatszIncidents(t *testing.T) {
+	defer fault.Reset()
+	s, ts := newTestServer(t, Config{}, nil)
+	fault.Reset()
+	fault.Activate(fault.EngineAnalyze, fault.Injection{
+		Kind: fault.KindPanic, Panic: "memo shard corrupted", Count: 1,
+	})
+	resp, body := do(t, "POST", ts.URL+"/v1/analyze", schemaBody("IR1 IR2"),
+		map[string]string{"X-Tenant": "acme"})
+	if resp.StatusCode != 500 {
+		t.Fatalf("armed analyze: %d %s", resp.StatusCode, body)
+	}
+	id := decodeError(t, body).Incident
+	if id == "" {
+		t.Fatal("500 without incident id")
+	}
+	fault.Reset()
+
+	resp, body = do(t, "GET", ts.URL+"/statsz", "", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("statsz: %d", resp.StatusCode)
+	}
+	var st struct {
+		Incidents []Incident `json:"incidents"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Incidents) != 1 {
+		t.Fatalf("incidents = %d, want 1", len(st.Incidents))
+	}
+	inc := st.Incidents[0]
+	if inc.ID != id {
+		t.Errorf("incident id = %q, want %q (the id from the 500 body)", inc.ID, id)
+	}
+	if inc.Method != "POST" || inc.Path != "/v1/analyze" || inc.Tenant != "acme" {
+		t.Errorf("incident context = %s %s tenant %q, want POST /v1/analyze tenant acme", inc.Method, inc.Path, inc.Tenant)
+	}
+	if !strings.Contains(inc.Summary, "memo shard corrupted") {
+		t.Errorf("incident summary = %q, want the panic value", inc.Summary)
+	}
+	if inc.Stack == "" || inc.Time.IsZero() {
+		t.Errorf("incident missing stack or time: %+v", inc)
+	}
+	if got := s.Incidents(); len(got) != 1 || got[0].ID != id {
+		t.Errorf("Incidents() = %+v, want the same record", got)
+	}
+}
+
+// TestIncidentRingWraps proves the ring is bounded: after more panics than
+// the capacity, /statsz retains exactly incidentRingCap records, newest
+// first, with ids still unique.
+func TestIncidentRingWraps(t *testing.T) {
+	defer fault.Reset()
+	s, ts := newTestServer(t, Config{TenantBurst: 2 * incidentRingCap}, nil)
+	fault.Reset()
+	const storms = incidentRingCap + 5
+	fault.Activate(fault.EngineAnalyze, fault.Injection{
+		Kind: fault.KindPanic, Panic: "storm", Count: storms,
+	})
+	var last string
+	for i := 0; i < storms; i++ {
+		// Unique schema per request so the memo cannot absorb the fault.
+		resp, body := do(t, "POST", ts.URL+"/v1/analyze",
+			schemaBody(fmt.Sprintf("W%d W%dB", i, i)), nil)
+		if resp.StatusCode != 500 {
+			t.Fatalf("storm %d: %d %s", i, resp.StatusCode, body)
+		}
+		last = decodeError(t, body).Incident
+	}
+	fault.Reset()
+	got := s.Incidents()
+	if len(got) != incidentRingCap {
+		t.Fatalf("ring holds %d, want %d", len(got), incidentRingCap)
+	}
+	if got[0].ID != last {
+		t.Errorf("newest incident = %q, want %q", got[0].ID, last)
+	}
+	seen := map[string]bool{}
+	for _, inc := range got {
+		if seen[inc.ID] {
+			t.Fatalf("duplicate incident id %q after wrap", inc.ID)
+		}
+		seen[inc.ID] = true
+	}
+	assertAlive(t, ts.URL)
 }

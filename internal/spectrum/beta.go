@@ -1,0 +1,208 @@
+package spectrum
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/hypergraph"
+)
+
+// BetaResult is the verdict of the polynomial β tester with its certificate:
+// when Acyclic, Order is a nest-point elimination order covering every node
+// that appears in some edge (eliminating in that order empties the
+// hypergraph); when not, Core is a non-empty set of nodes whose induced
+// sub-hypergraph has no nest point — a locally-checkable obstruction, since
+// β-acyclicity is hereditary under node deletion and every non-empty
+// β-acyclic hypergraph has a nest point.
+type BetaResult struct {
+	Acyclic bool
+	Order   []int32
+	Core    []int32
+}
+
+// Beta decides β-acyclicity by greedy nest-point elimination
+// (Brault-Baron). A node is a nest point when its incident live edges form a
+// chain under ⊆; elimination is confluent, so running any maximal sequence
+// decides the class. The worklist re-examines only nodes that shared an edge
+// with an eliminated node — removal elsewhere cannot create a new chain among
+// untouched incident-edge families.
+func Beta(ctx context.Context, h *hypergraph.Hypergraph) (*BetaResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st, err := newBetaState(ctx, h)
+	if err != nil {
+		return nil, err
+	}
+	return st.run()
+}
+
+// betaState is the live view of the hypergraph during elimination: edge
+// member lists (sorted), per-node incidence lists, and alive markers with
+// counters. Dead members/edges are filtered lazily on traversal.
+type betaState struct {
+	t        *ticker
+	members  [][]int32 // edge -> sorted node ids, as loaded
+	incident [][]int32 // node -> edge indices, as loaded
+	nodeOf   []int32   // dense index -> original node id
+	deadV    []bool    // dense node index
+	deadE    []bool
+	edgeLen  []int // live member count per edge
+	liveV    int
+	inQueue  []bool
+	queue    []int32 // dense node indices pending a nest-point check
+}
+
+func newBetaState(ctx context.Context, h *hypergraph.Hypergraph) (*betaState, error) {
+	st := &betaState{t: &ticker{ctx: ctx}}
+	m := h.NumEdges()
+	// Dense-index the nodes actually covered by edges; isolated universe
+	// nodes are vacuously eliminable and never constrain β.
+	covered := h.CoveredNodes()
+	dense := make(map[int32]int32, covered.Len())
+	covered.ForEach(func(id int) {
+		dense[int32(id)] = int32(len(st.nodeOf))
+		st.nodeOf = append(st.nodeOf, int32(id))
+	})
+	n := len(st.nodeOf)
+	st.members = make([][]int32, m)
+	st.incident = make([][]int32, n)
+	st.edgeLen = make([]int, m)
+	for e := 0; e < m; e++ {
+		ids := h.EdgeView(e).IDs()
+		mem := make([]int32, len(ids))
+		for i, id := range ids {
+			mem[i] = dense[id]
+		}
+		sort.Slice(mem, func(i, j int) bool { return mem[i] < mem[j] })
+		st.members[e] = mem
+		st.edgeLen[e] = len(mem)
+		for _, v := range mem {
+			st.incident[v] = append(st.incident[v], int32(e))
+		}
+		if err := st.t.tick(len(mem)); err != nil {
+			return nil, err
+		}
+	}
+	st.deadV = make([]bool, n)
+	st.deadE = make([]bool, m)
+	st.liveV = n
+	st.inQueue = make([]bool, n)
+	st.queue = make([]int32, n)
+	for v := range st.queue {
+		st.queue[v] = int32(v)
+		st.inQueue[v] = true
+	}
+	return st, nil
+}
+
+func (st *betaState) run() (*BetaResult, error) {
+	order := make([]int32, 0, len(st.nodeOf))
+	for len(st.queue) > 0 {
+		v := st.queue[0]
+		st.queue = st.queue[1:]
+		st.inQueue[v] = false
+		if st.deadV[v] {
+			continue
+		}
+		nest, err := st.isNestPoint(v)
+		if err != nil {
+			return nil, err
+		}
+		if !nest {
+			continue
+		}
+		if err := st.eliminate(v); err != nil {
+			return nil, err
+		}
+		order = append(order, st.nodeOf[v])
+	}
+	if st.liveV == 0 {
+		return &BetaResult{Acyclic: true, Order: order}, nil
+	}
+	core := make([]int32, 0, st.liveV)
+	for v, dead := range st.deadV {
+		if !dead {
+			core = append(core, st.nodeOf[v])
+		}
+	}
+	return &BetaResult{Core: core}, nil
+}
+
+// isNestPoint reports whether v's live incident edges form a ⊆-chain.
+// Sorting them by live length makes chain-ness equivalent to each edge
+// containing its predecessor, so the check is a sequence of sorted-merge
+// subset tests.
+func (st *betaState) isNestPoint(v int32) (bool, error) {
+	live := st.liveIncident(v)
+	if len(live) <= 1 {
+		return true, nil
+	}
+	sort.Slice(live, func(i, j int) bool { return st.edgeLen[live[i]] < st.edgeLen[live[j]] })
+	for i := 0; i+1 < len(live); i++ {
+		ok, err := st.subset(live[i], live[i+1])
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// liveIncident compacts v's incidence list in place, dropping dead edges.
+func (st *betaState) liveIncident(v int32) []int32 {
+	inc := st.incident[v][:0]
+	for _, e := range st.incident[v] {
+		if !st.deadE[e] {
+			inc = append(inc, e)
+		}
+	}
+	st.incident[v] = inc
+	return inc
+}
+
+// subset reports whether edge a's live members are all live members of edge
+// b, by merging the two sorted lists and skipping dead nodes.
+func (st *betaState) subset(a, b int32) (bool, error) {
+	am, bm := st.members[a], st.members[b]
+	if err := st.t.tick(len(am) + len(bm)); err != nil {
+		return false, err
+	}
+	j := 0
+	for _, x := range am {
+		if st.deadV[x] {
+			continue
+		}
+		for j < len(bm) && (st.deadV[bm[j]] || bm[j] < x) {
+			j++
+		}
+		if j == len(bm) || bm[j] != x {
+			return false, nil
+		}
+		j++
+	}
+	return true, nil
+}
+
+// eliminate removes node v, killing edges that empty out and re-enqueueing
+// every node that shared an edge with v — the only nodes whose incident
+// families changed.
+func (st *betaState) eliminate(v int32) error {
+	st.deadV[v] = true
+	st.liveV--
+	for _, e := range st.liveIncident(v) {
+		st.edgeLen[e]--
+		if st.edgeLen[e] == 0 {
+			st.deadE[e] = true
+		}
+		for _, u := range st.members[e] {
+			if !st.deadV[u] && !st.inQueue[u] {
+				st.inQueue[u] = true
+				st.queue = append(st.queue, u)
+			}
+		}
+		if err := st.t.tick(len(st.members[e])); err != nil {
+			return err
+		}
+	}
+	return nil
+}

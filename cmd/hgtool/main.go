@@ -16,7 +16,7 @@
 //	hgtool jointree [-f file]             join tree and semijoin full reducer
 //	hgtool witness  [-f file]             independent-path witness for cyclic inputs
 //	hgtool dot      [-f file]             Graphviz rendering of the incidence graph
-//	hgtool eval     [-f file] -d dir -x A,B [-par N]   Yannakakis evaluation over CSV data
+//	hgtool eval     [-f file] -d dir -x A,B [-par N] [-trace]   Yannakakis evaluation over CSV data
 //	hgtool edit     [-f file] [-s script] mutable-workspace session applying an edit script
 //	hgtool serve    [-addr host:port] ...  the hgserved HTTP/JSON analysis server
 //
@@ -41,7 +41,9 @@
 // per-step statistics, joins bottom-up along the join tree, and prints
 // π_x(⋈ all objects) for the -x attribute list. -par N runs the reduction
 // and join phases with up to N workers (values < 1 mean GOMAXPROCS); the
-// output is identical to the serial run.
+// output is identical to the serial run. -trace appends the evaluation's
+// span tree — the same attribution the server's /tracez serves: every
+// layer's duration plus per-step rows in/out and queueing wait.
 package main
 
 import (
@@ -54,11 +56,14 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/server"
 )
@@ -85,6 +90,7 @@ func main() {
 	dataDir := fs.String("d", "", "directory of per-object CSV files (eval)")
 	script := fs.String("s", "", "edit script file (edit; default: stdin)")
 	par := fs.Int("par", 1, "worker parallelism for eval (values < 1 mean GOMAXPROCS)")
+	trace := fs.Bool("trace", false, "collect and print the evaluation's span tree (eval)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -132,7 +138,7 @@ func main() {
 		case *dataDir == "":
 			err = fmt.Errorf("eval requires -d (CSV data directory)")
 		default:
-			err = evalCmd(os.Stdout, h, names, *dataDir, x, *par)
+			err = evalCmd(os.Stdout, h, names, *dataDir, x, *par, *trace)
 		}
 	default:
 		usage()
@@ -324,7 +330,7 @@ func objectLabel(names []string, i int) string {
 	return fmt.Sprintf("R%d", i)
 }
 
-func evalCmd(w io.Writer, h *repro.Hypergraph, names []string, dir string, attrs []string, par int) error {
+func evalCmd(w io.Writer, h *repro.Hypergraph, names []string, dir string, attrs []string, par int, trace bool) error {
 	dict := repro.NewDict()
 	tables := make([]*repro.ExecTable, h.NumEdges())
 	for i := range tables {
@@ -349,7 +355,19 @@ func evalCmd(w io.Writer, h *repro.Hypergraph, names []string, dir string, attrs
 		opts = append(opts, repro.WithParallelism(par))
 	}
 	a := repro.Analyze(h, opts...)
-	res, err := a.Eval(context.Background(), db, attrs)
+	// -trace: collect the same span tree the server's /tracez serves, with
+	// a threshold-0 profiler so this one evaluation is always retained.
+	ctx := context.Background()
+	var root *obs.Span
+	var prof *obs.Profiler
+	if trace {
+		obs.Enable()
+		defer obs.Disable()
+		prof = obs.NewProfiler(0, 1)
+		ctx, root = obs.NewTracer(1, 0, prof).StartTrace(ctx, "hgtool.eval")
+	}
+	res, err := a.Eval(ctx, db, attrs)
+	root.End()
 	if err != nil {
 		if errors.Is(err, repro.ErrCyclic) {
 			return fmt.Errorf("the schema is cyclic: Yannakakis evaluation needs an acyclic schema")
@@ -385,7 +403,42 @@ func evalCmd(w io.Writer, h *repro.Hypergraph, names []string, dir string, attrs
 		}
 		fmt.Fprintln(w, strings.Join(row, " | "))
 	}
+	if trace {
+		for _, tj := range prof.Snapshot() {
+			printSpanTree(w, tj)
+		}
+	}
 	return nil
+}
+
+// printSpanTree renders one retained trace as an indented tree: name,
+// duration, and attributes per span.
+func printSpanTree(w io.Writer, tj *obs.TraceJSON) {
+	fmt.Fprintf(w, "\ntrace %d: %d spans in %v\n", tj.TraceID, tj.Spans, time.Duration(tj.DurationNs))
+	if tj.Dropped > 0 {
+		fmt.Fprintf(w, "(%d spans dropped: buffer full)\n", tj.Dropped)
+	}
+	var rec func(sp *obs.SpanJSON, depth int)
+	rec = func(sp *obs.SpanJSON, depth int) {
+		if sp == nil {
+			return
+		}
+		keys := make([]string, 0, len(sp.Attrs))
+		for k := range sp.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var attrs strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&attrs, " %s=%v", k, sp.Attrs[k])
+		}
+		fmt.Fprintf(w, "%s%s %v%s\n", strings.Repeat("  ", depth), sp.Name,
+			time.Duration(sp.DurationNs), attrs.String())
+		for _, c := range sp.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(tj.Root, 0)
 }
 
 // editCmd runs a mutable-workspace session: the optional schema file seeds

@@ -164,7 +164,7 @@ func TestEvalOutput(t *testing.T) {
 		}
 	}
 	var b strings.Builder
-	if err := evalCmd(&b, h, nil, dir, []string{"A", "C"}, 1); err != nil {
+	if err := evalCmd(&b, h, nil, dir, []string{"A", "C"}, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -182,7 +182,7 @@ func TestEvalOutput(t *testing.T) {
 	// -par N must reproduce the serial run's rows and per-phase counts
 	// (the determinism contract; only the timing columns may differ).
 	var bp strings.Builder
-	if err := evalCmd(&bp, h, nil, dir, []string{"A", "C"}, 4); err != nil {
+	if err := evalCmd(&bp, h, nil, dir, []string{"A", "C"}, 4, false); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
@@ -197,7 +197,7 @@ func TestEvalOutput(t *testing.T) {
 		}
 	}
 	// A missing CSV file is a user error.
-	if err := evalCmd(&b, h, []string{"R0", "missing"}, dir, []string{"A"}, 1); err == nil {
+	if err := evalCmd(&b, h, []string{"R0", "missing"}, dir, []string{"A"}, 1, false); err == nil {
 		t.Fatal("missing object file must error")
 	}
 	// Cyclic schemas report cleanly.
@@ -209,9 +209,40 @@ func TestEvalOutput(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := evalCmd(&b, triangle(), nil, tdir, []string{"A"}, 1); err == nil ||
+	if err := evalCmd(&b, triangle(), nil, tdir, []string{"A"}, 1, false); err == nil ||
 		!strings.Contains(err.Error(), "cyclic") {
 		t.Fatalf("cyclic eval: err = %v", err)
+	}
+}
+
+func TestEvalTraceOutput(t *testing.T) {
+	h := repro.NewHypergraph([][]string{{"A", "B"}, {"B", "C"}})
+	dir := t.TempDir()
+	for name, data := range map[string]string{
+		"R0.csv": "A,B\na1,b1\na2,b2\n",
+		"R1.csv": "B,C\nb1,c1\nb2,c2\n",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b strings.Builder
+	if err := evalCmd(&b, h, nil, dir, []string{"A", "C"}, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The span tree follows the result: the CLI root, the exec layers, and
+	// per-step rows — the same attribution /tracez serves.
+	for _, want := range []string{
+		"hgtool.eval",
+		"exec.eval",
+		"exec.reduce",
+		"exec.step",
+		"rowsIn=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-trace output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/jointree"
 	"repro/internal/mcs"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/spectrum"
 )
@@ -58,11 +59,17 @@ type facetLatch struct {
 	inflight chan struct{} // non-nil while a runner computes; closed when it finishes
 }
 
+// facetWaits counts callers that arrived while another caller's traversal
+// was in flight — coalescing pressure, visible on /metricsz.
+var facetWaits = obs.C("facet_wait_total")
+
 // run executes compute at most once successfully. Concurrent callers
 // coalesce: one runs, the rest wait on either its completion or their own
 // context. compute stores its result into fields the caller reads after a
-// nil return (the latch's mutex publishes them).
-func (l *facetLatch) run(ctx context.Context, compute func(ctx context.Context) error) error {
+// nil return (the latch's mutex publishes them). name labels the facet in
+// spans: the runner's traversal records as "facet.<name>", a coalescing
+// caller's stall as "facet.wait"; the latched fast path records nothing.
+func (l *facetLatch) run(ctx context.Context, name string, compute func(ctx context.Context) error) error {
 	for {
 		l.mu.Lock()
 		if l.done {
@@ -71,10 +78,17 @@ func (l *facetLatch) run(ctx context.Context, compute func(ctx context.Context) 
 		}
 		if ch := l.inflight; ch != nil {
 			l.mu.Unlock()
+			facetWaits.Inc()
+			_, wsp := obs.StartSpan(ctx, "facet.wait")
+			wsp.SetAttr("facet", name)
 			select {
 			case <-ch:
+				wsp.SetBool("coalesced", true)
+				wsp.End()
 				continue // runner finished (maybe unsuccessfully): re-examine
 			case <-ctx.Done():
+				wsp.SetBool("coalesced", false)
+				wsp.End()
 				return ctx.Err()
 			}
 		}
@@ -82,7 +96,12 @@ func (l *facetLatch) run(ctx context.Context, compute func(ctx context.Context) 
 		l.inflight = ch
 		l.mu.Unlock()
 
-		err := compute(ctx)
+		cctx, csp := obs.StartSpan(ctx, "facet."+name)
+		err := compute(cctx)
+		if err != nil {
+			csp.SetAttr("error", err.Error())
+		}
+		csp.End()
 		l.mu.Lock()
 		if err == nil {
 			l.done = true
@@ -218,7 +237,7 @@ func (a *Analysis) Hypergraph() *hypergraph.Hypergraph { return a.h }
 // waiting behind another caller's in-flight traversal observe their own
 // deadline instead of blocking on a lock.
 func (a *Analysis) mcsRunCtx(ctx context.Context) (*mcs.Result, error) {
-	err := a.mcsLatch.run(ctx, func(ctx context.Context) error {
+	err := a.mcsLatch.run(ctx, "mcs", func(ctx context.Context) error {
 		r, err := mcs.RunCtx(ctx, a.h)
 		if err != nil {
 			return err
@@ -328,7 +347,7 @@ func (a *Analysis) SpectrumCtx(ctx context.Context) (*spectrum.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	err = a.specLatch.run(ctx, func(ctx context.Context) error {
+	err = a.specLatch.run(ctx, "spectrum", func(ctx context.Context) error {
 		res, err := spectrum.ClassifyWithAlpha(ctx, a.h, r.Acyclic)
 		if err != nil {
 			return err
@@ -410,7 +429,7 @@ func (a *Analysis) GrahamTrace() *gyo.Result {
 // observe their own ctx while the runner works, instead of blocking on a
 // lock the runner holds.
 func (a *Analysis) GrahamTraceCtx(ctx context.Context) (*gyo.Result, error) {
-	err := a.grLatch.run(ctx, func(ctx context.Context) error {
+	err := a.grLatch.run(ctx, "graham", func(ctx context.Context) error {
 		r, err := gyo.RunCtx(ctx, a.h, bitset.Set{})
 		if err != nil {
 			return err

@@ -67,7 +67,7 @@ func TestWaiterObservesOwnDeadline(t *testing.T) {
 	release := make(chan struct{})
 	runnerDone := make(chan error, 1)
 	go func() {
-		runnerDone <- l.run(context.Background(), func(context.Context) error {
+		runnerDone <- l.run(context.Background(), "test", func(context.Context) error {
 			close(started)
 			<-release
 			return nil
@@ -81,7 +81,7 @@ func TestWaiterObservesOwnDeadline(t *testing.T) {
 	defer cancel()
 	waiterErr := make(chan error, 1)
 	go func() {
-		waiterErr <- l.run(ctx, func(context.Context) error { return nil })
+		waiterErr <- l.run(ctx, "test", func(context.Context) error { return nil })
 	}()
 	select {
 	case err := <-waiterErr:
@@ -98,7 +98,7 @@ func TestWaiterObservesOwnDeadline(t *testing.T) {
 	}
 	// The facet latched: later callers see it without recomputing.
 	ran := false
-	if err := l.run(context.Background(), func(context.Context) error { ran = true; return nil }); err != nil || ran {
+	if err := l.run(context.Background(), "test", func(context.Context) error { ran = true; return nil }); err != nil || ran {
 		t.Fatalf("latched facet recomputed (ran=%v) or failed (%v)", ran, err)
 	}
 }
@@ -109,11 +109,11 @@ func TestWaiterObservesOwnDeadline(t *testing.T) {
 func TestFailedRunnerDoesNotPoisonLatch(t *testing.T) {
 	var l facetLatch
 	boom := errors.New("cancelled")
-	if err := l.run(context.Background(), func(context.Context) error { return boom }); !errors.Is(err, boom) {
+	if err := l.run(context.Background(), "test", func(context.Context) error { return boom }); !errors.Is(err, boom) {
 		t.Fatalf("first run: %v, want %v", err, boom)
 	}
 	ran := false
-	if err := l.run(context.Background(), func(context.Context) error { ran = true; return nil }); err != nil || !ran {
+	if err := l.run(context.Background(), "test", func(context.Context) error { ran = true; return nil }); err != nil || !ran {
 		t.Fatalf("retry after failure: ran=%v err=%v", ran, err)
 	}
 }
@@ -125,7 +125,7 @@ func TestWaiterCoalescesOnSuccess(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	computes := make(chan int, 2)
-	go l.run(context.Background(), func(context.Context) error {
+	go l.run(context.Background(), "test", func(context.Context) error {
 		close(started)
 		computes <- 1
 		<-release
@@ -134,7 +134,7 @@ func TestWaiterCoalescesOnSuccess(t *testing.T) {
 	<-started
 	waiterErr := make(chan error, 1)
 	go func() {
-		waiterErr <- l.run(context.Background(), func(context.Context) error {
+		waiterErr <- l.run(context.Background(), "test", func(context.Context) error {
 			computes <- 2
 			return nil
 		})

@@ -43,6 +43,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/hypergraph"
 	"repro/internal/mcs"
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
@@ -671,6 +672,10 @@ func (ws *Workspace) settleLocked(ctx context.Context) error {
 	}
 	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
 
+	ctx, ssp := obs.StartSpan(ctx, "dynamic.settle")
+	ssp.SetInt("dirty", int64(len(cids)))
+	defer ssp.End()
+
 	errs := make([]error, len(cids))
 	ws.pool.Do(len(cids), func(i int) {
 		errs[i] = ws.recompute(ctx, ws.comps[cids[i]])
@@ -701,16 +706,20 @@ func (ws *Workspace) settleLocked(ctx context.Context) error {
 // workspaces holding the same component. A cancelled search reports the
 // context error and leaves the component untouched (and uninterned).
 func (ws *Workspace) recompute(ctx context.Context, c *component) error {
+	ctx, csp := obs.StartSpan(ctx, "dynamic.component")
+	defer csp.End()
 	// Chaos site: fires once per dirty-component re-analysis. When the
 	// workspace settles in parallel this runs on pool.Do workers, which makes
 	// it the probe for cross-goroutine panic propagation.
-	if err := fault.Hit(fault.DynamicSettle); err != nil {
+	if err := fault.HitCtx(ctx, fault.DynamicSettle); err != nil {
+		csp.SetAttr("error", err.Error())
 		return err
 	}
 	members := make([]int, 0, len(c.edges))
 	for eid := range c.edges {
 		members = append(members, eid)
 	}
+	csp.SetInt("members", int64(len(members)))
 	keys := make([][]string, len(members))
 	for i, eid := range members {
 		keys[i] = ws.sortedNames(ws.edges[eid].ids)
@@ -721,11 +730,14 @@ func (ws *Workspace) recompute(ctx context.Context, c *component) error {
 	var res engine.ComponentAnalysis
 	var err error
 	if ws.eng != nil {
-		res, _, err = ws.eng.InternComponent(engine.ComponentKey{Sum: c.sum, Count: len(members)}, build)
+		var hit bool
+		res, hit, err = ws.eng.InternComponent(engine.ComponentKey{Sum: c.sum, Count: len(members)}, build)
+		csp.SetBool("hit", hit)
 	} else {
 		res, err = build()
 	}
 	if err != nil {
+		csp.SetAttr("error", err.Error())
 		return err
 	}
 	c.acyclic = res.Acyclic

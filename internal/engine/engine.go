@@ -45,7 +45,20 @@ import (
 	"repro/internal/fault"
 	"repro/internal/hypergraph"
 	"repro/internal/jointree"
+	"repro/internal/obs"
 	"repro/internal/pool"
+)
+
+// Memo metrics: the /metricsz mirror of the Stats() atomics, split by memo
+// plane so hit rates of whole-hypergraph sessions and component records can
+// be read independently (Stats aggregates them).
+var (
+	memoHits       = obs.C("engine_memo_hits_total")
+	memoMisses     = obs.C("engine_memo_misses_total")
+	memoEvictions  = obs.C("engine_memo_evictions_total")
+	internHits     = obs.C("engine_intern_hits_total")
+	internMisses   = obs.C("engine_intern_misses_total")
+	keyedWalksStat = obs.C("engine_keyed_walks_total")
 )
 
 // Engine is a concurrent, memoizing façade over the acyclicity algorithms.
@@ -271,9 +284,17 @@ func (e *Engine) Stats() Stats {
 // FNV-128 collisions are negligible, but the digest is not a defense
 // against adversarially crafted schemas (see Fingerprint128).
 func (e *Engine) entryFor(h *hypergraph.Hypergraph) *entry {
+	en, _ := e.entryForCtx(context.Background(), h)
+	return en
+}
+
+// entryForCtx is entryFor with span context for the chaos site and an
+// explicit hit report, so ctx-bearing callers (AnalyzeCtx) can attribute
+// the memo outcome on their span.
+func (e *Engine) entryForCtx(ctx context.Context, h *hypergraph.Hypergraph) (*entry, bool) {
 	// Chaos site on the path of every memoized query. No error return here,
 	// so only delay and panic plans can fire (see fault.EngineAnalyze).
-	_ = fault.Hit(fault.EngineAnalyze)
+	_ = fault.HitCtx(ctx, fault.EngineAnalyze)
 	fp := h.Fingerprint128()
 	var keyed uint64
 	if e.keyed {
@@ -294,12 +315,14 @@ func (e *Engine) entryFor(h *hypergraph.Hypergraph) *entry {
 			s.clock++
 			s.mu.Unlock()
 			e.hits.Add(1)
-			return en
+			memoHits.Inc()
+			return en, true
 		}
 	}
 	if e.maxPerShard > 0 && s.n >= e.maxPerShard {
 		s.evictOldest()
 		e.evictions.Add(1)
+		memoEvictions.Inc()
 	}
 	en := &entry{fp: fp, keyed: keyed, an: analysis.New(h, analysis.WithPool(e.pool)), key: key, seq: s.clock}
 	s.clock++
@@ -307,7 +330,8 @@ func (e *Engine) entryFor(h *hypergraph.Hypergraph) *entry {
 	s.n++
 	s.mu.Unlock()
 	e.misses.Add(1)
-	return en
+	memoMisses.Inc()
+	return en, false
 }
 
 // keyedDigest returns the seeded confirmation digest of h, cached by
@@ -322,6 +346,7 @@ func (e *Engine) keyedDigest(h *hypergraph.Hypergraph) uint64 {
 		return d
 	}
 	e.keyedWalks.Add(1)
+	keyedWalksStat.Inc()
 	d = hypergraph.KeyedDigest(h, e.seed)
 	e.keyedMu.Lock()
 	if len(e.keyedCache) >= keyedCacheMax {
@@ -414,6 +439,7 @@ func (e *Engine) InternComponent(ck ComponentKey, build func() (ComponentAnalysi
 	if en, ok := s.lookupComponent(key, ck); ok {
 		s.mu.Unlock()
 		e.hits.Add(1)
+		internHits.Inc()
 		return en.res, true, nil
 	}
 	s.mu.Unlock()
@@ -427,11 +453,13 @@ func (e *Engine) InternComponent(ck ComponentKey, build func() (ComponentAnalysi
 		// record so every caller shares one fragment.
 		s.mu.Unlock()
 		e.hits.Add(1)
+		internHits.Inc()
 		return en.res, true, nil
 	}
 	if e.maxPerShard > 0 && s.cn >= e.maxPerShard {
 		s.evictOldestComponent()
 		e.evictions.Add(1)
+		memoEvictions.Inc()
 	}
 	en := &centry{ck: ck, res: built, key: key, seq: s.clock}
 	s.clock++
@@ -439,6 +467,7 @@ func (e *Engine) InternComponent(ck ComponentKey, build func() (ComponentAnalysi
 	s.cn++
 	s.mu.Unlock()
 	e.misses.Add(1)
+	internMisses.Inc()
 	return built, false, nil
 }
 
@@ -503,6 +532,19 @@ func (e *Engine) EdgeDigest(names []string) hypergraph.Fingerprint128 {
 // handle is safe for concurrent use and must be treated as read-only.
 func (e *Engine) Analyze(h *hypergraph.Hypergraph) *analysis.Analysis {
 	return e.entryFor(h).an
+}
+
+// AnalyzeCtx is Analyze with trace attribution: the memo probe records as
+// an "engine.memo" span carrying the hit/miss outcome and the schema size,
+// and a firing chaos injection stamps it. The returned session is the same
+// shared handle Analyze yields.
+func (e *Engine) AnalyzeCtx(ctx context.Context, h *hypergraph.Hypergraph) *analysis.Analysis {
+	ctx, sp := obs.StartSpan(ctx, "engine.memo")
+	en, hit := e.entryForCtx(ctx, h)
+	sp.SetBool("hit", hit)
+	sp.SetInt("edges", int64(h.NumEdges()))
+	sp.End()
+	return en.an
 }
 
 // IsAcyclic reports α-acyclicity of h via the linear-time MCS engine,
@@ -595,6 +637,9 @@ func (e *Engine) fanOut(ctx context.Context, n int, f func(i int)) error {
 	if n == 0 {
 		return ctx.Err()
 	}
+	_, bsp := obs.StartSpan(ctx, "engine.batch")
+	bsp.SetInt("items", int64(n))
+	defer bsp.End()
 	var cursor atomic.Int64
 	var panicked atomic.Pointer[batchPanic]
 	loop := func() {

@@ -65,7 +65,7 @@ func Semijoin(ctx context.Context, r, s *Table) (*Table, error) {
 	// Chaos site: fires once per semijoin step of a reduction (the parallel
 	// kernel hits the same site), so injected failures exercise the
 	// mid-program error path, not just the entry validation.
-	if err := fault.Hit(fault.ExecReduceStep); err != nil {
+	if err := fault.HitCtx(ctx, fault.ExecReduceStep); err != nil {
 		return nil, err
 	}
 	if r.dict != s.dict {

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/jointree"
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
@@ -208,7 +209,7 @@ func semijoinPar(ctx context.Context, r, s *Table, p *pool.Pool) (*Table, error)
 	}
 	// Same chaos site as the serial kernel (the fallback above reaches it
 	// through Semijoin), so every reduction step hits it exactly once.
-	if err := fault.Hit(fault.ExecReduceStep); err != nil {
+	if err := fault.HitCtx(ctx, fault.ExecReduceStep); err != nil {
 		return nil, err
 	}
 	if r.dict != s.dict {
@@ -495,6 +496,9 @@ func ReduceParallel(ctx context.Context, d *Database, tree *jointree.JoinTree, p
 	if len(tree.Parent) != m {
 		return nil, fmt.Errorf("exec: join tree over %d edges cannot reduce %d objects", len(tree.Parent), m)
 	}
+	ctx, rsp := obs.StartSpan(ctx, "exec.reduce")
+	defer rsp.End()
+	rsp.SetAttr("strategy", "parallel")
 	start := time.Now()
 	work := make([]*Table, m)
 	copy(work, d.Tables)
@@ -529,7 +533,13 @@ func ReduceParallel(ctx context.Context, d *Database, tree *jointree.JoinTree, p
 			break
 		}
 		level := level
+		// Wait accounting: a level is dispatched all at once, so the time
+		// between dispatch and a task actually starting is pure pool
+		// queueing. It is charged to the node's first step, keeping Elapsed
+		// as kernel-only time (the WaitNs/Elapsed split the profiler shows).
+		dispatch := time.Now()
 		p.Do(len(level), func(i int) {
+			wait := time.Since(dispatch)
 			v := level[i]
 			if perr.get() != nil {
 				return
@@ -537,21 +547,34 @@ func ReduceParallel(ctx context.Context, d *Database, tree *jointree.JoinTree, p
 			// Fold the children into work[v] in child order: each child's
 			// own fold finished in a lower level, so work[c] is final, and
 			// no other task touches work[v].
-			for _, c := range ch[v] {
+			for k, c := range ch[v] {
+				sctx, ssp := obs.StartSpan(ctx, "exec.step")
 				stepStart := time.Now()
 				in := work[v].rows
-				next, err := semijoinPar(ctx, work[v], work[c], p)
+				next, err := semijoinPar(sctx, work[v], work[c], p)
 				if err != nil {
+					ssp.SetAttr("error", err.Error())
+					ssp.End()
 					perr.set(err)
 					return
 				}
 				work[v] = next
-				steps[upIdx[c]] = StepStats{
+				st := StepStats{
 					Step:    jointree.SemijoinStep{Target: v, Source: c},
 					RowsIn:  in,
 					RowsOut: next.rows,
 					Elapsed: time.Since(stepStart),
 				}
+				if k == 0 {
+					st.Wait = wait
+				}
+				steps[upIdx[c]] = st
+				ssp.SetInt("target", int64(v))
+				ssp.SetInt("source", int64(c))
+				ssp.SetInt("rowsIn", int64(st.RowsIn))
+				ssp.SetInt("rowsOut", int64(st.RowsOut))
+				ssp.SetInt("waitNs", st.Wait.Nanoseconds())
+				ssp.End()
 			}
 		})
 	}
@@ -560,26 +583,39 @@ func ReduceParallel(ctx context.Context, d *Database, tree *jointree.JoinTree, p
 			break
 		}
 		level := level
+		dispatch := time.Now()
 		p.Do(len(level), func(i int) {
+			wait := time.Since(dispatch)
 			v := level[i]
 			pv := tree.Parent[v]
 			if pv < 0 || perr.get() != nil {
 				return
 			}
+			sctx, ssp := obs.StartSpan(ctx, "exec.step")
 			stepStart := time.Now()
 			in := work[v].rows
-			next, err := semijoinPar(ctx, work[v], work[pv], p)
+			next, err := semijoinPar(sctx, work[v], work[pv], p)
 			if err != nil {
+				ssp.SetAttr("error", err.Error())
+				ssp.End()
 				perr.set(err)
 				return
 			}
 			work[v] = next
-			steps[downIdx[v]] = StepStats{
+			st := StepStats{
 				Step:    jointree.SemijoinStep{Target: v, Source: pv},
 				RowsIn:  in,
 				RowsOut: next.rows,
 				Elapsed: time.Since(stepStart),
+				Wait:    wait,
 			}
+			steps[downIdx[v]] = st
+			ssp.SetInt("target", int64(v))
+			ssp.SetInt("source", int64(pv))
+			ssp.SetInt("rowsIn", int64(st.RowsIn))
+			ssp.SetInt("rowsOut", int64(st.RowsOut))
+			ssp.SetInt("waitNs", st.Wait.Nanoseconds())
+			ssp.End()
 		})
 	}
 	if err := perr.get(); err != nil {
@@ -589,6 +625,9 @@ func ReduceParallel(ctx context.Context, d *Database, tree *jointree.JoinTree, p
 	res.DB = &Database{Schema: d.Schema, Tables: work}
 	res.RowsOut = res.DB.NumRows()
 	res.Elapsed = time.Since(start)
+	rsp.SetInt("rowsIn", int64(res.RowsIn))
+	rsp.SetInt("rowsOut", int64(res.RowsOut))
+	rsp.SetInt("steps", int64(len(res.Steps)))
 	return res, nil
 }
 
@@ -601,9 +640,11 @@ func EvalParallel(ctx context.Context, d *Database, tree *jointree.JoinTree, att
 	if p.Parallelism() == 1 {
 		return Eval(ctx, d, tree, attrs)
 	}
+	ctx, esp := obs.StartSpan(ctx, "exec.eval")
+	defer esp.End()
 	// Same chaos site as EvalWithProgram (the fallback above reaches it
 	// through Eval), so every evaluation hits it exactly once.
-	if err := fault.Hit(fault.ExecEvalJoin); err != nil {
+	if err := fault.HitCtx(ctx, fault.ExecEvalJoin); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -714,5 +755,7 @@ func EvalParallel(ctx context.Context, d *Database, tree *jointree.JoinTree, att
 	res.JoinRows = int(joinRows.Load())
 	res.Out = out
 	res.Elapsed = time.Since(start)
+	esp.SetInt("joinRows", int64(res.JoinRows))
+	esp.SetInt("rowsOut", int64(out.rows))
 	return res, nil
 }

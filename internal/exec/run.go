@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/jointree"
+	"repro/internal/obs"
 )
 
 // StepStats records one semijoin statement of a reduction run.
@@ -15,6 +16,12 @@ type StepStats struct {
 	RowsIn  int // target rows before the semijoin
 	RowsOut int // target rows after
 	Elapsed time.Duration
+	// Wait is the queueing delay before the step's kernel started: in a
+	// parallel reduction, the time between a level's dispatch and the
+	// moment a worker picked the step's node up (charged to the node's
+	// first step). Serial runs never queue, so Wait is 0 there. Elapsed is
+	// pure kernel time and never includes Wait.
+	Wait time.Duration
 }
 
 // ReduceResult is the outcome of running a full-reducer program: the
@@ -83,9 +90,11 @@ func EvalWithProgram(ctx context.Context, d *Database, tree *jointree.JoinTree, 
 // strategy for the embedded reduction phase (see Strategy); the join phase
 // is strategy-independent, so the result is identical under every strategy.
 func EvalWithProgramStrategy(ctx context.Context, d *Database, tree *jointree.JoinTree, prog []jointree.SemijoinStep, attrs []string, strat Strategy) (*EvalResult, error) {
+	ctx, esp := obs.StartSpan(ctx, "exec.eval")
+	defer esp.End()
 	// Chaos site: head of the serial Yannakakis pipeline (EvalParallel hits
 	// the same site on its own path).
-	if err := fault.Hit(fault.ExecEvalJoin); err != nil {
+	if err := fault.HitCtx(ctx, fault.ExecEvalJoin); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -170,5 +179,7 @@ func EvalWithProgramStrategy(ctx context.Context, d *Database, tree *jointree.Jo
 	}
 	res.Out = out
 	res.Elapsed = time.Since(start)
+	esp.SetInt("joinRows", int64(res.JoinRows))
+	esp.SetInt("rowsOut", int64(out.rows))
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/jointree"
+	"repro/internal/obs"
 )
 
 // Strategy selects the kernel family a reduction run uses. The session layer
@@ -113,7 +114,7 @@ func stepSemijoin(ctx context.Context, r, s *Table, strat Strategy, st *stamps) 
 	if strat == StrategyAggressive && r.dict != nil && r.dict == s.dict {
 		rIdx, sIdx := sharedCols(r, s)
 		if len(rIdx) == 1 {
-			if err := fault.Hit(fault.ExecReduceStep); err != nil {
+			if err := fault.HitCtx(ctx, fault.ExecReduceStep); err != nil {
 				return nil, err
 			}
 			return semijoinSingle(ctx, r, s, rIdx[0], sIdx[0], st)
@@ -126,6 +127,9 @@ func stepSemijoin(ctx context.Context, r, s *Table, strat Strategy, st *stamps) 
 // ReduceWithStrategy under StrategyStandard. The result is identical under
 // every strategy.
 func ReduceWithStrategy(ctx context.Context, d *Database, prog []jointree.SemijoinStep, strat Strategy) (*ReduceResult, error) {
+	ctx, rsp := obs.StartSpan(ctx, "exec.reduce")
+	defer rsp.End()
+	rsp.SetAttr("strategy", strat.String())
 	start := time.Now()
 	work := make([]*Table, len(d.Tables))
 	copy(work, d.Tables)
@@ -135,22 +139,35 @@ func ReduceWithStrategy(ctx context.Context, d *Database, prog []jointree.Semijo
 		if s.Target < 0 || s.Target >= len(work) || s.Source < 0 || s.Source >= len(work) {
 			return nil, fmt.Errorf("exec: semijoin step %v out of range for %d objects", s, len(work))
 		}
+		sctx, ssp := obs.StartSpan(ctx, "exec.step")
 		stepStart := time.Now()
 		in := work[s.Target].rows
-		next, err := stepSemijoin(ctx, work[s.Target], work[s.Source], strat, &scratch)
+		next, err := stepSemijoin(sctx, work[s.Target], work[s.Source], strat, &scratch)
 		if err != nil {
+			ssp.SetAttr("error", err.Error())
+			ssp.End()
 			return nil, err
 		}
 		work[s.Target] = next
-		res.Steps = append(res.Steps, StepStats{
+		st := StepStats{
 			Step:    s,
 			RowsIn:  in,
 			RowsOut: next.rows,
 			Elapsed: time.Since(stepStart),
-		})
+		}
+		res.Steps = append(res.Steps, st)
+		ssp.SetInt("target", int64(s.Target))
+		ssp.SetInt("source", int64(s.Source))
+		ssp.SetInt("rowsIn", int64(st.RowsIn))
+		ssp.SetInt("rowsOut", int64(st.RowsOut))
+		ssp.SetInt("waitNs", st.Wait.Nanoseconds())
+		ssp.End()
 	}
 	res.DB = &Database{Schema: d.Schema, Tables: work}
 	res.RowsOut = res.DB.NumRows()
 	res.Elapsed = time.Since(start)
+	rsp.SetInt("rowsIn", int64(res.RowsIn))
+	rsp.SetInt("rowsOut", int64(res.RowsOut))
+	rsp.SetInt("steps", int64(len(res.Steps)))
 	return res, nil
 }

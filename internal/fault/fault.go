@@ -24,9 +24,12 @@
 package fault
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // The named sites. Each constant documents where the site sits and which
@@ -169,18 +172,49 @@ func fire(name string) (Injection, bool) {
 	return s.inj, true
 }
 
+// injectedTotal counts every injection that actually fired, across all
+// sites — the chaos suite's aggregate visible on /metricsz.
+var injectedTotal = obs.C("fault_injected_total")
+
+// kindName names an injection kind for span attributes.
+func kindName(k Kind) string {
+	switch k {
+	case KindDelay:
+		return "delay"
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindStarve:
+		return "starve"
+	}
+	return "unknown"
+}
+
 // Hit is the instrumentation call compiled into error-capable sites: when
 // the site's plan fires it sleeps (KindDelay), panics (KindPanic), or
 // returns the injected error (KindError). Void sites call it too and
 // discard the result (their constants document that KindError cannot
 // propagate there). Idle cost is one atomic load.
-func Hit(name string) error {
+func Hit(name string) error { return HitCtx(context.Background(), name) }
+
+// HitCtx is Hit for ctx-bearing sites: a firing injection additionally
+// stamps the context's current span with the site name and kind, so a
+// retained trace shows exactly which fault shaped it. Panic-kind stamps on
+// spans that unwind before End are lost by design — the serving layer's
+// root span records the incident instead.
+func HitCtx(ctx context.Context, name string) error {
 	if armed.Load() == 0 {
 		return nil
 	}
 	inj, ok := fire(name)
 	if !ok {
 		return nil
+	}
+	injectedTotal.Inc()
+	if sp := obs.FromContext(ctx); sp != nil {
+		sp.SetAttr("fault", name)
+		sp.SetAttr("faultKind", kindName(inj.Kind))
 	}
 	switch inj.Kind {
 	case KindDelay:
@@ -200,5 +234,9 @@ func Starved(name string) bool {
 		return false
 	}
 	inj, ok := fire(name)
-	return ok && inj.Kind == KindStarve
+	if ok && inj.Kind == KindStarve {
+		injectedTotal.Inc()
+		return true
+	}
+	return false
 }

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func BenchmarkStartSpanDisabled(b *testing.B) {
+	Disable()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "idle")
+		sp.End()
+	}
+}
+
+func BenchmarkStartTraceDisabled(b *testing.B) {
+	Disable()
+	tr := NewTracer(1, 0, nil)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := tr.StartTrace(ctx, "idle")
+		sp.End()
+	}
+}
+
+func BenchmarkStartSpanEnabled(b *testing.B) {
+	Enable()
+	defer Disable()
+	tr := NewTracer(1, 0, nil) // no profiler: time traces, retain nothing
+	for i := 0; i < b.N; i++ {
+		ctx, root := tr.StartTrace(context.Background(), "req")
+		_, sp := StartSpan(ctx, "step")
+		sp.SetInt("rows", 1)
+		sp.End()
+		root.End()
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_ns")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(37 * time.Microsecond)
+		}
+	})
+}
+
+// TestDisabledPathOverheadSmoke is the CI bench smoke: the disabled
+// instrumentation path (one atomic load, nil span no-op) must stay under
+// 5 ns/op. The minimum of several runs is used so scheduler noise on a
+// shared machine cannot flake the bound.
+func TestDisabledPathOverheadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates the atomic load; bound holds only un-instrumented")
+	}
+	Disable()
+	ctx := context.Background()
+	best := time.Duration(1 << 62)
+	for run := 0; run < 5; run++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, sp := StartSpan(ctx, "idle")
+				sp.End()
+			}
+		})
+		if d := res.NsPerOp(); time.Duration(d) < best {
+			best = time.Duration(d)
+		}
+	}
+	if best >= 5*time.Nanosecond {
+		t.Fatalf("disabled StartSpan path costs %v/op, want < 5ns", best)
+	}
+}

@@ -1,0 +1,310 @@
+package obs
+
+// The metrics half of the plane: named counters, gauges, and fixed-bucket
+// latency histograms in a process-global Default registry, exported in
+// Prometheus text format at /metricsz. Metrics are always on — the layers
+// they absorbed counters from were already paying an atomic add — and the
+// counters are striped across cache-line-padded cells so concurrent
+// writers on different cores do not serialize on one word.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// numStripes is the counter stripe count (power of two). Sixteen covers
+// the core counts this plane targets without bloating every counter.
+const numStripes = 16
+
+// stripe is one cache-line-padded counter cell: 8 bytes of value plus 56
+// bytes of padding, so adjacent stripes never share a line.
+type stripe struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// stripeIdx picks a stripe for the calling goroutine. Goroutine stacks are
+// distinct heap allocations, so the address of a stack byte — mixed so the
+// allocation-granularity low bits don't collide across goroutines at equal
+// call depth — spreads concurrent writers across stripes. The address is
+// never dereferenced or retained; this is a hash, not a pointer escape.
+func stripeIdx() int {
+	var b byte
+	h := uintptr(unsafe.Pointer(&b))
+	h ^= h >> 13
+	return int(h>>4) & (numStripes - 1)
+}
+
+// Counter is a monotonically increasing striped counter.
+type Counter struct {
+	name    string
+	stripes [numStripes]stripe
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.stripes[stripeIdx()].v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the stripes. The sum is not a point-in-time snapshot across
+// stripes (writers keep going), but each stripe read is atomic and the
+// counter is monotone, so the value is always between the true count at
+// the start and at the end of the read.
+func (c *Counter) Value() uint64 {
+	var sum uint64
+	for i := range c.stripes {
+		sum += c.stripes[i].v.Load()
+	}
+	return sum
+}
+
+// Gauge is an instantaneous signed value (tokens held, in-flight work).
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add moves the gauge by delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBounds are the fixed latency bucket upper bounds. Spanning 1 µs to
+// 10 s in a 1-2-5 ladder keeps the histogram 23 buckets wide (plus +Inf) —
+// small enough to scan linearly on the hot path, wide enough that serve
+// latencies from warm memo hits to deadline-bounded traversals all land in
+// a meaningful bucket.
+var histBounds = [...]time.Duration{
+	1 * time.Microsecond, 2 * time.Microsecond, 5 * time.Microsecond,
+	10 * time.Microsecond, 20 * time.Microsecond, 50 * time.Microsecond,
+	100 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond,
+	1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	1 * time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second,
+}
+
+// numBuckets counts the bounded buckets plus the +Inf overflow bucket.
+const numBuckets = len(histBounds) + 1
+
+// Histogram is a fixed-bucket latency histogram. Observations to distinct
+// buckets touch distinct atomics, so concurrent observers rarely contend.
+type Histogram struct {
+	name    string
+	buckets [numBuckets]atomic.Uint64
+	sumNs   atomic.Int64
+	count   atomic.Uint64
+}
+
+// Observe records one duration. Negative durations clamp to zero (clock
+// steps must not corrupt the sum).
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < len(histBounds) && d > histBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// SumNs returns the accumulated observed nanoseconds.
+func (h *Histogram) SumNs() int64 { return h.sumNs.Load() }
+
+// Buckets returns the per-bucket counts (last slot is +Inf). Reads are
+// per-bucket atomic, not a cross-bucket snapshot.
+func (h *Histogram) Buckets() [numBuckets]uint64 {
+	var out [numBuckets]uint64
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Registry is a named metric store. Get-or-create methods are cheap after
+// the first call (read lock + map probe); the write path runs once per
+// name. The zero value is not usable; use NewRegistry or the package
+// Default.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-global registry the instrumented layers register
+// into and /metricsz serves.
+var Default = NewRegistry()
+
+// sanitizeName maps an arbitrary string onto the Prometheus metric-name
+// alphabet ([a-zA-Z_:][a-zA-Z0-9_:]*): invalid runes become '_' and an
+// empty or digit-led name gains a '_' prefix.
+func sanitizeName(name string) string {
+	ok := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		valid := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !valid {
+			ok = false
+			break
+		}
+	}
+	if ok && name != "" {
+		return name
+	}
+	b := []byte(name)
+	for i, c := range b {
+		// Digits are kept everywhere here; a digit-led name gains the '_'
+		// prefix below instead of losing its first character.
+		valid := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !valid {
+			b[i] = '_'
+		}
+	}
+	if len(b) == 0 || (b[0] >= '0' && b[0] <= '9') {
+		b = append([]byte{'_'}, b...)
+	}
+	return string(b)
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	name = sanitizeName(name)
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	name = sanitizeName(name)
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	name = sanitizeName(name)
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{name: name}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// C, G, and H are the Default-registry shorthands the instrumented layers
+// use for package-level metric variables.
+func C(name string) *Counter   { return Default.Counter(name) }
+func G(name string) *Gauge     { return Default.Gauge(name) }
+func H(name string) *Histogram { return Default.Histogram(name) }
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format, names sorted, histograms as cumulative _bucket/_sum/_count
+// series with le in seconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.Value()); err != nil {
+			return err
+		}
+	}
+	for _, h := range hists {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.name); err != nil {
+			return err
+		}
+		buckets := h.Buckets()
+		var cum uint64
+		for i, n := range buckets {
+			cum += n
+			le := "+Inf"
+			if i < len(histBounds) {
+				le = fmt.Sprintf("%g", histBounds[i].Seconds())
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n",
+			h.name, float64(h.SumNs())/1e9, h.name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterStripedSum(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if again := r.Counter("test_total"); again != c {
+		t.Fatal("get-or-create returned a different counter for the same name")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewRegistry().Gauge("inflight")
+	g.Add(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+	g.Set(-7)
+	if got := g.Value(); got != -7 {
+		t.Fatalf("gauge = %d, want -7", got)
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	h := NewRegistry().Histogram("lat_ns")
+	obsv := []time.Duration{500 * time.Nanosecond, 3 * time.Microsecond, 40 * time.Millisecond, time.Minute, -time.Second}
+	for _, d := range obsv {
+		h.Observe(d)
+	}
+	if got := h.Count(); got != uint64(len(obsv)) {
+		t.Fatalf("count = %d, want %d", got, len(obsv))
+	}
+	// -1s clamps to 0.
+	wantSum := (500*time.Nanosecond + 3*time.Microsecond + 40*time.Millisecond + time.Minute).Nanoseconds()
+	if got := h.SumNs(); got != wantSum {
+		t.Fatalf("sum = %d, want %d", got, wantSum)
+	}
+	b := h.Buckets()
+	var total uint64
+	for _, n := range b {
+		total += n
+	}
+	if total != uint64(len(obsv)) {
+		t.Fatalf("bucket total = %d, want %d", total, len(obsv))
+	}
+	if b[numBuckets-1] != 1 { // only the 1-minute observation overflows to +Inf
+		t.Fatalf("+Inf bucket = %d, want 1", b[numBuckets-1])
+	}
+}
+
+var promLine = regexp.MustCompile(`^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)|[a-zA-Z_:][a-zA-Z0-9_:]*(_bucket\{le="[^"]+"\})? -?[0-9.e+-]+(e[+-]?[0-9]+)?)$`)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total").Add(3)
+	r.Gauge("tokens_held").Set(2)
+	r.Histogram("request_ns").Observe(3 * time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE requests_total counter\nrequests_total 3\n",
+		"# TYPE tokens_held gauge\ntokens_held 2\n",
+		"# TYPE request_ns histogram\n",
+		`request_ns_bucket{le="+Inf"} 1`,
+		"request_ns_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"ok_name":     "ok_name",
+		"with-dash":   "with_dash",
+		"9leading":    "_9leading",
+		"":            "_",
+		"sp ace/π":    "sp_ace_", // multi-byte rune becomes per-byte underscores
+		"colons:keep": "colons:keep",
+	}
+	for in, want := range cases {
+		got := sanitizeName(in)
+		if in == "sp ace/π" {
+			// The rune 'π' is two bytes; accept per-byte replacement.
+			want = "sp_ace___"
+		}
+		if got != want {
+			t.Fatalf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRegistryRaceHammer exercises concurrent get-or-create, updates, and
+// exposition rendering — the registry half of the obs race hammer.
+func TestRegistryRaceHammer(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"a_total", "b_total", "c_ns", "d_held"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter(names[i%2]).Inc()
+				r.Histogram(names[2]).Observe(time.Duration(i) * time.Microsecond)
+				r.Gauge(names[3]).Add(1)
+				r.Gauge(names[3]).Add(-1)
+				if i%100 == 0 {
+					var buf bytes.Buffer
+					if err := r.WritePrometheus(&buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("a_total").Value() + r.Counter("b_total").Value(); got != 8*500 {
+		t.Fatalf("counter sum = %d, want %d", got, 8*500)
+	}
+	if got := r.Histogram("c_ns").Count(); got != 8*500 {
+		t.Fatalf("hist count = %d, want %d", got, 8*500)
+	}
+	if got := r.Gauge("d_held").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+}
+
+// FuzzHistogramObserve feeds arbitrary durations and checks the histogram
+// invariants: count equals observations, buckets partition the count, and
+// the cumulative rendering is monotone.
+func FuzzHistogramObserve(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := NewRegistry().Histogram("fuzz_ns")
+		n := 0
+		for len(data) >= 8 {
+			d := time.Duration(int64(binary.LittleEndian.Uint64(data[:8])))
+			h.Observe(d)
+			n++
+			data = data[8:]
+		}
+		if got := h.Count(); got != uint64(n) {
+			t.Fatalf("count = %d, want %d", got, n)
+		}
+		b := h.Buckets()
+		var total uint64
+		for _, c := range b {
+			total += c
+		}
+		if total != uint64(n) {
+			t.Fatalf("buckets total %d, want %d", total, n)
+		}
+		if h.SumNs() < 0 {
+			t.Fatalf("sum went negative: %d", h.SumNs())
+		}
+	})
+}
+
+// FuzzRegistryNames throws arbitrary metric names at the registry and
+// asserts the Prometheus rendering stays well-formed.
+func FuzzRegistryNames(f *testing.F) {
+	f.Add("requests_total")
+	f.Add("bad name-π/∞")
+	f.Add("")
+	f.Add("9starts_with_digit")
+	f.Fuzz(func(t *testing.T, name string) {
+		r := NewRegistry()
+		r.Counter(name).Inc()
+		r.Gauge(name + "_g").Set(1)
+		r.Histogram(name + "_h").Observe(time.Millisecond)
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+			if !promLine.MatchString(line) {
+				t.Fatalf("malformed line %q for name %q", line, name)
+			}
+		}
+	})
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withTracing enables span collection for one test and restores the idle
+// state afterwards.
+func withTracing(t *testing.T) {
+	t.Helper()
+	Enable()
+	t.Cleanup(Disable)
+}
+
+func TestDisabledPathYieldsNilSpans(t *testing.T) {
+	Disable()
+	tr := NewTracer(1, 0, NewProfiler(0, 4))
+	ctx, root := tr.StartTrace(context.Background(), "req")
+	if root != nil {
+		t.Fatal("disabled StartTrace returned a live span")
+	}
+	_, sp := StartSpan(ctx, "child")
+	if sp != nil {
+		t.Fatal("disabled StartSpan returned a live span")
+	}
+	if got := FromContext(ctx); got != nil {
+		t.Fatal("disabled FromContext returned a live span")
+	}
+	// Every method must be nil-safe.
+	sp.SetAttr("k", "v")
+	sp.SetInt("n", 1)
+	sp.SetBool("b", true)
+	sp.Retain()
+	sp.End()
+	if sp.TraceID() != 0 {
+		t.Fatal("nil span has a trace id")
+	}
+}
+
+func TestSpanTreeAssembly(t *testing.T) {
+	withTracing(t)
+	prof := NewProfiler(0, 4) // threshold 0: retain everything
+	tr := NewTracer(1, 0, prof)
+
+	ctx, root := tr.StartTrace(context.Background(), "request")
+	if root == nil {
+		t.Fatal("enabled StartTrace returned nil")
+	}
+	root.SetAttr("tenant", "t1")
+	cctx, child := StartSpan(ctx, "engine")
+	child.SetBool("hit", false)
+	_, grand := StartSpan(cctx, "facet.mcs")
+	grand.SetInt("edges", 6)
+	grand.End()
+	child.End()
+	_, sib := StartSpan(ctx, "exec.reduce")
+	sib.SetInt("rowsIn", 100)
+	sib.SetInt("rowsOut", 40)
+	sib.End()
+	root.End()
+
+	traces := prof.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.Spans != 4 || got.Dropped != 0 {
+		t.Fatalf("spans=%d dropped=%d, want 4/0", got.Spans, got.Dropped)
+	}
+	if got.Root.Name != "request" || got.Root.Attrs["tenant"] != "t1" {
+		t.Fatalf("root mismatch: %+v", got.Root)
+	}
+	if len(got.Root.Children) != 2 {
+		t.Fatalf("root has %d children, want 2", len(got.Root.Children))
+	}
+	eng := got.Root.Children[0]
+	if eng.Name != "engine" || eng.Attrs["hit"] != int64(0) {
+		t.Fatalf("engine span mismatch: %+v", eng)
+	}
+	if len(eng.Children) != 1 || eng.Children[0].Name != "facet.mcs" || eng.Children[0].Attrs["edges"] != int64(6) {
+		t.Fatalf("facet span mismatch: %+v", eng.Children)
+	}
+	red := got.Root.Children[1]
+	if red.Name != "exec.reduce" || red.Attrs["rowsIn"] != int64(100) || red.Attrs["rowsOut"] != int64(40) {
+		t.Fatalf("reduce span mismatch: %+v", red)
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	withTracing(t)
+	prof := NewProfiler(0, 64)
+	tr := NewTracer(4, 0, prof) // 1 in 4
+	live := 0
+	for i := 0; i < 40; i++ {
+		ctx, root := tr.StartTrace(context.Background(), "req")
+		if root != nil {
+			live++
+			// An unsampled trace must also suppress descendants.
+			_, sp := StartSpan(ctx, "child")
+			if sp == nil {
+				t.Fatal("sampled trace dropped a child span")
+			}
+			sp.End()
+			root.End()
+		} else if _, sp := StartSpan(ctx, "child"); sp != nil {
+			t.Fatal("unsampled trace recorded a child span")
+		}
+	}
+	if live != 10 {
+		t.Fatalf("sampled %d of 40 traces, want 10 (1 in 4)", live)
+	}
+	if got := tr.Sampled(); got != 10 {
+		t.Fatalf("Sampled() = %d, want 10", got)
+	}
+	if len(prof.Snapshot()) != 10 {
+		t.Fatalf("profiler retained %d, want 10", len(prof.Snapshot()))
+	}
+}
+
+func TestBoundedSpanBufferCountsDrops(t *testing.T) {
+	withTracing(t)
+	prof := NewProfiler(0, 2)
+	tr := NewTracer(1, 4, prof) // at most 4 spans per trace
+	ctx, root := tr.StartTrace(context.Background(), "req")
+	for i := 0; i < 10; i++ {
+		_, sp := StartSpan(ctx, "s")
+		sp.End()
+	}
+	root.End()
+	got := prof.Snapshot()[0]
+	if got.Spans != 4 {
+		t.Fatalf("recorded %d spans, want 4 (bound)", got.Spans)
+	}
+	// 10 children + 1 root ended; 4 recorded.
+	if got.Dropped != 7 {
+		t.Fatalf("dropped %d, want 7", got.Dropped)
+	}
+	// The root's record was dropped, so the tree synthesizes one and the
+	// surviving spans attach to it.
+	if len(got.Root.Children) != 4 {
+		t.Fatalf("synthesized root has %d children, want 4", len(got.Root.Children))
+	}
+}
+
+func TestProfilerThresholdAndForcedRetention(t *testing.T) {
+	withTracing(t)
+	prof := NewProfiler(time.Hour, 4) // nothing is naturally slow enough
+	tr := NewTracer(1, 0, prof)
+
+	_, fast := tr.StartTrace(context.Background(), "fast")
+	fast.End()
+	if len(prof.Snapshot()) != 0 {
+		t.Fatal("fast trace retained despite threshold")
+	}
+
+	ctx, root := tr.StartTrace(context.Background(), "incident")
+	_, sp := StartSpan(ctx, "panicking")
+	sp.SetAttr("incident", "inc-000042")
+	sp.Retain() // the panic path force-retains
+	sp.End()
+	root.End()
+	traces := prof.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("forced trace not retained (got %d)", len(traces))
+	}
+	if traces[0].Root.Children[0].Attrs["incident"] != "inc-000042" {
+		t.Fatalf("incident attr lost: %+v", traces[0].Root.Children[0])
+	}
+	seen, retained := prof.Stats()
+	if seen != 2 || retained != 1 {
+		t.Fatalf("seen=%d retained=%d, want 2/1", seen, retained)
+	}
+}
+
+func TestProfilerRingWraps(t *testing.T) {
+	withTracing(t)
+	prof := NewProfiler(0, 3)
+	tr := NewTracer(1, 0, prof)
+	for i := 0; i < 7; i++ {
+		_, root := tr.StartTrace(context.Background(), "req")
+		root.End()
+	}
+	got := prof.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(got))
+	}
+	// Newest first, strictly decreasing trace ids.
+	for i := 1; i < len(got); i++ {
+		if got[i-1].TraceID <= got[i].TraceID {
+			t.Fatalf("snapshot not newest-first: %d then %d", got[i-1].TraceID, got[i].TraceID)
+		}
+	}
+}
+
+// TestSpanRaceHammer runs concurrent span producers across shared traces
+// while snapshots are taken — the obs race hammer (run with -race in CI).
+func TestSpanRaceHammer(t *testing.T) {
+	withTracing(t)
+	prof := NewProfiler(0, 8)
+	tr := NewTracer(1, 256, prof)
+	const workers = 8
+	var wg, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	readerWG.Add(1)
+	go func() { // concurrent reader
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				prof.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, root := tr.StartTrace(context.Background(), "req")
+				var inner sync.WaitGroup
+				for k := 0; k < 4; k++ {
+					inner.Add(1)
+					go func(k int) { // parallel kernels end spans concurrently
+						defer inner.Done()
+						_, sp := StartSpan(ctx, "step")
+						sp.SetInt("k", int64(k))
+						sp.End()
+					}(k)
+				}
+				inner.Wait()
+				root.End()
+			}
+		}()
+	}
+	wg.Wait() // producers done
+	close(stop)
+	readerWG.Wait()
+}

@@ -1,0 +1,82 @@
+package obs
+
+// The slow-query profiler: a bounded ring of retained span trees. A trace
+// is retained when its root span's duration meets the threshold, or when
+// any span force-retained it (Span.Retain — the incident path), so "why
+// was this request slow?" and "what was this panic doing?" are both
+// answerable after the fact without logging every request.
+
+import (
+	"sync"
+	"time"
+)
+
+// Profiler retains the span trees of slow (or force-retained) traces in a
+// bounded ring, newest overwriting oldest. Safe for concurrent use.
+type Profiler struct {
+	threshold time.Duration // <= 0: retain every finalized trace
+
+	mu       sync.Mutex
+	buf      []*TraceJSON
+	next     int // total retained ever; buf slot is next % cap
+	retained uint64
+	seen     uint64
+}
+
+// defaultProfilerCap bounds the ring when NewProfiler is given a
+// non-positive capacity.
+const defaultProfilerCap = 64
+
+// NewProfiler returns a profiler retaining traces whose root span lasted
+// at least threshold (values <= 0 retain every finalized trace), in a ring
+// of ringCap trees (values <= 0 mean defaultProfilerCap).
+func NewProfiler(threshold time.Duration, ringCap int) *Profiler {
+	if ringCap <= 0 {
+		ringCap = defaultProfilerCap
+	}
+	return &Profiler{threshold: threshold, buf: make([]*TraceJSON, ringCap)}
+}
+
+// Threshold returns the slow threshold.
+func (p *Profiler) Threshold() time.Duration { return p.threshold }
+
+// consider is called by the root span's End: retain the trace when it was
+// slow enough or force-retained.
+func (p *Profiler) consider(tr *Trace, rootDur time.Duration) {
+	p.mu.Lock()
+	p.seen++
+	p.mu.Unlock()
+	if rootDur < p.threshold && !tr.forced.Load() {
+		return
+	}
+	tj := tr.snapshotJSON(rootDur)
+	p.mu.Lock()
+	p.buf[p.next%len(p.buf)] = tj
+	p.next++
+	p.retained++
+	p.mu.Unlock()
+}
+
+// Stats reports how many finalized traces the profiler has seen and how
+// many it retained.
+func (p *Profiler) Stats() (seen, retained uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.seen, p.retained
+}
+
+// Snapshot returns the retained traces, newest first — the /tracez
+// payload. The trees are shared and must be treated as read-only.
+func (p *Profiler) Snapshot() []*TraceJSON {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.next
+	if n > len(p.buf) {
+		n = len(p.buf)
+	}
+	out := make([]*TraceJSON, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, p.buf[((p.next-1-i)%len(p.buf)+len(p.buf))%len(p.buf)])
+	}
+	return out
+}

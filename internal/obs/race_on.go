@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the binary was built with -race. The race
+// detector instruments atomic loads heavily, so timing-bound smokes gate
+// on it.
+const raceEnabled = true

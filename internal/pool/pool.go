@@ -22,6 +22,15 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// Pool metrics: grant/refusal counts make degrade-to-inline visible on
+// /metricsz, and the held gauge shows instantaneous token pressure.
+var (
+	acquireGranted = obs.C("pool_acquire_granted_total")
+	acquireRefused = obs.C("pool_acquire_refused_total")
+	tokensHeld     = obs.G("pool_tokens_held")
 )
 
 // Pool is a bounded budget of concurrent workers. The zero value is not
@@ -67,18 +76,23 @@ func (p *Pool) TryAcquire() bool {
 	// Chaos site: a starved pool must refuse tokens, forcing every parallel
 	// region onto its degrade-inline path (never a deadlock or a spin).
 	if fault.Starved(fault.PoolAcquire) {
+		acquireRefused.Inc()
 		return false
 	}
 	select {
 	case <-p.sem:
+		acquireGranted.Inc()
+		tokensHeld.Add(1)
 		return true
 	default:
+		acquireRefused.Inc()
 		return false
 	}
 }
 
 // Release returns a token taken by TryAcquire.
 func (p *Pool) Release() {
+	tokensHeld.Add(-1)
 	p.sem <- struct{}{}
 }
 

@@ -70,7 +70,7 @@ func (s *Server) handleAnalyze(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := s.eng.Analyze(h)
+	a := s.eng.AnalyzeCtx(r.Context(), h)
 	acyclic, err := a.VerdictCtx(r.Context())
 	if err != nil {
 		return nil, err
@@ -91,7 +91,7 @@ func (s *Server) handleJoinTree(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := s.eng.Analyze(h)
+	a := s.eng.AnalyzeCtx(r.Context(), h)
 	jt, err := a.JoinTreeCtx(r.Context())
 	if err != nil {
 		return nil, err
@@ -118,7 +118,7 @@ func (s *Server) handleClassify(r *http.Request) (any, error) {
 	}
 	// The polynomial spectrum testers poll ctx in-traversal, so the request
 	// deadline is the admission control — no size cap needed.
-	res, err := s.eng.Analyze(h).SpectrumCtx(r.Context())
+	res, err := s.eng.AnalyzeCtx(r.Context(), h).SpectrumCtx(r.Context())
 	if err != nil {
 		return nil, err
 	}
@@ -199,7 +199,7 @@ func (s *Server) handleReduce(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.eng.Analyze(h).Reduce(r.Context(), d)
+	res, err := s.eng.AnalyzeCtx(r.Context(), h).Reduce(r.Context(), d)
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +229,7 @@ func (s *Server) handleEval(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.eng.Analyze(h).Eval(r.Context(), d, req.Attrs)
+	res, err := s.eng.AnalyzeCtx(r.Context(), h).Eval(r.Context(), d, req.Attrs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,438 @@
+package server
+
+// The observability suite: /metricsz exposition, /tracez span trees that
+// attribute a request's time across every layer, incident↔trace
+// correlation under injected panics, and the consistency of /statsz
+// snapshots under concurrent load (run with -race).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/exec"
+	"repro/internal/fault"
+	"repro/internal/hypergraph"
+	"repro/internal/obs"
+	"repro/internal/relation"
+)
+
+// spanNode mirrors obs.SpanJSON for decoding /tracez payloads.
+type spanNode struct {
+	Name     string         `json:"name"`
+	Attrs    map[string]any `json:"attrs"`
+	Children []*spanNode    `json:"children"`
+}
+
+type tracezPayload struct {
+	Enabled  bool `json:"enabled"`
+	Seen     uint64
+	Retained uint64
+	Traces   []struct {
+		Root    *spanNode `json:"root"`
+		Spans   int       `json:"spans"`
+		Dropped int       `json:"dropped"`
+	} `json:"traces"`
+}
+
+func getTracez(t *testing.T, url string) tracezPayload {
+	t.Helper()
+	resp, body := do(t, "GET", url+"/tracez", "", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("/tracez: %d %s", resp.StatusCode, body)
+	}
+	var tz tracezPayload
+	if err := json.Unmarshal(body, &tz); err != nil {
+		t.Fatalf("/tracez payload: %v (body %s)", err, body)
+	}
+	return tz
+}
+
+// walk visits every span in the tree.
+func walk(n *spanNode, f func(*spanNode)) {
+	if n == nil {
+		return
+	}
+	f(n)
+	for _, c := range n.Children {
+		walk(c, f)
+	}
+}
+
+// attrInt reads an integer attribute out of decoded JSON (numbers arrive
+// as float64).
+func attrInt(t *testing.T, n *spanNode, key string) int64 {
+	t.Helper()
+	v, ok := n.Attrs[key].(float64)
+	if !ok {
+		t.Fatalf("span %q: attr %q = %v (%T), want a number", n.Name, key, n.Attrs[key], n.Attrs[key])
+	}
+	return int64(v)
+}
+
+// TestTracezEvalSpanTree is the end-to-end attribution check: one /v1/eval
+// request under tracing yields a /tracez span tree whose layers — server
+// admission, engine memo, analysis facet, executor eval/reduce and every
+// semijoin step — carry row counts identical to the step stats an
+// independent run of the same evaluation reports.
+func TestTracezEvalSpanTree(t *testing.T) {
+	t.Cleanup(obs.Disable)
+	_, ts := newTestServer(t, Config{Workers: 1, Trace: true, SlowTraceThreshold: -1}, nil)
+
+	resp, body := do(t, "POST", ts.URL+"/v1/eval", evalBody(64), nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("eval: %d %s", resp.StatusCode, body)
+	}
+	var evalResp struct {
+		RowsIn  int `json:"rowsIn"`
+		RowsOut int `json:"rowsOut"`
+	}
+	if err := json.Unmarshal(body, &evalResp); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same evaluation through the library directly — the reference the
+	// span attributes must match byte for byte.
+	h, _, err := hypergraph.Parse("A B\nB C\nC D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(a, b string) *relation.Relation {
+		rows := make([][]string, 64)
+		for i := range rows {
+			rows[i] = []string{fmt.Sprint(i), fmt.Sprint(i)}
+		}
+		r, err := relation.New([]string{a, b}, rows...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	d, err := exec.FromRelations(h, []*relation.Relation{mk("A", "B"), mk("B", "C"), mk("C", "D")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := engine.New(engine.WithWorkers(1)).Analyze(h).Eval(context.Background(), d, []string{"A", "D"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tz := getTracez(t, ts.URL)
+	if !tz.Enabled {
+		t.Fatal("/tracez reports tracing disabled")
+	}
+	var root *spanNode
+	for _, tr := range tz.Traces {
+		if tr.Root != nil && tr.Root.Attrs["path"] == "/v1/eval" {
+			root = tr.Root
+			break
+		}
+	}
+	if root == nil {
+		t.Fatalf("no retained trace for /v1/eval among %d traces", len(tz.Traces))
+	}
+	if root.Name != "server.request" {
+		t.Fatalf("root span = %q, want server.request", root.Name)
+	}
+	if got := attrInt(t, root, "status"); got != 200 {
+		t.Fatalf("root status attr = %d, want 200", got)
+	}
+	if root.Attrs["tenant"] != "anon" {
+		t.Fatalf("root tenant attr = %v, want anon", root.Attrs["tenant"])
+	}
+
+	byName := map[string][]*spanNode{}
+	facets := 0
+	walk(root, func(n *spanNode) {
+		byName[n.Name] = append(byName[n.Name], n)
+		if strings.HasPrefix(n.Name, "facet.") {
+			facets++
+		}
+	})
+	for _, name := range []string{"engine.memo", "exec.eval", "exec.reduce"} {
+		if len(byName[name]) == 0 {
+			t.Fatalf("trace has no %q span (have %v)", name, keys(byName))
+		}
+	}
+	if facets == 0 {
+		t.Fatalf("trace has no facet.* span (have %v)", keys(byName))
+	}
+	// SetBool records 0/1 in the int slot.
+	if got := attrInt(t, byName["engine.memo"][0], "hit"); got != 0 {
+		t.Fatalf("engine.memo hit attr = %d, want 0 on a cold memo", got)
+	}
+
+	red := byName["exec.reduce"][0]
+	if in, out := attrInt(t, red, "rowsIn"), attrInt(t, red, "rowsOut"); in != int64(ref.Reduce.RowsIn) || out != int64(ref.Reduce.RowsOut) {
+		t.Fatalf("exec.reduce rows = %d->%d, reference run says %d->%d", in, out, ref.Reduce.RowsIn, ref.Reduce.RowsOut)
+	}
+	if evalResp.RowsIn != ref.Reduce.RowsIn || evalResp.RowsOut != ref.Reduce.RowsOut {
+		t.Fatalf("response rows = %d->%d, reference run says %d->%d",
+			evalResp.RowsIn, evalResp.RowsOut, ref.Reduce.RowsIn, ref.Reduce.RowsOut)
+	}
+
+	steps := byName["exec.step"]
+	if len(steps) != len(ref.Reduce.Steps) {
+		t.Fatalf("trace has %d exec.step spans, reference run has %d steps", len(steps), len(ref.Reduce.Steps))
+	}
+	// Children are ordered by span id — creation order — which on the
+	// serial path is program order, so the spans line up index by index.
+	for i, sp := range steps {
+		want := ref.Reduce.Steps[i]
+		if attrInt(t, sp, "target") != int64(want.Step.Target) ||
+			attrInt(t, sp, "source") != int64(want.Step.Source) ||
+			attrInt(t, sp, "rowsIn") != int64(want.RowsIn) ||
+			attrInt(t, sp, "rowsOut") != int64(want.RowsOut) {
+			t.Fatalf("exec.step[%d] attrs %v, reference step %+v", i, sp.Attrs, want)
+		}
+	}
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestIncidentTraceCorrelation arms a panic at each instrumented layer and
+// proves the 500's incident id is stamped on the force-retained trace: the
+// /tracez entry for the failed request is findable by the id the client
+// received, whichever layer blew up.
+func TestIncidentTraceCorrelation(t *testing.T) {
+	cases := []struct {
+		name string
+		req  func(t *testing.T, url string) string // arm, request, return incident id
+	}{
+		{"server.handle", func(t *testing.T, url string) string {
+			fault.Activate(fault.ServerHandle, fault.Injection{Kind: fault.KindPanic, Panic: "handler corrupted", Count: 1})
+			resp, body := do(t, "POST", url+"/v1/analyze", schemaBody(fig1Text), nil)
+			return assertTyped(t, resp, body, 500, CodeInternal).Incident
+		}},
+		{"engine.analyze", func(t *testing.T, url string) string {
+			fault.Activate(fault.EngineAnalyze, fault.Injection{Kind: fault.KindPanic, Panic: "memo corrupted", Count: 1})
+			resp, body := do(t, "POST", url+"/v1/analyze", schemaBody(fig1Text), nil)
+			return assertTyped(t, resp, body, 500, CodeInternal).Incident
+		}},
+		{"exec.reduce.step", func(t *testing.T, url string) string {
+			fault.Activate(fault.ExecReduceStep, fault.Injection{Kind: fault.KindPanic, Panic: "kernel corrupted", After: 1, Count: 1})
+			resp, body := do(t, "POST", url+"/v1/reduce", evalBody(32), nil)
+			return assertTyped(t, resp, body, 500, CodeInternal).Incident
+		}},
+		{"exec.eval.join", func(t *testing.T, url string) string {
+			fault.Activate(fault.ExecEvalJoin, fault.Injection{Kind: fault.KindPanic, Panic: "join corrupted", Count: 1})
+			resp, body := do(t, "POST", url+"/v1/eval", evalBody(16), nil)
+			return assertTyped(t, resp, body, 500, CodeInternal).Incident
+		}},
+		{"dynamic.settle", func(t *testing.T, url string) string {
+			resp, body := do(t, "POST", url+"/v1/workspaces", "", nil)
+			if resp.StatusCode != 200 {
+				t.Fatalf("create: %d %s", resp.StatusCode, body)
+			}
+			var created struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(body, &created); err != nil {
+				t.Fatal(err)
+			}
+			wsURL := url + "/v1/workspaces/" + created.ID
+			if resp, body = do(t, "POST", wsURL+"/edges", `{"nodes":["X","Y"]}`, nil); resp.StatusCode != 200 {
+				t.Fatalf("edge: %d %s", resp.StatusCode, body)
+			}
+			fault.Activate(fault.DynamicSettle, fault.Injection{Kind: fault.KindPanic, Panic: "settle corrupted", Count: 1})
+			resp, body = do(t, "GET", wsURL, "", nil)
+			return assertTyped(t, resp, body, 500, CodeInternal).Incident
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer fault.Reset()
+			t.Cleanup(obs.Disable)
+			fault.Reset()
+			_, ts := newTestServer(t, Config{Workers: 1, Trace: true, SlowTraceThreshold: -1}, nil)
+			id := tc.req(t, ts.URL)
+			if id == "" {
+				t.Fatal("500 carried no incident id")
+			}
+			tz := getTracez(t, ts.URL)
+			found := false
+			for _, tr := range tz.Traces {
+				if tr.Root != nil && tr.Root.Attrs["incident"] == id {
+					found = true
+					if got := attrInt(t, tr.Root, "status"); got != 500 {
+						t.Fatalf("correlated trace has status %d, want 500", got)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("no retained trace carries incident %q (%d traces)", id, len(tz.Traces))
+			}
+		})
+	}
+}
+
+// TestMetricszExposition checks the always-on metrics endpoint: Prometheus
+// text format with the serving counters and the request-latency histogram.
+// Values are not asserted — the registry is process-global and other tests
+// contribute — only well-formed presence.
+func TestMetricszExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	if resp, body := do(t, "POST", ts.URL+"/v1/analyze", schemaBody(fig1Text), nil); resp.StatusCode != 200 {
+		t.Fatalf("analyze: %d %s", resp.StatusCode, body)
+	}
+	resp, body := do(t, "GET", ts.URL+"/metricsz", "", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metricsz: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q, want text/plain", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE server_requests_total counter",
+		"# TYPE server_request_seconds histogram",
+		`server_request_seconds_bucket{le="+Inf"}`,
+		"server_request_seconds_count",
+		"engine_memo_misses_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metricsz missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestStatszConsistentUnderHammer is the consistency regression for the
+// Stats snapshot: while writers drive mixed-outcome traffic, every
+// concurrent snapshot must satisfy the invariant that the outcome counters
+// never sum past Total — the old one-atomic-per-counter scheme could show
+// an outcome whose admission the reader had not yet seen. Run with -race:
+// it also hammers /statsz over HTTP against the same counters.
+func TestStatszConsistentUnderHammer(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 4, TenantRate: 1e6, TenantBurst: 1 << 20}, nil)
+
+	check := func(st Stats) {
+		sum := st.OK + st.ClientErr + st.Shed + st.QuotaDenied + st.Deadlines + st.Internal
+		if sum > st.Total {
+			t.Errorf("inconsistent snapshot: outcomes sum %d > total %d (%+v)", sum, st.Total, st)
+		}
+	}
+
+	const writers, perWriter = 8, 40
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				switch i % 3 {
+				case 0:
+					do(t, "POST", ts.URL+"/v1/analyze", schemaBody(fig1Text), nil)
+				case 1:
+					do(t, "POST", ts.URL+"/v1/analyze", "{not json", nil) // 400
+				default:
+					do(t, "POST", ts.URL+"/v1/jointree", schemaBody(fig1Text), nil)
+				}
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	readers.Add(2)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				check(s.Stats())
+			}
+		}
+	}()
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				resp, body := do(t, "GET", ts.URL+"/statsz", "", nil)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("/statsz: %d", resp.StatusCode)
+					return
+				}
+				var st Stats
+				if err := json.Unmarshal(body, &st); err != nil {
+					t.Errorf("/statsz body: %v", err)
+					return
+				}
+				check(st)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	// Quiesced, the books balance exactly: every admitted request landed in
+	// precisely one outcome bucket.
+	st := s.Stats()
+	sum := st.OK + st.ClientErr + st.Shed + st.QuotaDenied + st.Deadlines + st.Internal
+	if sum != st.Total || st.Total != writers*perWriter {
+		t.Fatalf("final books: outcomes sum %d, total %d, want both %d (%+v)", sum, st.Total, writers*perWriter, st)
+	}
+}
+
+// benchmarkServe measures one warm memoized /v1/analyze round trip through
+// the full envelope; the TraceOff/TraceOn pair is the serve-level view of
+// the instrumentation overhead recorded in BENCH_obs.json.
+func benchmarkServe(b *testing.B, cfg Config) {
+	b.Helper()
+	s := New(cfg, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer obs.Disable()
+	body := schemaBody(fig1Text)
+	post := func() {
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("analyze: %d", resp.StatusCode)
+		}
+	}
+	post() // warm the memo so the engine path is a fingerprint probe
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+}
+
+func BenchmarkServeAnalyzeTraceOff(b *testing.B) {
+	benchmarkServe(b, Config{TenantRate: 1e9, TenantBurst: 1 << 30})
+}
+
+func BenchmarkServeAnalyzeTraceOn(b *testing.B) {
+	// Default slow threshold: spans are recorded but no trace is retained —
+	// the steady-state cost of leaving tracing on.
+	benchmarkServe(b, Config{TenantRate: 1e9, TenantBurst: 1 << 30, Trace: true})
+}
+
+func BenchmarkServeAnalyzeTraceOnRetainAll(b *testing.B) {
+	// Threshold -1 retains (snapshots and tree-assembles) every trace: the
+	// worst case, every request paying the slow-query profiler too.
+	benchmarkServe(b, Config{TenantRate: 1e9, TenantBurst: 1 << 30, Trace: true, SlowTraceThreshold: -1})
+}

@@ -52,18 +52,26 @@ func RunCLI(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	maxTimeout := fs.Duration("max-timeout", 10*time.Second, "upper clamp for client-requested deadlines")
 	workers := fs.Int("workers", 0, "engine worker parallelism (0 = GOMAXPROCS)")
 	seed := fs.Uint64("digest-seed", 0, "keyed memo digest seed (0 = unkeyed)")
+	trace := fs.Bool("trace", false, "collect request spans (/tracez); metrics are always on")
+	traceSample := fs.Int("trace-sample", 1, "head-sample 1 request in N when tracing")
+	traceSlow := fs.Duration("trace-slow", 250*time.Millisecond, "retain traces at least this slow (negative: retain all)")
+	traceRing := fs.Int("trace-ring", 64, "retained slow-trace ring capacity")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	s := New(Config{
-		MaxInFlight:    *inflight,
-		TenantRate:     *rate,
-		TenantBurst:    *burst,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		Workers:        *workers,
-		DigestSeed:     *seed,
-		Logger:         log.New(stderr, "hgserved: ", log.LstdFlags),
+		MaxInFlight:        *inflight,
+		TenantRate:         *rate,
+		TenantBurst:        *burst,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		Workers:            *workers,
+		DigestSeed:         *seed,
+		Logger:             log.New(stderr, "hgserved: ", log.LstdFlags),
+		Trace:              *trace,
+		TraceSampleN:       *traceSample,
+		SlowTraceThreshold: *traceSlow,
+		TraceRingCap:       *traceRing,
 	}, nil)
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -47,6 +47,16 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// Serving metrics: the always-on /metricsz view of request traffic. The
+// full outcome breakdown lives in Stats (served by /statsz); these cover
+// the rates and latency shape operators alert on.
+var (
+	srvRequests  = obs.C("server_requests_total")
+	srvIncidents = obs.C("server_incidents_total")
+	srvLatency   = obs.H("server_request_seconds")
 )
 
 // Config sizes the robustness envelope. The zero value is usable: every
@@ -73,6 +83,24 @@ type Config struct {
 	DigestSeed uint64
 	// Logger receives panic incidents and lifecycle lines; nil discards.
 	Logger *log.Logger
+
+	// Trace turns span collection on for this process (obs.Enable). Off by
+	// default: the disabled instrumentation path costs one atomic load per
+	// call site. Metrics (/metricsz) are always on regardless.
+	Trace bool
+	// TraceSampleN head-samples 1 request in N when tracing (default 1 =
+	// every request). The decision is made at the root, so unsampled
+	// requests pay nothing downstream.
+	TraceSampleN int
+	// SlowTraceThreshold is the root duration at which the profiler retains
+	// a trace's full span tree for /tracez (default 250ms; <0 retains every
+	// sampled trace — useful in tests and CLI runs).
+	SlowTraceThreshold time.Duration
+	// TraceRingCap bounds how many slow traces /tracez retains (default 64).
+	TraceRingCap int
+	// TraceMaxSpans bounds each trace's span buffer (default 512); overflow
+	// is counted, not grown.
+	TraceMaxSpans int
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +121,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.TraceSampleN <= 0 {
+		c.TraceSampleN = 1
+	}
+	if c.SlowTraceThreshold == 0 {
+		c.SlowTraceThreshold = 250 * time.Millisecond
+	}
+	if c.TraceRingCap <= 0 {
+		c.TraceRingCap = 64
 	}
 	return c
 }
@@ -122,6 +159,9 @@ type Server struct {
 
 	gate gate // drain gate: counts in-flight, refuses when draining
 
+	tracer *obs.Tracer   // per-request root spans (nil-safe when tracing is off)
+	prof   *obs.Profiler // slow-trace retention behind /tracez
+
 	mu     sync.Mutex
 	nextWS int
 	spaces map[string]*dynamic.Workspace
@@ -129,9 +169,20 @@ type Server struct {
 	incidents atomic.Uint64
 	ring      incidentRing
 
-	total, ok2xx, clientErr        atomic.Uint64
-	shed, quotaDenied              atomic.Uint64
-	deadlines, panics, internal5xx atomic.Uint64
+	// statsMu guards the counter fields of stats as one unit, so a /statsz
+	// snapshot is internally consistent: the outcome counters never sum past
+	// Total, no matter how the reader interleaves with in-flight requests.
+	// (The previous scheme — one atomic per counter — let a reader observe a
+	// request's outcome without its admission.)
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// bump updates the counter block under its lock.
+func (s *Server) bump(f func(*Stats)) {
+	s.statsMu.Lock()
+	f(&s.stats)
+	s.statsMu.Unlock()
 }
 
 // New builds a Server from cfg (zero value: all defaults). now is the quota
@@ -145,29 +196,36 @@ func New(cfg Config, now func() time.Time) *Server {
 	if cfg.DigestSeed != 0 {
 		opts = append(opts, engine.WithKeyedDigest(cfg.DigestSeed))
 	}
+	threshold := cfg.SlowTraceThreshold
+	if threshold < 0 {
+		threshold = 0 // profiler convention: <= 0 retains every sampled trace
+	}
+	prof := obs.NewProfiler(threshold, cfg.TraceRingCap)
+	if cfg.Trace {
+		obs.Enable()
+	}
 	return &Server{
 		cfg:    cfg,
 		eng:    engine.New(opts...),
 		quota:  newQuotas(cfg.TenantRate, cfg.TenantBurst, now),
 		sem:    make(chan struct{}, cfg.MaxInFlight),
 		logger: cfg.Logger,
+		tracer: obs.NewTracer(cfg.TraceSampleN, cfg.TraceMaxSpans, prof),
+		prof:   prof,
 		spaces: make(map[string]*dynamic.Workspace),
 	}
 }
 
-// Stats returns a snapshot of the counters /statsz serves.
+// Stats returns a snapshot of the counters /statsz serves. The counter
+// block is copied under one lock, so the snapshot is consistent: OK +
+// ClientErr + Shed + QuotaDenied + Deadlines + Internal never exceeds
+// Total. InFlight is read separately (it is instantaneous, not a counter).
 func (s *Server) Stats() Stats {
-	return Stats{
-		Total:       s.total.Load(),
-		OK:          s.ok2xx.Load(),
-		ClientErr:   s.clientErr.Load(),
-		Shed:        s.shed.Load(),
-		QuotaDenied: s.quotaDenied.Load(),
-		Deadlines:   s.deadlines.Load(),
-		Panics:      s.panics.Load(),
-		Internal:    s.internal5xx.Load(),
-		InFlight:    len(s.sem),
-	}
+	s.statsMu.Lock()
+	st := s.stats
+	s.statsMu.Unlock()
+	st.InFlight = len(s.sem)
+	return st
 }
 
 // Handler returns the full route table. Method and path dispatch use the
@@ -187,6 +245,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/workspaces/{id}/query", s.guard(s.handleQuery))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	mux.HandleFunc("GET /tracez", s.handleTracez)
 	return mux
 }
 
@@ -195,6 +255,27 @@ func (s *Server) Handler() http.Handler {
 // taxonomy maps. Handlers never write to the ResponseWriter themselves, so
 // the panic recovery above them can always still produce a response.
 type handlerFunc func(r *http.Request) (any, error)
+
+// statusWriter records the first status code written so the root span can
+// carry the response status without handlers threading it around.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) status() int {
+	if sw.code == 0 {
+		return http.StatusOK
+	}
+	return sw.code
+}
 
 // guard wraps a handler in the admission/deadline/recovery envelope
 // documented on the package.
@@ -206,18 +287,48 @@ func (s *Server) guard(h handlerFunc) http.HandlerFunc {
 			return
 		}
 		defer s.gate.leave()
-		s.total.Add(1)
+		s.bump(func(st *Stats) { st.Total++ })
+		srvRequests.Inc()
+
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		w = sw
+
+		tenant := r.Header.Get("X-Tenant")
+		if tenant == "" {
+			tenant = "anon"
+		}
+
+		ctx, root := s.tracer.StartTrace(r.Context(), "server.request")
+		root.SetAttr("method", r.Method)
+		root.SetAttr("path", r.URL.Path)
+		root.SetAttr("tenant", tenant)
+		r = r.WithContext(ctx)
+
+		// Root finalization must run after the recover below (defers are
+		// LIFO), so a panic can stamp its incident id and force retention
+		// before the trace is handed to the profiler.
+		defer func() {
+			srvLatency.Observe(time.Since(start))
+			root.SetInt("status", int64(sw.status()))
+			if dl, ok := r.Context().Deadline(); ok {
+				root.SetInt("deadlineRemainingNs", int64(time.Until(dl)))
+			}
+			root.End()
+		}()
 
 		// Panic isolation: anything below — handler code, executor kernels,
 		// pool workers (the pool re-raises worker panics here) — lands in
 		// this recover, mints an incident id, and answers 500. The process
-		// survives; the incident id correlates the response with the log.
+		// survives; the incident id correlates the response with the log,
+		// and is stamped on the (force-retained) trace for /tracez.
 		defer func() {
 			if v := recover(); v != nil {
 				stack := debug.Stack()
 				id := s.mintIncident(r, fmt.Sprint(v), string(stack))
-				s.panics.Add(1)
-				s.internal5xx.Add(1)
+				s.bump(func(st *Stats) { st.Panics++; st.Internal++ })
+				root.SetAttr("incident", id)
+				root.Retain()
 				if s.logger != nil {
 					s.logger.Printf("panic %s: %v\n%s", id, v, stack)
 				}
@@ -226,12 +337,8 @@ func (s *Server) guard(h handlerFunc) http.HandlerFunc {
 			}
 		}()
 
-		tenant := r.Header.Get("X-Tenant")
-		if tenant == "" {
-			tenant = "anon"
-		}
 		if retry, ok := s.quota.allow(tenant); !ok {
-			s.quotaDenied.Add(1)
+			s.bump(func(st *Stats) { st.QuotaDenied++ })
 			w.Header().Set("Retry-After", strconv.Itoa(retry))
 			s.writeError(w, http.StatusTooManyRequests,
 				ErrorBody{Code: CodeTenantQuota, Message: "tenant " + tenant + " over quota"})
@@ -242,7 +349,7 @@ func (s *Server) guard(h handlerFunc) http.HandlerFunc {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
-			s.shed.Add(1)
+			s.bump(func(st *Stats) { st.Shed++ })
 			w.Header().Set("Retry-After", "1")
 			s.writeError(w, http.StatusTooManyRequests,
 				ErrorBody{Code: CodeOverloaded, Message: "server at capacity"})
@@ -258,6 +365,7 @@ func (s *Server) guard(h handlerFunc) http.HandlerFunc {
 				}
 			}
 		}
+		root.SetInt("deadlineMs", d.Milliseconds())
 		ctx, cancel := context.WithTimeout(r.Context(), d)
 		defer cancel()
 		r = r.WithContext(ctx)
@@ -266,7 +374,7 @@ func (s *Server) guard(h handlerFunc) http.HandlerFunc {
 		// Chaos site: after admission and deadline setup, before the
 		// endpoint — where the fault suite injects delays, errors, and
 		// panics that must surface through this envelope.
-		if err := fault.Hit(fault.ServerHandle); err != nil {
+		if err := fault.HitCtx(r.Context(), fault.ServerHandle); err != nil {
 			s.fail(w, r, err)
 			return
 		}
@@ -276,7 +384,7 @@ func (s *Server) guard(h handlerFunc) http.HandlerFunc {
 			s.fail(w, r, err)
 			return
 		}
-		s.ok2xx.Add(1)
+		s.bump(func(st *Stats) { st.OK++ })
 		s.writeJSON(w, http.StatusOK, res)
 	}
 }
@@ -285,6 +393,7 @@ func (s *Server) guard(h handlerFunc) http.HandlerFunc {
 // with its request summary and optional stack — in the bounded ring /statsz
 // serves.
 func (s *Server) mintIncident(r *http.Request, summary, stack string) string {
+	srvIncidents.Inc()
 	id := fmt.Sprintf("inc-%06d", s.incidents.Add(1))
 	s.ring.record(Incident{
 		ID:      id,
@@ -308,17 +417,19 @@ func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 		if s.logger != nil {
 			s.logger.Printf("unclassified error %s: %v", id, err)
 		}
-		s.internal5xx.Add(1)
+		s.bump(func(st *Stats) { st.Internal++ })
+		obs.FromContext(r.Context()).SetAttr("incident", id)
 		s.writeError(w, http.StatusInternalServerError,
 			ErrorBody{Code: CodeInternal, Message: "internal error", Incident: id})
 		return
 	}
 	switch {
 	case status == http.StatusRequestTimeout:
-		s.deadlines.Add(1)
+		s.bump(func(st *Stats) { st.Deadlines++ })
 	case status >= 400 && status < 500:
-		s.clientErr.Add(1)
+		s.bump(func(st *Stats) { st.ClientErr++ })
 	}
+	obs.FromContext(r.Context()).SetAttr("errCode", body.Code)
 	s.writeError(w, status, body)
 }
 
@@ -352,6 +463,28 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Stats
 		Incidents []Incident `json:"incidents"`
 	}{s.Stats(), s.ring.snapshot()})
+}
+
+// handleMetricsz serves the process-wide metrics registry in Prometheus
+// text exposition format. Bypasses admission like /healthz: scrapes must
+// not consume quota or be shed under load.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default.WritePrometheus(w)
+}
+
+// handleTracez serves the slow-trace ring: full span trees of retained
+// traces, newest first, plus the profiler's seen/retained counters.
+// Bypasses admission.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	seen, retained := s.prof.Stats()
+	s.writeJSON(w, http.StatusOK, struct {
+		Enabled   bool             `json:"enabled"`
+		Seen      uint64           `json:"seen"`
+		Retained  uint64           `json:"retained"`
+		Threshold string           `json:"threshold"`
+		Traces    []*obs.TraceJSON `json:"traces"`
+	}{obs.Enabled(), seen, retained, s.prof.Threshold().String(), s.prof.Snapshot()})
 }
 
 // Drain flips the server into draining mode — new requests answer 503, the

@@ -21,15 +21,16 @@ var updateExports = flag.Bool("update", false, "rewrite testdata/api_exports.gol
 // root facade plus the session (internal/analysis), batch (internal/engine),
 // dynamic (internal/dynamic), execution (internal/exec), and spectrum
 // (internal/spectrum) layers whose
-// types reach users through aliases, and the serving layer (internal/server)
-// whose exported surface is the wire contract — against
+// types reach users through aliases, the serving layer (internal/server)
+// whose exported surface is the wire contract, and the durability layer
+// (internal/store) whose exported surface is the on-disk contract — against
 // a golden snapshot, so signature changes can't slip through a PR silently.
 // Regenerate intentionally with:
 //
 //	go test -run TestPublicAPIExports -update .
 func TestPublicAPIExports(t *testing.T) {
 	var b strings.Builder
-	for _, dir := range []string{".", "internal/analysis", "internal/dynamic", "internal/engine", "internal/exec", "internal/server", "internal/spectrum"} {
+	for _, dir := range []string{".", "internal/analysis", "internal/dynamic", "internal/engine", "internal/exec", "internal/server", "internal/spectrum", "internal/store"} {
 		decls := exportedDecls(t, dir)
 		sort.Strings(decls)
 		fmt.Fprintf(&b, "## %s\n\n", dir)

@@ -10,10 +10,20 @@
 //	hgserved [-addr host:port] [-grace 5s] [-inflight 64]
 //	         [-rate 50] [-burst 25] [-timeout 2s] [-max-timeout 10s]
 //	         [-workers N] [-digest-seed S]
+//	         [-data dir] [-snap-every N] [-data-sync] [-resp-cache N]
+//
+// With -data, workspace sessions are durable: every acknowledged edit is
+// journaled to a per-session WAL under the directory before it takes
+// effect, sessions found there are recovered on boot, and shutdown flushes
+// a final snapshot per dirty session. -snap-every tunes how many WAL
+// records trigger a background compaction, -data-sync fsyncs the WAL on
+// every edit (power-failure durability at a latency cost), and -resp-cache
+// sizes the epoch-keyed response cache for workspace query bodies. Inspect
+// session directories offline with `hgtool ws`.
 //
 // The process exits on SIGINT/SIGTERM after draining in-flight requests
 // inside the -grace window. Endpoint and error-body documentation lives on
-// repro's package docs ("Serving") and internal/server.
+// repro's package docs ("Serving" and "Durability") and internal/server.
 package main
 
 import (

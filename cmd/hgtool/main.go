@@ -19,6 +19,7 @@
 //	hgtool eval     [-f file] -d dir -x A,B [-par N] [-trace]   Yannakakis evaluation over CSV data
 //	hgtool edit     [-f file] [-s script] mutable-workspace session applying an edit script
 //	hgtool serve    [-addr host:port] ...  the hgserved HTTP/JSON analysis server
+//	hgtool ws       [-json] [-log] dir...  inspect durable session directories offline
 //
 // Without -f, the hypergraph is read from standard input (except for edit,
 // where -f optionally seeds the workspace and the script comes from -s or
@@ -49,6 +50,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -63,9 +65,11 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/dynamic"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -80,6 +84,14 @@ func main() {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		if err := server.RunCLI(ctx, os.Args[2:], os.Stdout, os.Stderr); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if cmd == "ws" {
+		// ws inspects durable session directories offline; it owns its flags
+		// because it takes directories, not hypergraph input.
+		if err := wsCmd(os.Stdout, os.Args[2:]); err != nil {
 			fatal(err)
 		}
 		return
@@ -150,7 +162,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hgtool {analyze|classify|reduce|tableau|cc|jointree|witness|dot|eval|edit|serve} [-f file] [-x A,B] [-d dir] [-s script]")
+	fmt.Fprintln(os.Stderr, "usage: hgtool {analyze|classify|reduce|tableau|cc|jointree|witness|dot|eval|edit|serve|ws} [-f file] [-x A,B] [-d dir] [-s script]")
 }
 
 func fatal(err error) {
@@ -562,6 +574,92 @@ func editLine(w io.Writer, ws *repro.Workspace, raw string) error {
 		return fmt.Errorf("unknown command %q (add|remove|rename|analyze|jointree|snapshot)", cmd)
 	}
 	return nil
+}
+
+// wsCmd is the offline inspector for durable workspace sessions (the
+// directories a `-data` server writes): recover each given session directory
+// read-only — snapshot restore with digest cross-check, WAL tail replay —
+// and report what a booting server would see. A directory holding a data
+// root (session subdirectories) is expanded. -log additionally dumps the
+// WAL records; -json emits machine-readable reports. A torn tail is
+// reported, never repaired: inspection must not mutate evidence.
+func wsCmd(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("ws", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit one JSON report per session")
+	showLog := fs.Bool("log", false, "dump the WAL records after the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("ws requires session or data directories (hgtool ws [-json] [-log] dir...)")
+	}
+	var dirs []string
+	for _, arg := range fs.Args() {
+		// A data root expands to its session subdirectories; a session
+		// directory (holding a WAL or snapshot itself) is taken as-is.
+		if ids, err := store.ListSessions(arg); err == nil && len(ids) > 0 {
+			for _, id := range ids {
+				dirs = append(dirs, filepath.Join(arg, id))
+			}
+			continue
+		}
+		dirs = append(dirs, arg)
+	}
+	var firstErr error
+	for _, dir := range dirs {
+		info, err := store.Verify(dir)
+		if err == nil && info.SnapshotEpoch == 0 && info.TailRecords == 0 && !info.TornTail {
+			// Verify recovers "no files" as an empty session; for an
+			// inspector, a directory with no session is an error.
+			if _, serr := os.Stat(filepath.Join(dir, store.WALFile)); serr != nil {
+				if _, serr = os.Stat(filepath.Join(dir, store.SnapshotFile)); serr != nil {
+					err = fmt.Errorf("%s holds no session (no %s or %s)", dir, store.WALFile, store.SnapshotFile)
+				}
+			}
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			fmt.Fprintf(os.Stderr, "hgtool ws: %s: %v\n", dir, err)
+			continue
+		}
+		if *asJSON {
+			b, _ := json.MarshalIndent(info, "", "  ")
+			fmt.Fprintln(w, string(b))
+		} else {
+			fmt.Fprintf(w, "%s:\n", info.Dir)
+			fmt.Fprintf(w, "  epoch %d (snapshot %d + %d WAL records)\n", info.Epoch, info.SnapshotEpoch, info.TailRecords)
+			fmt.Fprintf(w, "  %d edges, %d nodes, %d components, acyclic=%v\n", info.Edges, info.Nodes, info.Components, info.Acyclic)
+			fmt.Fprintf(w, "  digest %s\n", info.Digest)
+			if info.TornTail {
+				fmt.Fprintln(w, "  torn tail: the WAL ends mid-frame (a crashed write); the next Open truncates it")
+			}
+		}
+		if *showLog {
+			torn, err := store.ScanWAL(filepath.Join(dir, store.WALFile), func(rec dynamic.JournalRecord) error {
+				switch rec.Op {
+				case dynamic.JournalAddEdge:
+					fmt.Fprintf(w, "  %6d  add edge %d {%s}\n", rec.Epoch, rec.Edge, strings.Join(rec.Nodes, " "))
+				case dynamic.JournalRemoveEdge:
+					fmt.Fprintf(w, "  %6d  remove edge %d\n", rec.Epoch, rec.Edge)
+				case dynamic.JournalRenameNode:
+					fmt.Fprintf(w, "  %6d  rename %s -> %s\n", rec.Epoch, rec.Old, rec.New)
+				}
+				return nil
+			})
+			if err != nil && !errors.Is(err, os.ErrNotExist) {
+				if firstErr == nil {
+					firstErr = err
+				}
+				fmt.Fprintf(os.Stderr, "hgtool ws: %s: %v\n", dir, err)
+			}
+			if torn {
+				fmt.Fprintln(w, "  (log ends in a torn frame)")
+			}
+		}
+	}
+	return firstErr
 }
 
 func witnessCmd(w io.Writer, h *repro.Hypergraph) error {

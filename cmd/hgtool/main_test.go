@@ -1,12 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro"
+	"repro/internal/store"
 )
 
 func fig1() *repro.Hypergraph { return repro.Fig1() }
@@ -289,5 +291,70 @@ func TestEditOutput(t *testing.T) {
 	}
 	if err := editLine(&b, ws, "frobnicate"); err == nil {
 		t.Error("unknown command must fail")
+	}
+}
+
+func TestWsOutput(t *testing.T) {
+	// Build a data root with one durable session the way a -data server
+	// would: journaled edits, a compaction, then a fresh tail record.
+	dataDir := t.TempDir()
+	dir := filepath.Join(dataDir, "ws-1")
+	sess, ws, err := store.Create(dir, store.Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][]string{{"A", "B", "C"}, {"C", "D", "E"}, {"A", "E", "F"}} {
+		if _, err := ws.AddEdge(e...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.AddEdge("A", "C", "E"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.RenameNode("F", "G"); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+
+	// The summary recovers the session read-only; -log dumps the WAL tail.
+	var b strings.Builder
+	if err := wsCmd(&b, []string{"-log", dataDir}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"epoch 5 (snapshot 3 + 2 WAL records)",
+		"4 edges, 6 nodes, 1 components, acyclic=true",
+		"digest ",
+		"add edge 3 {A C E}",
+		"rename F -> G",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ws output missing %q:\n%s", want, out)
+		}
+	}
+
+	// -json emits the machine-readable Info.
+	b.Reset()
+	if err := wsCmd(&b, []string{"-json", dir}); err != nil {
+		t.Fatal(err)
+	}
+	var info store.Info
+	if err := json.Unmarshal([]byte(b.String()), &info); err != nil {
+		t.Fatalf("ws -json is not valid JSON: %v\n%s", err, b.String())
+	}
+	if info.Epoch != 5 || info.Edges != 4 || !info.Acyclic || info.TornTail {
+		t.Errorf("ws -json: %+v", info)
+	}
+
+	// A missing directory reports an error instead of succeeding silently.
+	if err := wsCmd(&b, []string{filepath.Join(dataDir, "nope")}); err == nil {
+		t.Error("ws on a missing directory must fail")
+	}
+	if err := wsCmd(&b, nil); err == nil {
+		t.Error("ws with no directories must fail")
 	}
 }

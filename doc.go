@@ -301,10 +301,63 @@
 //
 // internal/fault is the deterministic fault-injection harness behind the
 // server's chaos suite: named sites in the engine, exec kernels, workspace
-// settling, and the worker pool can be armed with delays, errors, panics,
-// or pool starvation (with hit-count windows), and the tests prove the
-// server degrades — sheds, times out, answers typed errors — instead of
-// crashing or leaking goroutines.
+// settling, the worker pool, and the durability layer (store.append,
+// store.snapshot, store.recover — including torn writes) can be armed with
+// delays, errors, panics, or pool starvation (with hit-count windows), and
+// the tests prove the server degrades — sheds, times out, answers typed
+// errors — instead of crashing or leaking goroutines.
+//
+// # Durability
+//
+// With -data (server.Config.DataDir), workspace sessions survive process
+// restarts and crashes. internal/store gives each session a directory under
+// the data root holding two files:
+//
+//	wal.hgl       the edit log: one length-prefixed, CRC-32C-checksummed,
+//	              epoch-stamped record per acknowledged edit
+//	snapshot.hgs  a canonical dump of the workspace state at some epoch,
+//	              carrying a content digest that is cross-checked on load
+//
+// The write path is journal-before-apply: an edit is validated, appended to
+// the WAL, and only then applied in memory — an append failure aborts the
+// edit with zero side effects, so the log never trails the acknowledged
+// state and the state never trails the log. Once a session accumulates
+// enough log records (-snap-every, default 4096), a background compaction
+// cuts a fresh snapshot and rewrites the WAL to hold only newer records;
+// both file updates are atomic (write-temp, fsync, rename), and a crash
+// between them leaves stale-but-skippable records, not corruption. By
+// default appends are completed syscalls but not fsynced — acknowledged
+// edits survive a process crash; -data-sync extends that to power failures
+// at a per-edit latency cost (BENCH_store.json records both, plus
+// compaction and cold-recovery times at 10^5 edits).
+//
+// Recovery (on boot, per session directory) restores the snapshot, replays
+// the WAL tail in epoch order, and truncates a torn tail — a half-written
+// final record from a crash mid-append, detected by length or checksum.
+// The recovered workspace is observationally identical to the crashed one
+// up to its last acknowledged edit: epoch, per-component fingerprints, and
+// verdict, a property the store's differential harness checks across
+// thousands of randomized edit scripts (with and without torn tails). A
+// session that fails recovery is logged and skipped, never deleted;
+// `hgtool ws [-json] [-log] dir` inspects session directories offline
+// (read-only — a torn tail is reported, not repaired).
+//
+// Two serving features ride the same epoch machinery:
+//
+//	GET /v1/ws/{id}/watch?after=N       long-poll: parks until the epoch
+//	                                    exceeds N (default: current), answers
+//	                                    {"changed": bool, "epoch": M}; the
+//	                                    deadline answers changed=false, so
+//	                                    pollers re-arm on any 200
+//	POST .../query response cache       jointree/fullreducer/classification
+//	                                    bodies are cached under id@epoch:op
+//	                                    keys (-resp-cache, default 256
+//	                                    entries); edits move the epoch, so
+//	                                    hits can never serve stale state
+//
+// Shutdown flushes a final snapshot per dirty session (Drain reports
+// per-session outcomes); store_* and server_respcache_* metrics are on
+// /metricsz.
 //
 // # Observability
 //

@@ -1,0 +1,310 @@
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// recJournal records every accepted append; failNext aborts the next one.
+type recJournal struct {
+	recs     []JournalRecord
+	failNext error
+}
+
+func (j *recJournal) Append(rec JournalRecord) error {
+	if j.failNext != nil {
+		err := j.failNext
+		j.failNext = nil
+		return err
+	}
+	j.recs = append(j.recs, rec)
+	return nil
+}
+
+func TestJournalReceivesEditsBeforeApply(t *testing.T) {
+	j := &recJournal{}
+	ws := New()
+	ws.SetJournal(j)
+
+	e0, err := ws.AddEdge("b", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := ws.AddEdge("b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.RenameNode("c", "z"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.RemoveEdge(e0); err != nil {
+		t.Fatal(err)
+	}
+	want := []JournalRecord{
+		{Op: JournalAddEdge, Epoch: 1, Edge: e0, Nodes: []string{"a", "b"}},
+		{Op: JournalAddEdge, Epoch: 2, Edge: e1, Nodes: []string{"b", "c"}},
+		{Op: JournalRenameNode, Epoch: 3, Old: "c", New: "z"},
+		{Op: JournalRemoveEdge, Epoch: 4, Edge: e0},
+	}
+	if !reflect.DeepEqual(j.recs, want) {
+		t.Fatalf("journal saw %+v\nwant %+v", j.recs, want)
+	}
+	// Failed edits must not be journaled: a rename onto a taken name errors
+	// out before the journal sees anything.
+	var exists *ErrNodeExists
+	if err := ws.RenameNode("b", "z"); !errors.As(err, &exists) {
+		t.Fatalf("rename onto taken name: %v", err)
+	}
+	if len(j.recs) != len(want) {
+		t.Fatalf("failed edit reached the journal: %+v", j.recs[len(want):])
+	}
+}
+
+// A journal error must abort the edit with zero side effects: same epoch,
+// same state, and — the subtle one — no names interned by the aborted
+// AddEdge (a leaked intern would change RenameNode's ErrNodeExists
+// semantics and leak index entries).
+func TestJournalErrorAbortsEditUntouched(t *testing.T) {
+	j := &recJournal{}
+	ws := New()
+	ws.SetJournal(j)
+	if _, err := ws.AddEdge("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("disk full")
+	epoch := ws.Epoch()
+
+	j.failNext = boom
+	if _, err := ws.AddEdge("b", "fresh"); !errors.Is(err, boom) {
+		t.Fatalf("AddEdge under journal failure: %v", err)
+	}
+	if ws.Epoch() != epoch {
+		t.Fatalf("aborted AddEdge bumped the epoch: %d -> %d", epoch, ws.Epoch())
+	}
+	if ws.NumEdges() != 1 || ws.NumNodes() != 2 {
+		t.Fatalf("aborted AddEdge mutated state: %d edges, %d nodes", ws.NumEdges(), ws.NumNodes())
+	}
+	// "fresh" must not have been interned: renaming onto it is legal.
+	if err := ws.RenameNode("a", "fresh"); err != nil {
+		t.Fatalf("aborted AddEdge leaked an interned name: %v", err)
+	}
+	if err := ws.RenameNode("fresh", "a"); err != nil {
+		t.Fatal(err)
+	}
+	epoch = ws.Epoch() // the two probe renames above were real edits
+
+	j.failNext = boom
+	ids := ws.EdgeIDs()
+	if err := ws.RemoveEdge(ids[0]); !errors.Is(err, boom) {
+		t.Fatalf("RemoveEdge under journal failure: %v", err)
+	}
+	if ws.NumEdges() != 1 || ws.Epoch() != epoch {
+		t.Fatal("aborted RemoveEdge mutated state")
+	}
+
+	j.failNext = boom
+	if err := ws.RenameNode("a", "q"); !errors.Is(err, boom) {
+		t.Fatalf("RenameNode under journal failure: %v", err)
+	}
+	if _, err := ws.EdgeNodes(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := ws.EdgeNodes(ids[0]); !reflect.DeepEqual(names, []string{"a", "b"}) {
+		t.Fatalf("aborted RenameNode mutated names: %v", names)
+	}
+
+	// After the aborts, edits proceed normally and ids pick up where the
+	// acknowledged history left off.
+	id, err := ws.AddEdge("b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Epoch() != epoch+1 {
+		t.Fatalf("epoch after recovery edit: %d, want %d", ws.Epoch(), epoch+1)
+	}
+	last := j.recs[len(j.recs)-1]
+	if last.Op != JournalAddEdge || last.Edge != id || last.Epoch != epoch+1 {
+		t.Fatalf("recovery edit journaled as %+v", last)
+	}
+}
+
+// randomScript drives n random edits, returning the live edge ids.
+func randomScript(t *testing.T, ws *Workspace, rng *rand.Rand, n int) []int {
+	t.Helper()
+	var live []int
+	for i := 0; i < n; i++ {
+		switch op := rng.Intn(10); {
+		case op < 6 || len(live) == 0:
+			k := 1 + rng.Intn(3)
+			names := make([]string, k)
+			for j := range names {
+				names[j] = fmt.Sprintf("n%d", rng.Intn(30))
+			}
+			id, err := ws.AddEdge(names...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, id)
+		case op < 9:
+			i := rng.Intn(len(live))
+			if err := ws.RemoveEdge(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		default:
+			old := fmt.Sprintf("n%d", rng.Intn(30))
+			err := ws.RenameNode(old, old+"x")
+			if err == nil {
+				_ = ws.RenameNode(old+"x", old) // keep the name universe stable
+			}
+		}
+	}
+	return live
+}
+
+// assertEquivalent checks that two workspaces are observationally identical.
+func assertEquivalent(t *testing.T, got, want *Workspace) {
+	t.Helper()
+	if got.Epoch() != want.Epoch() {
+		t.Fatalf("epoch %d, want %d", got.Epoch(), want.Epoch())
+	}
+	if !reflect.DeepEqual(got.EdgeIDs(), want.EdgeIDs()) {
+		t.Fatalf("edge ids %v, want %v", got.EdgeIDs(), want.EdgeIDs())
+	}
+	for _, id := range want.EdgeIDs() {
+		g, err1 := got.EdgeNodes(id)
+		w, err2 := want.EdgeNodes(id)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("EdgeNodes(%d): %v / %v", id, err1, err2)
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("edge %d nodes %v, want %v", id, g, w)
+		}
+	}
+	if got.ContentDigest() != want.ContentDigest() {
+		t.Fatal("content digests differ")
+	}
+	if !reflect.DeepEqual(got.ComponentDigests(), want.ComponentDigests()) {
+		t.Fatal("component digests differ")
+	}
+	ga, wa := got.Analysis(), want.Analysis()
+	if ga.Verdict() != wa.Verdict() {
+		t.Fatalf("verdict %v, want %v", ga.Verdict(), wa.Verdict())
+	}
+}
+
+func TestExportRestoreEquivalence(t *testing.T) {
+	eng := engine.New()
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ws := New(WithEngine(eng))
+		randomScript(t, ws, rng, 80)
+
+		re, err := RestoreWorkspace(ws.ExportState(), WithEngine(eng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEquivalent(t, re, ws)
+
+		// The restored workspace must issue the same ids for the same
+		// future edits — the allocator's free list came back in order.
+		rng2 := rand.New(rand.NewSource(seed + 1000))
+		rng3 := rand.New(rand.NewSource(seed + 1000))
+		randomScript(t, ws, rng2, 40)
+		randomScript(t, re, rng3, 40)
+		assertEquivalent(t, re, ws)
+	}
+}
+
+func TestRestoreRejectsMalformedState(t *testing.T) {
+	cases := []struct {
+		name string
+		st   *State
+	}{
+		{"alive slot without nodes", &State{Slots: []EdgeState{{Alive: true}}}},
+		{"empty node name", &State{Slots: []EdgeState{{Alive: true, Nodes: []string{""}}}}},
+		{"free list too short", &State{Slots: []EdgeState{{Gen: 1}}}},
+		{"free list names alive slot", &State{
+			Slots:     []EdgeState{{Alive: true, Nodes: []string{"a"}}, {Gen: 1}},
+			FreeEdges: []int32{0},
+		}},
+		{"free list duplicate", &State{
+			Slots:     []EdgeState{{Gen: 1}, {Gen: 2}},
+			FreeEdges: []int32{0, 0},
+		}},
+		{"free list out of range", &State{
+			Slots:     []EdgeState{{Gen: 1}},
+			FreeEdges: []int32{7},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := RestoreWorkspace(tc.st); err == nil {
+			t.Errorf("%s: restore accepted a malformed state", tc.name)
+		}
+	}
+}
+
+func TestEpochChanged(t *testing.T) {
+	ws := New()
+	// Already past: closed immediately.
+	select {
+	case <-ws.EpochChanged(0):
+		t.Fatal("epoch 0 not past 0, channel should block")
+	default:
+	}
+	if _, err := ws.AddEdge("a"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ws.EpochChanged(0):
+	default:
+		t.Fatal("epoch 1 > 0, channel should be closed")
+	}
+
+	// Blocks until the next edit; multiple subscribers share the close.
+	ch1 := ws.EpochChanged(1)
+	ch2 := ws.EpochChanged(1)
+	select {
+	case <-ch1:
+		t.Fatal("no edit yet, channel should block")
+	default:
+	}
+	done := make(chan struct{})
+	go func() {
+		<-ch1
+		<-ch2
+		close(done)
+	}()
+	if _, err := ws.AddEdge("b"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("EpochChanged subscribers not woken by edit")
+	}
+}
+
+func TestEpochChangedNotWokenByAbortedEdit(t *testing.T) {
+	j := &recJournal{}
+	ws := New()
+	ws.SetJournal(j)
+	ch := ws.EpochChanged(0)
+	j.failNext = errors.New("nope")
+	if _, err := ws.AddEdge("a"); err == nil {
+		t.Fatal("expected journal failure")
+	}
+	select {
+	case <-ch:
+		t.Fatal("aborted edit woke the watch channel")
+	default:
+	}
+}

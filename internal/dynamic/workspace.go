@@ -83,6 +83,12 @@ type Workspace struct {
 	eng  *engine.Engine // optional component-granular memo
 	pool *pool.Pool     // parallel settle + exec (nil: serial)
 
+	// journal, when attached (SetJournal), receives every edit before it is
+	// applied; an append error aborts the edit unacknowledged. watch is the
+	// current epoch's change channel (EpochChanged), closed by bump.
+	journal Journal
+	watch   chan struct{}
+
 	// Per-epoch caches, reset by every edit.
 	cur     *Analysis
 	snap    *hypergraph.Hypergraph
@@ -267,6 +273,18 @@ func (ws *Workspace) AddEdge(nodes ...string) (int, error) {
 			return 0, errors.New("repro: empty node name")
 		}
 	}
+	// Journal before apply: the record carries the id the allocator will
+	// issue (predicted without mutating it — nothing, interning included,
+	// may happen before the journal accepts the edit, so an append error
+	// leaves the workspace byte-identical to before the call).
+	if err := ws.journalAppend(JournalRecord{
+		Op:    JournalAddEdge,
+		Epoch: ws.epoch.Load() + 1,
+		Edge:  ws.peekEdgeID(),
+		Nodes: sorted,
+	}); err != nil {
+		return 0, err
+	}
 	ids := make([]int32, len(sorted))
 	for i, n := range sorted {
 		ids[i] = int32(ws.intern(n))
@@ -334,6 +352,13 @@ func (ws *Workspace) RemoveEdge(id int) error {
 	if !ok {
 		return &ErrUnknownEdge{ID: id}
 	}
+	if err := ws.journalAppend(JournalRecord{
+		Op:    JournalRemoveEdge,
+		Epoch: ws.epoch.Load() + 1,
+		Edge:  id,
+	}); err != nil {
+		return err
+	}
 	w := &ws.edges[slot]
 	cid := w.comp
 	c := ws.comps[cid]
@@ -383,6 +408,14 @@ func (ws *Workspace) RenameNode(oldName, newName string) error {
 	}
 	if _, taken := ws.index[newName]; taken {
 		return &ErrNodeExists{Name: newName}
+	}
+	if err := ws.journalAppend(JournalRecord{
+		Op:    JournalRenameNode,
+		Epoch: ws.epoch.Load() + 1,
+		Old:   oldName,
+		New:   newName,
+	}); err != nil {
+		return err
 	}
 	ws.names[id] = newName
 	delete(ws.index, oldName)
@@ -455,13 +488,18 @@ func (ws *Workspace) AnalysisCtx(ctx context.Context) (*Analysis, error) {
 
 // --- internals (callers hold ws.mu) ---
 
-// bump advances the epoch and invalidates the per-epoch caches.
+// bump advances the epoch, invalidates the per-epoch caches, and wakes
+// every EpochChanged subscriber.
 func (ws *Workspace) bump() {
 	ws.epoch.Add(1)
 	ws.cur = nil
 	ws.snap = nil
 	ws.snapIDs = nil
 	ws.snapPos = nil
+	if ws.watch != nil {
+		close(ws.watch)
+		ws.watch = nil
+	}
 }
 
 // intern resolves a name to a node id, recycling a departed node's id when

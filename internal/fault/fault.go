@@ -25,6 +25,7 @@ package fault
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +67,20 @@ const (
 	// ServerHandle sits at the head of every server endpoint handler, after
 	// admission and deadline setup. Honors: KindDelay, KindError, KindPanic.
 	ServerHandle = "server.handle"
+	// StoreAppend sits in store.(*Session).Append, before the WAL frame is
+	// written — inside the workspace edit, so a firing injection must abort
+	// the edit without acknowledging it.
+	// Honors: KindDelay, KindError, KindPanic, KindTorn (the session writes
+	// a partial frame, then runs its crash-repair path).
+	StoreAppend = "store.append"
+	// StoreSnapshot sits at the head of store.(*Session).Compact, guarding
+	// the snapshot write and WAL rewrite.
+	// Honors: KindDelay, KindError, KindPanic, KindTorn (a partial snapshot
+	// temp file is left behind; the live snapshot must stay untouched).
+	StoreSnapshot = "store.snapshot"
+	// StoreRecover sits at the head of store.Open and store.Verify, before
+	// any session file is read. Honors: KindDelay, KindError, KindPanic.
+	StoreRecover = "store.recover"
 )
 
 // Kind selects what an armed Injection does when it fires.
@@ -80,7 +95,17 @@ const (
 	KindPanic
 	// KindStarve makes pool.TryAcquire-style sites refuse.
 	KindStarve
+	// KindTorn makes write-capable sites return ErrTorn after emitting a
+	// deliberately partial write — the simulation of a crash mid-write. At
+	// sites with nothing to tear it degrades to a plain injected error.
+	KindTorn
 )
+
+// ErrTorn is the error KindTorn injections return from Hit/HitCtx.
+// Torn-capable sites (store.append, store.snapshot) recognize it and write
+// a partial frame before failing, so recovery code faces exactly the bytes
+// a real mid-write crash would leave behind.
+var ErrTorn = errors.New("fault: injected torn write")
 
 // Injection is one armed fault. The trigger is deterministic by hit count:
 // the site's first After hits pass through untouched, the next Count hits
@@ -187,6 +212,8 @@ func kindName(k Kind) string {
 		return "panic"
 	case KindStarve:
 		return "starve"
+	case KindTorn:
+		return "torn"
 	}
 	return "unknown"
 }
@@ -223,6 +250,8 @@ func HitCtx(ctx context.Context, name string) error {
 		panic("fault: injected panic at " + name + ": " + inj.Panic)
 	case KindError:
 		return inj.Err
+	case KindTorn:
+		return ErrTorn
 	}
 	return nil
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 
 	"repro/internal/acyclic"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/jointree"
 	"repro/internal/relation"
 	"repro/internal/spectrum"
+	"repro/internal/store"
 )
 
 // Request and response shapes. Schemas travel as the library's text format
@@ -255,26 +258,63 @@ func (s *Server) handleWorkspaceCreate(r *http.Request) (any, error) {
 	if err := decode(r, &req); err != nil && !errors.Is(err, io.EOF) {
 		return nil, err
 	}
-	opts := []dynamic.Option{dynamic.WithEngine(s.eng), dynamic.WithParallelism(s.cfg.Workers)}
-	var ws *dynamic.Workspace
+	var seed *hypergraph.Hypergraph
 	if req.Schema != "" {
 		h, err := parseSchema(req.Schema)
 		if err != nil {
 			return nil, err
 		}
-		ws, err = dynamic.NewFrom(h, opts...)
-		if err != nil {
-			return nil, &errBadRequest{err: err}
-		}
-	} else {
-		ws = dynamic.New(opts...)
+		seed = h
 	}
+
+	// Reserve the id first: durable sessions need it for their directory.
 	s.mu.Lock()
 	s.nextWS++
 	id := fmt.Sprintf("ws-%d", s.nextWS)
+	s.mu.Unlock()
+
+	var ws *dynamic.Workspace
+	var sess *store.Session
+	if s.cfg.DataDir != "" {
+		var err error
+		sess, ws, err = store.Create(filepath.Join(s.cfg.DataDir, id), s.storeOptions(), s.wsOptions()...)
+		if err != nil {
+			return nil, fmt.Errorf("create session %s: %w", id, err)
+		}
+	} else {
+		ws = dynamic.New(s.wsOptions()...)
+	}
+	if seed != nil {
+		// Seed edges ride the normal edit path so durable sessions journal
+		// them; an in-memory NewFrom would bypass the WAL.
+		if err := seedWorkspace(ws, seed); err != nil {
+			if sess != nil {
+				sess.Close()
+				os.RemoveAll(sess.Dir())
+			}
+			return nil, &errBadRequest{err: err}
+		}
+	}
+
+	s.mu.Lock()
 	s.spaces[id] = ws
+	if sess != nil {
+		s.sessions[id] = sess
+	}
 	s.mu.Unlock()
 	return map[string]any{"id": id, "epoch": ws.Epoch()}, nil
+}
+
+// seedWorkspace replays a parsed schema into a fresh workspace edge by edge.
+func seedWorkspace(ws *dynamic.Workspace, h *hypergraph.Hypergraph) error {
+	for i := 0; i < h.NumEdges(); i++ {
+		var names []string
+		h.EdgeView(i).ForEach(func(id int) { names = append(names, h.NodeName(id)) })
+		if _, err := ws.AddEdge(names...); err != nil {
+			return fmt.Errorf("seed edge %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 func (s *Server) workspace(r *http.Request) (*dynamic.Workspace, error) {
@@ -373,6 +413,19 @@ type queryRequest struct {
 	Epoch *uint64 `json:"epoch,omitempty"`
 }
 
+// cacheableOp reports whether a query op's JSON body may be served from the
+// epoch-keyed response cache: ops whose body is a pure function of the
+// workspace state at one epoch and costs real marshalling work. "verdict"
+// is a two-field body (cheaper to build than to look up); "snapshot" bodies
+// can be arbitrarily large relative to their hit rate.
+func cacheableOp(op string) bool {
+	switch op {
+	case "jointree", "fullreducer", "classification":
+		return true
+	}
+	return false
+}
+
 func (s *Server) handleQuery(r *http.Request) (any, error) {
 	ws, err := s.workspace(r)
 	if err != nil {
@@ -389,7 +442,34 @@ func (s *Server) handleQuery(r *http.Request) (any, error) {
 	if req.Epoch != nil && *req.Epoch != a.Epoch() {
 		return nil, &dynamic.ErrStaleEpoch{Handle: *req.Epoch, Current: a.Epoch()}
 	}
-	switch req.Op {
+
+	// Epoch-keyed body cache: the key pins the workspace id, the epoch the
+	// analysis handle answered at, and the op — an edit bumps the epoch, so
+	// a hit can never serve stale state.
+	var cacheKey string
+	if s.respCache != nil && cacheableOp(req.Op) {
+		cacheKey = fmt.Sprintf("%s@%d:%s", r.PathValue("id"), a.Epoch(), req.Op)
+		if body, ok := s.respCache.get(cacheKey); ok {
+			return body, nil
+		}
+	}
+
+	res, err := s.queryBody(r, a, req.Op)
+	if err != nil || cacheKey == "" {
+		return res, err
+	}
+	body, merr := json.Marshal(res)
+	if merr != nil {
+		return res, nil // uncacheable body; serve it anyway
+	}
+	s.respCache.put(cacheKey, body)
+	return json.RawMessage(body), nil
+}
+
+// queryBody builds the response body for one query op against a settled
+// analysis handle.
+func (s *Server) queryBody(r *http.Request, a *dynamic.Analysis, op string) (any, error) {
+	switch op {
 	case "verdict":
 		return map[string]any{"epoch": a.Epoch(), "acyclic": a.Verdict()}, nil
 	case "jointree":
@@ -427,7 +507,34 @@ func (s *Server) handleQuery(r *http.Request) (any, error) {
 		}
 		return map[string]any{"epoch": a.Epoch(), "edges": edges}, nil
 	}
-	return nil, &errBadRequest{err: fmt.Errorf("unknown op %q", req.Op)}
+	return nil, &errBadRequest{err: fmt.Errorf("unknown op %q", op)}
+}
+
+// handleWatch is the epoch long-poll: GET /v1/ws/{id}/watch?after=N parks
+// until the workspace's epoch exceeds N (default: its epoch at arrival) or
+// the request deadline expires. Both outcomes are 200s — a timeout answers
+// {"changed": false} so pollers distinguish "nothing happened" from errors
+// and immediately re-arm with the same cursor.
+func (s *Server) handleWatch(r *http.Request) (any, error) {
+	ws, err := s.workspace(r)
+	if err != nil {
+		return nil, err
+	}
+	after := ws.Epoch()
+	if q := r.URL.Query().Get("after"); q != "" {
+		n, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			return nil, &errBadRequest{err: fmt.Errorf("after=%q is not an epoch", q)}
+		}
+		after = n
+	}
+	select {
+	case <-ws.EpochChanged(after):
+		return map[string]any{"changed": true, "epoch": ws.Epoch()}, nil
+	case <-r.Context().Done():
+		// Deadline expiry is the long-poll's normal idle outcome, not a 408.
+		return map[string]any{"changed": false, "epoch": ws.Epoch()}, nil
+	}
 }
 
 func stepsJSON(prog []jointree.SemijoinStep) []stepJSON {

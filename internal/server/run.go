@@ -56,6 +56,10 @@ func RunCLI(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	traceSample := fs.Int("trace-sample", 1, "head-sample 1 request in N when tracing")
 	traceSlow := fs.Duration("trace-slow", 250*time.Millisecond, "retain traces at least this slow (negative: retain all)")
 	traceRing := fs.Int("trace-ring", 64, "retained slow-trace ring capacity")
+	dataDir := fs.String("data", "", "durable session directory (empty: sessions are memory-only)")
+	snapEvery := fs.Int("snap-every", 0, "WAL records between background snapshots (0 = default 4096, negative disables)")
+	dataSync := fs.Bool("data-sync", false, "fsync the session WAL on every edit")
+	respCache := fs.Int("resp-cache", 0, "epoch-keyed response cache entries (0 = default 256, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,6 +72,10 @@ func RunCLI(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		Workers:            *workers,
 		DigestSeed:         *seed,
 		Logger:             log.New(stderr, "hgserved: ", log.LstdFlags),
+		DataDir:            *dataDir,
+		SnapshotEvery:      *snapEvery,
+		SyncAppends:        *dataSync,
+		RespCacheEntries:   *respCache,
 		Trace:              *trace,
 		TraceSampleN:       *traceSample,
 		SlowTraceThreshold: *traceSlow,

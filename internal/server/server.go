@@ -38,7 +38,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -48,6 +51,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Serving metrics: the always-on /metricsz view of request traffic. The
@@ -83,6 +87,24 @@ type Config struct {
 	DigestSeed uint64
 	// Logger receives panic incidents and lifecycle lines; nil discards.
 	Logger *log.Logger
+
+	// DataDir, when set, makes workspace sessions durable: each session
+	// gets a snapshot + WAL directory under it (internal/store), sessions
+	// found there are recovered on boot, and Drain flushes a final snapshot
+	// per dirty session. Empty: sessions are memory-only (the pre-durable
+	// behavior).
+	DataDir string
+	// SnapshotEvery is the per-session WAL record count that triggers a
+	// background compaction (default 4096; negative disables automatic
+	// compaction — Drain still cuts the final snapshot).
+	SnapshotEvery int
+	// SyncAppends fsyncs the session WAL on every edit. Off, an
+	// acknowledged edit survives a process crash but not necessarily a
+	// whole-machine power failure.
+	SyncAppends bool
+	// RespCacheEntries bounds the epoch-keyed response cache for workspace
+	// query bodies (default 256; negative disables the cache).
+	RespCacheEntries int
 
 	// Trace turns span collection on for this process (obs.Enable). Off by
 	// default: the disabled instrumentation path costs one atomic load per
@@ -131,6 +153,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceRingCap <= 0 {
 		c.TraceRingCap = 64
 	}
+	if c.RespCacheEntries == 0 {
+		c.RespCacheEntries = 256
+	}
 	return c
 }
 
@@ -162,9 +187,12 @@ type Server struct {
 	tracer *obs.Tracer   // per-request root spans (nil-safe when tracing is off)
 	prof   *obs.Profiler // slow-trace retention behind /tracez
 
-	mu     sync.Mutex
-	nextWS int
-	spaces map[string]*dynamic.Workspace
+	mu       sync.Mutex
+	nextWS   int
+	spaces   map[string]*dynamic.Workspace
+	sessions map[string]*store.Session // durable backing per workspace (DataDir only)
+
+	respCache *respCache // epoch-keyed query bodies; nil when disabled
 
 	incidents atomic.Uint64
 	ring      incidentRing
@@ -204,15 +232,73 @@ func New(cfg Config, now func() time.Time) *Server {
 	if cfg.Trace {
 		obs.Enable()
 	}
-	return &Server{
-		cfg:    cfg,
-		eng:    engine.New(opts...),
-		quota:  newQuotas(cfg.TenantRate, cfg.TenantBurst, now),
-		sem:    make(chan struct{}, cfg.MaxInFlight),
-		logger: cfg.Logger,
-		tracer: obs.NewTracer(cfg.TraceSampleN, cfg.TraceMaxSpans, prof),
-		prof:   prof,
-		spaces: make(map[string]*dynamic.Workspace),
+	s := &Server{
+		cfg:      cfg,
+		eng:      engine.New(opts...),
+		quota:    newQuotas(cfg.TenantRate, cfg.TenantBurst, now),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		logger:   cfg.Logger,
+		tracer:   obs.NewTracer(cfg.TraceSampleN, cfg.TraceMaxSpans, prof),
+		prof:     prof,
+		spaces:   make(map[string]*dynamic.Workspace),
+		sessions: make(map[string]*store.Session),
+	}
+	if cfg.RespCacheEntries > 0 {
+		s.respCache = newRespCache(cfg.RespCacheEntries)
+	}
+	if cfg.DataDir != "" {
+		s.recoverSessions()
+	}
+	return s
+}
+
+// storeOptions maps the config onto the per-session durability knobs.
+func (s *Server) storeOptions() store.Options {
+	return store.Options{SyncAppends: s.cfg.SyncAppends, SnapshotEvery: s.cfg.SnapshotEvery}
+}
+
+// wsOptions are the workspace options every session — created or recovered
+// — is built with: the shared engine memo and the configured parallelism.
+func (s *Server) wsOptions() []dynamic.Option {
+	return []dynamic.Option{dynamic.WithEngine(s.eng), dynamic.WithParallelism(s.cfg.Workers)}
+}
+
+// recoverSessions reopens every session directory under DataDir on boot. A
+// session that fails recovery is logged and skipped — its directory stays
+// on disk for `hgtool ws` inspection — and never blocks the others.
+func (s *Server) recoverSessions() {
+	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
+		if s.logger != nil {
+			s.logger.Printf("data dir %s: %v (sessions will fail to persist)", s.cfg.DataDir, err)
+		}
+		return
+	}
+	names, err := store.ListSessions(s.cfg.DataDir)
+	if err != nil {
+		if s.logger != nil {
+			s.logger.Printf("data dir %s: list sessions: %v", s.cfg.DataDir, err)
+		}
+		return
+	}
+	for _, id := range names {
+		sess, ws, err := store.Open(filepath.Join(s.cfg.DataDir, id), s.storeOptions(), s.wsOptions()...)
+		if err != nil {
+			if s.logger != nil {
+				s.logger.Printf("session %s: recovery failed, left on disk: %v", id, err)
+			}
+			continue
+		}
+		s.spaces[id] = ws
+		s.sessions[id] = sess
+		// Recovered ids stay authoritative: ws-N creation resumes past the
+		// highest one so fresh sessions never collide with a directory.
+		var n int
+		if _, err := fmt.Sscanf(id, "ws-%d", &n); err == nil && n > s.nextWS {
+			s.nextWS = n
+		}
+		if s.logger != nil {
+			s.logger.Printf("session %s: recovered at epoch %d (%d edges)", id, ws.Epoch(), ws.NumEdges())
+		}
 	}
 }
 
@@ -243,6 +329,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/workspaces/{id}/edges/{edge}", s.guard(s.handleRemoveEdge))
 	mux.HandleFunc("POST /v1/workspaces/{id}/rename", s.guard(s.handleRename))
 	mux.HandleFunc("POST /v1/workspaces/{id}/query", s.guard(s.handleQuery))
+	mux.HandleFunc("GET /v1/workspaces/{id}/watch", s.guard(s.handleWatch))
+	mux.HandleFunc("GET /v1/ws/{id}/watch", s.guard(s.handleWatch))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
@@ -487,11 +575,84 @@ func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
 	}{obs.Enabled(), seen, retained, s.prof.Threshold().String(), s.prof.Snapshot()})
 }
 
+// FlushOutcome reports one session's final flush during Drain: the epoch
+// made durable, and the error if the flush failed (empty on success).
+type FlushOutcome struct {
+	ID    string `json:"id"`
+	Epoch uint64 `json:"epoch"`
+	Error string `json:"error,omitempty"`
+}
+
 // Drain flips the server into draining mode — new requests answer 503, the
 // health check fails — and blocks until in-flight requests finish or ctx
-// expires (reporting ctx.Err() with work still in flight). Idempotent.
+// expires (reporting ctx.Err() with work still in flight). With a DataDir,
+// every dirty session is then flushed to a final snapshot and closed; the
+// per-session outcomes are logged, and the first flush failure is returned
+// when the gate itself drained cleanly. Idempotent: a second Drain finds
+// every session already clean.
 func (s *Server) Drain(ctx context.Context) error {
-	return s.gate.drain(ctx)
+	gateErr := s.gate.drain(ctx)
+	var flushErr error
+	for _, o := range s.FlushSessions() {
+		if s.logger != nil {
+			if o.Error != "" {
+				s.logger.Printf("session %s: flush failed at epoch %d: %s", o.ID, o.Epoch, o.Error)
+			} else {
+				s.logger.Printf("session %s: flushed at epoch %d", o.ID, o.Epoch)
+			}
+		}
+		if o.Error != "" && flushErr == nil {
+			flushErr = fmt.Errorf("session %s: %s", o.ID, o.Error)
+		}
+	}
+	if gateErr != nil {
+		return gateErr
+	}
+	return flushErr
+}
+
+// FlushSessions compacts every dirty durable session to a final snapshot
+// and closes it, reporting one outcome per session (sorted by id). A flush
+// racing an in-flight background compaction serializes behind it — the
+// store's compaction lock guarantees no acknowledged edit is lost between
+// the two. Safe to call repeatedly; sessions already clean just close.
+func (s *Server) FlushSessions() []FlushOutcome {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]FlushOutcome, 0, len(ids))
+	for _, id := range ids {
+		s.mu.Lock()
+		sess := s.sessions[id]
+		s.mu.Unlock()
+		if sess == nil {
+			continue
+		}
+		o := FlushOutcome{ID: id, Epoch: sess.Epoch()}
+		func() {
+			// An injected panic at store.snapshot runs outside the request
+			// envelope here; contain it to this session's outcome.
+			defer func() {
+				if v := recover(); v != nil {
+					o.Error = fmt.Sprint(v)
+				}
+			}()
+			if sess.Dirty() {
+				if err := sess.Compact(); err != nil {
+					o.Error = err.Error()
+				}
+			}
+			if err := sess.Close(); err != nil && o.Error == "" {
+				o.Error = err.Error()
+			}
+		}()
+		out = append(out, o)
+	}
+	return out
 }
 
 // gate counts in-flight requests and refuses new ones while draining. It is

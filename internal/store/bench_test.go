@@ -1,0 +1,132 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkAppend measures the per-edit durability tax: one framed,
+// checksummed record written (no fsync) on every acknowledged edit.
+func BenchmarkAppend(b *testing.B) {
+	dir := b.TempDir()
+	s, ws, err := Create(dir, Options{SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ws.AddEdge(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendSync is BenchmarkAppend with fsync-per-append — the
+// machine's real durable-write floor.
+func BenchmarkAppendSync(b *testing.B) {
+	dir := b.TempDir()
+	s, ws, err := Create(dir, Options{SnapshotEvery: -1, SyncAppends: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ws.AddEdge(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// edits loads a session with n chain edits (the workload the compaction and
+// recovery benchmarks run over).
+func edits(b *testing.B, ws interface {
+	AddEdge(nodes ...string) (int, error)
+}, n int) {
+	for i := 0; i < n; i++ {
+		if _, err := ws.AddEdge(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompact measures snapshot compaction of a 10^5-edit log.
+func BenchmarkCompact(b *testing.B) {
+	dir := b.TempDir()
+	s, ws, err := Create(dir, Options{SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	edits(b, ws, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Dirty the session so each iteration cuts a real snapshot.
+		b.StopTimer()
+		if _, err := ws.AddEdge(fmt.Sprintf("m%d", i), fmt.Sprintf("m%d", i+1)); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := s.Compact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdRecoveryWAL measures Open on a session whose entire 10^5-edit
+// history lives in the WAL (no snapshot): the replay-everything worst case.
+func BenchmarkColdRecoveryWAL(b *testing.B) {
+	dir := b.TempDir()
+	s, ws, err := Create(dir, Options{SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	edits(b, ws, 100_000)
+	s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s2, _, err := Open(dir, Options{SnapshotEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		s2.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkColdRecoverySnapshot measures Open on the same 10^5-edit session
+// after compaction: restore-the-snapshot, near-empty tail.
+func BenchmarkColdRecoverySnapshot(b *testing.B) {
+	dir := b.TempDir()
+	s, ws, err := Create(dir, Options{SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	edits(b, ws, 100_000)
+	if err := s.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	s.Close()
+	var snapSize int64
+	if fi, err := os.Stat(filepath.Join(dir, SnapshotFile)); err == nil {
+		snapSize = fi.Size()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s2, _, err := Open(dir, Options{SnapshotEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		s2.Close()
+		b.StartTimer()
+	}
+	// After ResetTimer, or it would be cleared with the rest of the metrics.
+	b.ReportMetric(float64(snapSize), "snapshot-bytes")
+}

@@ -1,0 +1,641 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// Options configures a session's durability behavior.
+type Options struct {
+	// SyncAppends fsyncs the WAL after every append. Off, an acknowledged
+	// edit survives a process crash (the write is a completed syscall) but
+	// the most recent edits may be lost to a whole-machine power failure.
+	SyncAppends bool
+	// SnapshotEvery triggers a background compaction once this many records
+	// accumulate past the last snapshot. 0 means the default (4096);
+	// negative disables automatic compaction (Compact can still be called).
+	SnapshotEvery int
+}
+
+const defaultSnapshotEvery = 4096
+
+// Session file names inside a session directory.
+const (
+	WALFile      = "wal.hgl"
+	SnapshotFile = "snapshot.hgs"
+)
+
+var (
+	appendSeconds  = obs.H("store_append_seconds")
+	compactSeconds = obs.H("store_compact_seconds")
+	recoverSeconds = obs.H("store_recover_seconds")
+	recoverTotal   = obs.C("store_recover_total")
+	tornTails      = obs.C("store_torn_tail_total")
+	snapshotBytes  = obs.G("store_snapshot_bytes")
+	walBytes       = obs.G("store_wal_bytes")
+)
+
+// Session is one workspace's durable backing: the open WAL plus the
+// compaction state. It implements dynamic.Journal — attach it with
+// Workspace.SetJournal (Create and Open do this for you) and every edit is
+// persisted before it is acknowledged.
+//
+// A session is safe for concurrent use. Append runs under the workspace
+// lock (the journal contract); Compact may run concurrently with appends —
+// records landing while the snapshot is cut are preserved by an epoch
+// filter when the log is rewritten.
+type Session struct {
+	dir  string
+	opts Options
+	ws   *dynamic.Workspace
+
+	mu         sync.Mutex // guards the WAL fd and counters below
+	wal        *os.File
+	walSize    int64 // current WAL length (our own offset authority)
+	walRecords int   // records past the last snapshot
+	snapEpoch  uint64
+	lastEpoch  uint64 // epoch of the most recent acknowledged record
+	failed     error  // sticky fail-stop state
+	closed     bool
+
+	compactMu  sync.Mutex  // serializes compactions
+	compacting atomic.Bool // one background compaction at a time
+}
+
+// Create initializes a fresh session directory (which must not already hold
+// one) and returns the session attached to a new empty workspace built with
+// wsOpts.
+func Create(dir string, opts Options, wsOpts ...dynamic.Option) (*Session, *dynamic.Workspace, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	for _, name := range []string{WALFile, SnapshotFile} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return nil, nil, fmt.Errorf("store: %s already holds a session (open it instead)", dir)
+		}
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, WALFile), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := wal.Write([]byte(walMagic)); err != nil {
+		wal.Close()
+		return nil, nil, err
+	}
+	if err := wal.Sync(); err != nil {
+		wal.Close()
+		return nil, nil, err
+	}
+	syncDir(dir)
+	s := &Session{dir: dir, opts: opts, wal: wal, walSize: magicLen}
+	ws := dynamic.New(wsOpts...)
+	s.ws = ws
+	ws.SetJournal(s)
+	return s, ws, nil
+}
+
+// Open recovers a session directory: restore the snapshot (if any), replay
+// the WAL tail, truncate a torn tail, and return the session attached to
+// the recovered workspace. The workspace is observationally identical to
+// the one that wrote the directory, up to its last acknowledged edit.
+func Open(dir string, opts Options, wsOpts ...dynamic.Option) (*Session, *dynamic.Workspace, error) {
+	ctx, sp := obs.StartSpan(context.Background(), "store.recover")
+	sp.SetAttr("dir", dir)
+	defer sp.End()
+	start := time.Now()
+	if err := fault.HitCtx(ctx, fault.StoreRecover); err != nil {
+		return nil, nil, err
+	}
+
+	ws, snapEpoch, err := recoverSnapshot(dir, wsOpts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	wal, walSize, walRecords, torn, err := replayWAL(ctx, dir, ws, snapEpoch)
+	if err != nil {
+		return nil, nil, err
+	}
+	if torn {
+		tornTails.Inc()
+		sp.SetBool("tornTail", true)
+	}
+	sp.SetInt("epoch", int64(ws.Epoch()))
+	sp.SetInt("tailRecords", int64(walRecords))
+
+	s := &Session{
+		dir: dir, opts: opts, wal: wal,
+		walSize: walSize, walRecords: walRecords,
+		snapEpoch: snapEpoch, lastEpoch: ws.Epoch(),
+	}
+	s.ws = ws
+	ws.SetJournal(s)
+	recoverTotal.Inc()
+	recoverSeconds.Observe(time.Since(start))
+	walBytes.Set(walSize)
+	return s, ws, nil
+}
+
+// recoverSnapshot restores the snapshot's workspace, or a fresh one when
+// the directory has no snapshot yet.
+func recoverSnapshot(dir string, wsOpts ...dynamic.Option) (*dynamic.Workspace, uint64, error) {
+	st, err := readSnapshotFile(filepath.Join(dir, SnapshotFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return dynamic.New(wsOpts...), 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	ws, err := dynamic.RestoreWorkspace(st, wsOpts...)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return ws, st.Epoch, nil
+}
+
+// replayWAL applies the log's records past the snapshot epoch to ws, in
+// order, verifying epoch contiguity and recorded edge ids. A torn tail is
+// truncated away; the file is returned open for appending at its repaired
+// length.
+func replayWAL(ctx context.Context, dir string, ws *dynamic.Workspace, snapEpoch uint64) (f *os.File, size int64, records int, torn bool, err error) {
+	path := filepath.Join(dir, WALFile)
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		// A session dir with a snapshot but no WAL (lost between compaction
+		// steps): treat as an empty log.
+		raw = []byte(walMagic)
+	} else if err != nil {
+		return nil, 0, 0, false, err
+	}
+	if len(raw) < magicLen || string(raw[:magicLen]) != walMagic {
+		// A file too short to hold the magic can only be a crash during
+		// Create's header write: recover as an empty log. Wrong bytes, by
+		// contrast, mean this is not a WAL at all.
+		if len(raw) >= magicLen {
+			return nil, 0, 0, false, fmt.Errorf("%w: bad WAL magic in %s", ErrCorrupt, path)
+		}
+		raw = []byte(walMagic)
+		torn = true
+	}
+	off := magicLen
+	for off < len(raw) {
+		payload, n, perr := parseFrame(raw[off:])
+		if perr != nil {
+			// Short or checksum-failing frame: everything before it is the
+			// acknowledged prefix; the rest is a torn write.
+			torn = true
+			break
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			return nil, 0, 0, false, fmt.Errorf("%s at offset %d: %w", path, off, derr)
+		}
+		if rec.Epoch <= snapEpoch {
+			// Pre-snapshot record surviving a crash between the snapshot
+			// rename and the WAL rewrite: already folded in, skip.
+			off += n
+			records++
+			continue
+		}
+		if rec.Epoch != ws.Epoch()+1 {
+			return nil, 0, 0, false, fmt.Errorf("%w: %s at offset %d: epoch %d after %d", ErrCorrupt, path, off, rec.Epoch, ws.Epoch())
+		}
+		if aerr := applyRecord(ws, rec); aerr != nil {
+			return nil, 0, 0, false, fmt.Errorf("%w: %s at offset %d: %v", ErrCorrupt, path, off, aerr)
+		}
+		off += n
+		records++
+	}
+	f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	if torn {
+		// Repair: drop the torn suffix so the next append starts on a clean
+		// frame boundary. (Also rebuilds a WAL lost mid-compaction.)
+		if terr := f.Truncate(int64(off)); terr != nil {
+			f.Close()
+			return nil, 0, 0, false, terr
+		}
+		if off == magicLen {
+			if _, werr := f.WriteAt([]byte(walMagic), 0); werr != nil {
+				f.Close()
+				return nil, 0, 0, false, werr
+			}
+		}
+		f.Sync()
+	}
+	return f, int64(off), records, torn, nil
+}
+
+// applyRecord replays one edit into ws, checking that the outcome matches
+// what was recorded at append time.
+func applyRecord(ws *dynamic.Workspace, rec dynamic.JournalRecord) error {
+	switch rec.Op {
+	case dynamic.JournalAddEdge:
+		id, err := ws.AddEdge(rec.Nodes...)
+		if err != nil {
+			return err
+		}
+		if id != rec.Edge {
+			return fmt.Errorf("replayed AddEdge issued id %d, recorded %d", id, rec.Edge)
+		}
+	case dynamic.JournalRemoveEdge:
+		return ws.RemoveEdge(rec.Edge)
+	case dynamic.JournalRenameNode:
+		return ws.RenameNode(rec.Old, rec.New)
+	default:
+		return fmt.Errorf("unknown op %d", rec.Op)
+	}
+	return nil
+}
+
+// Dir returns the session's directory.
+func (s *Session) Dir() string { return s.dir }
+
+// Epoch returns the epoch of the last acknowledged (durable) edit.
+func (s *Session) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastEpoch
+}
+
+// Dirty reports whether the session holds acknowledged edits not yet folded
+// into the snapshot — i.e. whether a Compact would change the files.
+func (s *Session) Dirty() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walRecords > 0
+}
+
+// Err returns the sticky failure, if the session has fail-stopped.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// Append implements dynamic.Journal: frame the record, write it to the WAL,
+// and only then let the workspace apply the edit. Runs under the workspace
+// lock. Any failure aborts the edit; a failure that may have left partial
+// bytes (a torn write) additionally fail-stops the session — the on-disk
+// prefix stays consistent and the next Open repairs the tail.
+func (s *Session) Append(rec dynamic.JournalRecord) error {
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return s.failed
+	}
+	if s.closed {
+		return errors.New("store: session closed")
+	}
+	if rec.Epoch != s.lastEpoch+1 {
+		return fmt.Errorf("store: append epoch %d after %d (journal attached mid-history?)", rec.Epoch, s.lastEpoch)
+	}
+	frame := appendFrame(nil, encodeRecord(nil, rec))
+
+	if err := fault.Hit(fault.StoreAppend); err != nil {
+		if errors.Is(err, fault.ErrTorn) && len(frame) > 1 {
+			// Simulate a crash mid-write: half a frame lands, then the
+			// session fail-stops exactly as a real torn write would below.
+			s.wal.WriteAt(frame[:len(frame)/2], s.walSize)
+			s.failed = fmt.Errorf("%w: %w", ErrSessionFailed, err)
+			return s.failed
+		}
+		return err
+	}
+
+	n, err := s.wal.WriteAt(frame, s.walSize)
+	if err != nil {
+		if n > 0 {
+			// Partial frame on disk: try to erase it; keep serving only if
+			// the erase provably succeeded.
+			if terr := s.wal.Truncate(s.walSize); terr != nil {
+				s.failed = fmt.Errorf("%w: torn append not repaired: %v", ErrSessionFailed, terr)
+				return s.failed
+			}
+		}
+		return err
+	}
+	if s.opts.SyncAppends {
+		if err := s.wal.Sync(); err != nil {
+			// The write may or may not be durable; refuse to acknowledge
+			// and fail-stop (the in-memory edit is aborted, so a surviving
+			// frame is a stale tail the next Open replays harmlessly —
+			// epoch contiguity still holds because nothing after it was
+			// acknowledged either).
+			s.failed = fmt.Errorf("%w: wal sync: %v", ErrSessionFailed, err)
+			return s.failed
+		}
+	}
+	s.walSize += int64(len(frame))
+	s.walRecords++
+	s.lastEpoch = rec.Epoch
+	walBytes.Set(s.walSize)
+	appendSeconds.Observe(time.Since(start))
+
+	if every := s.snapshotEveryLocked(); every > 0 && s.walRecords >= every && s.compacting.CompareAndSwap(false, true) {
+		go s.compactAsync()
+	}
+	return nil
+}
+
+func (s *Session) snapshotEveryLocked() int {
+	if s.opts.SnapshotEvery < 0 {
+		return 0
+	}
+	if s.opts.SnapshotEvery == 0 {
+		return defaultSnapshotEvery
+	}
+	return s.opts.SnapshotEvery
+}
+
+// compactAsync runs a threshold-triggered compaction off the edit path. An
+// injected panic at store.snapshot must not crash the process: compaction
+// is advisory (the WAL alone is a correct, if long, history).
+func (s *Session) compactAsync() {
+	defer s.compacting.Store(false)
+	defer func() {
+		if r := recover(); r != nil {
+			// Swallow: the session keeps appending; the next threshold
+			// crossing retries.
+			_ = r
+		}
+	}()
+	_ = s.Compact()
+}
+
+// Compact cuts a snapshot of the workspace's current state and rewrites the
+// WAL to hold only records past it. Appends may land concurrently — the
+// rewrite keeps every record newer than the snapshot's epoch, so nothing
+// acknowledged is ever dropped. Crash-safe at every step: the snapshot
+// replaces atomically, and a crash between the two file updates leaves
+// stale-but-skippable WAL head records, not corruption.
+func (s *Session) Compact() error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	ctx, sp := obs.StartSpan(context.Background(), "store.compact")
+	sp.SetAttr("dir", s.dir)
+	defer sp.End()
+	start := time.Now()
+
+	if err := s.Err(); err != nil {
+		return err
+	}
+	if err := fault.HitCtx(ctx, fault.StoreSnapshot); err != nil {
+		if errors.Is(err, fault.ErrTorn) {
+			// Simulate a crash mid-snapshot-write: a partial temp file is
+			// left behind; the live snapshot is untouched and the session
+			// keeps serving (compaction is advisory, so no fail-stop).
+			os.WriteFile(filepath.Join(s.dir, SnapshotFile+".tmp"), []byte("torn"), 0o644)
+		}
+		sp.SetAttr("error", err.Error())
+		return err
+	}
+
+	st := s.ws.ExportState() // takes the workspace lock; s.mu is NOT held
+	s.mu.Lock()
+	upToDate := st.Epoch == s.snapEpoch && s.walRecords == 0
+	s.mu.Unlock()
+	if upToDate {
+		return nil
+	}
+	size, err := writeSnapshotFile(filepath.Join(s.dir, SnapshotFile), st)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		return err
+	}
+	snapshotBytes.Set(size)
+	sp.SetInt("snapshotBytes", size)
+	sp.SetInt("epoch", int64(st.Epoch))
+
+	// Rewrite the WAL without the records the snapshot now covers. Under
+	// s.mu so no append interleaves with the swap.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return s.failed
+	}
+	if err := s.rewriteWALLocked(st.Epoch); err != nil {
+		// The snapshot landed but the log still has pre-snapshot records;
+		// recovery skips them by epoch, so this is a space leak, not a
+		// correctness problem. Fail-stop only if the WAL fd is now suspect.
+		sp.SetAttr("error", err.Error())
+		return err
+	}
+	s.snapEpoch = st.Epoch
+	compactSeconds.Observe(time.Since(start))
+	return nil
+}
+
+// rewriteWALLocked replaces the WAL with one holding only records newer
+// than epoch. Called with s.mu held.
+func (s *Session) rewriteWALLocked(epoch uint64) error {
+	path := filepath.Join(s.dir, WALFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if int64(len(raw)) > s.walSize {
+		raw = raw[:s.walSize] // never resurrect bytes past our own offset
+	}
+	out := make([]byte, 0, 1024)
+	out = append(out, walMagic...)
+	kept := 0
+	off := magicLen
+	for off < len(raw) {
+		payload, n, perr := parseFrame(raw[off:])
+		if perr != nil {
+			break // torn tail: drop (nothing acknowledged lives there)
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			return derr
+		}
+		if rec.Epoch > epoch {
+			out = append(out, raw[off:off+n]...)
+			kept++
+		}
+		off += n
+	}
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, out); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	syncDir(s.dir)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		s.failed = fmt.Errorf("%w: WAL reopen after rewrite: %v", ErrSessionFailed, err)
+		return s.failed
+	}
+	s.wal.Close()
+	s.wal = f
+	s.walSize = int64(len(out))
+	s.walRecords = kept
+	walBytes.Set(s.walSize)
+	return nil
+}
+
+// Close releases the WAL file handle. It does not flush a final snapshot —
+// that is the caller's policy (the server's Drain compacts dirty sessions
+// first). Safe to call twice.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.Close()
+}
+
+// --- offline inspection ---
+
+// Info is a session directory's recovered identity, as reported by Verify.
+type Info struct {
+	Dir           string `json:"dir"`
+	SnapshotEpoch uint64 `json:"snapshotEpoch"` // 0: no snapshot yet
+	Epoch         uint64 `json:"epoch"`         // after tail replay
+	TailRecords   int    `json:"tailRecords"`   // WAL records replayed or skipped
+	TornTail      bool   `json:"tornTail"`      // WAL ended in a torn frame
+	Edges         int    `json:"edges"`
+	Nodes         int    `json:"nodes"`
+	Components    int    `json:"components"`
+	Acyclic       bool   `json:"acyclic"`
+	Digest        string `json:"digest"` // canonical content digest, hex
+}
+
+// Verify recovers a session directory read-only — snapshot restore, digest
+// cross-check, tail replay (in memory; a torn tail is reported, not
+// repaired) — and returns what a server booting on it would see. It is the
+// engine behind `hgtool ws`.
+func Verify(dir string) (Info, error) {
+	ctx, sp := obs.StartSpan(context.Background(), "store.verify")
+	sp.SetAttr("dir", dir)
+	defer sp.End()
+	if err := fault.HitCtx(ctx, fault.StoreRecover); err != nil {
+		return Info{}, err
+	}
+	ws, snapEpoch, err := recoverSnapshot(dir)
+	if err != nil {
+		return Info{}, err
+	}
+	info := Info{Dir: dir, SnapshotEpoch: snapEpoch}
+	raw, err := os.ReadFile(filepath.Join(dir, WALFile))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return Info{}, err
+	}
+	if err == nil {
+		if len(raw) < magicLen || string(raw[:magicLen]) != walMagic {
+			if len(raw) >= magicLen {
+				return Info{}, fmt.Errorf("%w: bad WAL magic in %s", ErrCorrupt, dir)
+			}
+			info.TornTail = true
+			raw = raw[:0]
+		} else {
+			raw = raw[magicLen:]
+		}
+		for len(raw) > 0 {
+			payload, n, perr := parseFrame(raw)
+			if perr != nil {
+				info.TornTail = true
+				break
+			}
+			rec, derr := decodeRecord(payload)
+			if derr != nil {
+				return Info{}, derr
+			}
+			if rec.Epoch > snapEpoch {
+				if rec.Epoch != ws.Epoch()+1 {
+					return Info{}, fmt.Errorf("%w: WAL epoch %d after %d", ErrCorrupt, rec.Epoch, ws.Epoch())
+				}
+				if aerr := applyRecord(ws, rec); aerr != nil {
+					return Info{}, fmt.Errorf("%w: %v", ErrCorrupt, aerr)
+				}
+			}
+			raw = raw[n:]
+			info.TailRecords++
+		}
+	}
+	info.Epoch = ws.Epoch()
+	info.Edges = ws.NumEdges()
+	info.Nodes = ws.NumNodes()
+	info.Components = ws.NumComponents()
+	info.Acyclic = ws.Analysis().Verdict()
+	d := ws.ContentDigest()
+	info.Digest = fmt.Sprintf("%016x%016x", d.Hi, d.Lo)
+	return info, nil
+}
+
+// ScanWAL streams a WAL file's records in order, stopping at a torn tail
+// (reported via the return, not an error). The callback returning an error
+// stops the scan.
+func ScanWAL(path string, fn func(rec dynamic.JournalRecord) error) (torn bool, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	if len(raw) < magicLen || string(raw[:magicLen]) != walMagic {
+		if len(raw) >= magicLen {
+			return false, fmt.Errorf("%w: bad WAL magic in %s", ErrCorrupt, path)
+		}
+		return true, nil
+	}
+	raw = raw[magicLen:]
+	for len(raw) > 0 {
+		payload, n, perr := parseFrame(raw)
+		if perr != nil {
+			return true, nil
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			return false, derr
+		}
+		if err := fn(rec); err != nil {
+			return false, err
+		}
+		raw = raw[n:]
+	}
+	return false, nil
+}
+
+// ListSessions returns the names of the session directories under a data
+// directory (directories holding a WAL or snapshot), sorted.
+func ListSessions(dataDir string) ([]string, error) {
+	entries, err := os.ReadDir(dataDir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		for _, name := range []string{WALFile, SnapshotFile} {
+			if _, err := os.Stat(filepath.Join(dataDir, e.Name(), name)); err == nil {
+				out = append(out, e.Name())
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
